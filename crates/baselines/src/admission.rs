@@ -1,0 +1,384 @@
+//! Baseline admission-control algorithms.
+
+use acmr_core::{OnlineAdmission, Outcome, Request, RequestId};
+use acmr_graph::{EdgeSet, LoadTracker};
+use rand::Rng;
+
+/// Accept a request iff it currently fits; never preempt.
+///
+/// The natural non-preemptive greedy: on a single capacity-`c` edge
+/// with unit costs it is `(c+1)`-competitive (the flavour of the first
+/// BKK algorithm). On general graphs it can be forced into `Ω(m)`.
+pub struct GreedyNonPreemptive {
+    load: LoadTracker,
+}
+
+impl GreedyNonPreemptive {
+    /// Baseline over the given capacities.
+    pub fn new(capacities: &[u32]) -> Self {
+        GreedyNonPreemptive {
+            load: LoadTracker::from_capacities(capacities.to_vec()),
+        }
+    }
+}
+
+impl OnlineAdmission for GreedyNonPreemptive {
+    fn name(&self) -> &'static str {
+        "greedy-nonpreemptive"
+    }
+
+    fn on_request(&mut self, _id: RequestId, request: &Request) -> Outcome {
+        if self.load.fits(&request.footprint) {
+            self.load.admit(&request.footprint);
+            Outcome::accept()
+        } else {
+            Outcome::reject()
+        }
+    }
+}
+
+/// Preempt the cheapest conflicting requests when that is cheaper than
+/// rejecting the newcomer.
+///
+/// For each over-subscribed edge of the newcomer's footprint the
+/// cheapest accepted requests on that edge are marked as victims; the
+/// newcomer is admitted iff the victims' total cost is strictly less
+/// than its own cost (otherwise the newcomer is rejected).
+pub struct PreemptCheapest {
+    load: LoadTracker,
+    accepted: Vec<Option<(EdgeSet, f64)>>, // footprint + cost while accepted
+}
+
+impl PreemptCheapest {
+    /// Baseline over the given capacities.
+    pub fn new(capacities: &[u32]) -> Self {
+        PreemptCheapest {
+            load: LoadTracker::from_capacities(capacities.to_vec()),
+            accepted: Vec::new(),
+        }
+    }
+}
+
+impl OnlineAdmission for PreemptCheapest {
+    fn name(&self) -> &'static str {
+        "preempt-cheapest"
+    }
+
+    fn on_request(&mut self, id: RequestId, request: &Request) -> Outcome {
+        debug_assert_eq!(id.index(), self.accepted.len());
+        self.accepted.push(None);
+        if self.load.fits(&request.footprint) {
+            self.load.admit(&request.footprint);
+            self.accepted[id.index()] = Some((request.footprint.clone(), request.cost));
+            return Outcome::accept();
+        }
+        // Victim selection: for every saturated edge of the newcomer,
+        // evict cheapest-first until one slot frees up.
+        let mut victims: Vec<RequestId> = Vec::new();
+        let mut victim_cost = 0.0;
+        let mut planned: Vec<bool> = vec![false; self.accepted.len()];
+        for e in request.footprint.iter() {
+            let mut needed =
+                (self.load.load(e) + 1).saturating_sub(self.load.capacity(e)) as i64;
+            // Discount victims already planned on this edge.
+            for (i, p) in planned.iter().enumerate() {
+                if *p {
+                    if let Some((fp, _)) = &self.accepted[i] {
+                        if fp.contains(e) {
+                            needed -= 1;
+                        }
+                    }
+                }
+            }
+            if needed <= 0 {
+                continue;
+            }
+            // Cheapest accepted requests on e.
+            let mut on_edge: Vec<(usize, f64)> = self
+                .accepted
+                .iter()
+                .enumerate()
+                .filter_map(|(i, slot)| {
+                    slot.as_ref().and_then(|(fp, cost)| {
+                        (!planned[i] && fp.contains(e)).then_some((i, *cost))
+                    })
+                })
+                .collect();
+            on_edge.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            for (i, cost) in on_edge.into_iter().take(needed as usize) {
+                planned[i] = true;
+                victims.push(RequestId(i as u32));
+                victim_cost += cost;
+            }
+        }
+        if victim_cost < request.cost && !victims.is_empty() {
+            for v in &victims {
+                let (fp, _) = self.accepted[v.index()].take().expect("victim accepted");
+                self.load.release(&fp);
+            }
+            self.load.admit(&request.footprint);
+            self.accepted[id.index()] = Some((request.footprint.clone(), request.cost));
+            Outcome {
+                accepted: true,
+                preempted: victims,
+            }
+        } else {
+            Outcome::reject()
+        }
+    }
+}
+
+/// Credit-based rejection in the spirit of BKK's `O(√m)` algorithm.
+///
+/// Non-preemptive. Every time a newcomer is rejected for lack of room,
+/// each saturated edge on its footprint earns one credit. A newcomer
+/// whose footprint touches an edge with at least `√m` credits is
+/// rejected outright (its rejections have been "charged" to that edge),
+/// which caps how often a single hot edge can force rejections to
+/// spread — the charging idea underlying the `O(√m)` bound.
+pub struct CreditSqrtM {
+    load: LoadTracker,
+    credits: Vec<u64>,
+    cutoff: u64,
+}
+
+impl CreditSqrtM {
+    /// Baseline over the given capacities.
+    pub fn new(capacities: &[u32]) -> Self {
+        let m = capacities.len();
+        CreditSqrtM {
+            load: LoadTracker::from_capacities(capacities.to_vec()),
+            credits: vec![0; m],
+            cutoff: ((m as f64).sqrt().ceil() as u64).max(1),
+        }
+    }
+
+    /// The `√m` credit cut-off in effect.
+    pub fn cutoff(&self) -> u64 {
+        self.cutoff
+    }
+}
+
+impl OnlineAdmission for CreditSqrtM {
+    fn name(&self) -> &'static str {
+        "credit-sqrt-m"
+    }
+
+    fn on_request(&mut self, _id: RequestId, request: &Request) -> Outcome {
+        if request
+            .footprint
+            .iter()
+            .any(|e| self.credits[e.index()] >= self.cutoff)
+        {
+            return Outcome::reject();
+        }
+        if self.load.fits(&request.footprint) {
+            self.load.admit(&request.footprint);
+            Outcome::accept()
+        } else {
+            for e in request.footprint.iter() {
+                if self.load.residual(e) == 0 {
+                    self.credits[e.index()] += 1;
+                }
+            }
+            Outcome::reject()
+        }
+    }
+}
+
+/// Preempt uniformly random conflicting requests to make room — the
+/// control baseline for E7.
+pub struct RandomPreempt<R: Rng> {
+    load: LoadTracker,
+    accepted: Vec<Option<EdgeSet>>,
+    rng: R,
+}
+
+impl<R: Rng> RandomPreempt<R> {
+    /// Baseline over the given capacities.
+    pub fn new(capacities: &[u32], rng: R) -> Self {
+        RandomPreempt {
+            load: LoadTracker::from_capacities(capacities.to_vec()),
+            accepted: Vec::new(),
+            rng,
+        }
+    }
+}
+
+impl<R: Rng> OnlineAdmission for RandomPreempt<R> {
+    fn name(&self) -> &'static str {
+        "random-preempt"
+    }
+
+    fn on_request(&mut self, id: RequestId, request: &Request) -> Outcome {
+        debug_assert_eq!(id.index(), self.accepted.len());
+        self.accepted.push(None);
+        let mut victims: Vec<RequestId> = Vec::new();
+        for e in request.footprint.iter() {
+            while self.load.residual(e) == 0 {
+                // Random accepted request on e (counting victims already
+                // released frees this loop eventually).
+                let on_edge: Vec<usize> = self
+                    .accepted
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, slot)| {
+                        slot.as_ref().and_then(|fp| fp.contains(e).then_some(i))
+                    })
+                    .collect();
+                if on_edge.is_empty() {
+                    // Capacity consumed by nothing we can evict (cannot
+                    // happen with consistent state) — reject.
+                    return Outcome {
+                        accepted: false,
+                        preempted: victims,
+                    };
+                }
+                let pick = on_edge[self.rng.gen_range(0..on_edge.len())];
+                let fp = self.accepted[pick].take().expect("victim accepted");
+                self.load.release(&fp);
+                victims.push(RequestId(pick as u32));
+            }
+        }
+        self.load.admit(&request.footprint);
+        self.accepted[id.index()] = Some(request.footprint.clone());
+        Outcome {
+            accepted: true,
+            preempted: victims,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acmr_graph::EdgeId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fp(ids: &[u32]) -> EdgeSet {
+        EdgeSet::new(ids.iter().map(|&i| EdgeId(i)).collect())
+    }
+
+    fn drive<A: OnlineAdmission>(
+        alg: &mut A,
+        caps: &[u32],
+        arrivals: &[(&[u32], f64)],
+    ) -> (Vec<bool>, f64) {
+        let mut audit = LoadTracker::from_capacities(caps.to_vec());
+        let mut accepted = vec![false; arrivals.len()];
+        for (i, (edges, cost)) in arrivals.iter().enumerate() {
+            let req = Request::new(fp(edges), *cost);
+            let out = alg.on_request(RequestId(i as u32), &req);
+            for p in &out.preempted {
+                assert!(accepted[p.index()]);
+                accepted[p.index()] = false;
+                audit.release(&fp(arrivals[p.index()].0));
+            }
+            if out.accepted {
+                accepted[i] = true;
+                audit.admit(&req.footprint);
+            }
+        }
+        let cost = arrivals
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !accepted[*i])
+            .map(|(_, (_, c))| *c)
+            .sum();
+        (accepted, cost)
+    }
+
+    #[test]
+    fn greedy_accepts_first_come() {
+        let caps = [1u32];
+        let arrivals: Vec<(&[u32], f64)> = vec![(&[0], 1.0), (&[0], 100.0)];
+        let mut alg = GreedyNonPreemptive::new(&caps);
+        let (accepted, cost) = drive(&mut alg, &caps, &arrivals);
+        assert!(accepted[0] && !accepted[1]);
+        assert_eq!(cost, 100.0); // pays the expensive rejection
+    }
+
+    #[test]
+    fn preempt_cheapest_evicts_for_expensive() {
+        let caps = [1u32];
+        let arrivals: Vec<(&[u32], f64)> = vec![(&[0], 1.0), (&[0], 100.0)];
+        let mut alg = PreemptCheapest::new(&caps);
+        let (accepted, cost) = drive(&mut alg, &caps, &arrivals);
+        assert!(!accepted[0] && accepted[1]);
+        assert_eq!(cost, 1.0);
+    }
+
+    #[test]
+    fn preempt_cheapest_multi_edge_conflict() {
+        // Newcomer spans two saturated edges; it must evict one victim
+        // per edge (here one request sits on each).
+        let caps = [1u32, 1];
+        let arrivals: Vec<(&[u32], f64)> =
+            vec![(&[0], 2.0), (&[1], 3.0), (&[0, 1], 100.0)];
+        let mut alg = PreemptCheapest::new(&caps);
+        let (accepted, cost) = drive(&mut alg, &caps, &arrivals);
+        assert!(accepted[2]);
+        assert_eq!(cost, 5.0);
+    }
+
+    #[test]
+    fn preempt_cheapest_keeps_cheap_newcomer_out() {
+        let caps = [1u32];
+        let arrivals: Vec<(&[u32], f64)> = vec![(&[0], 100.0), (&[0], 1.0)];
+        let mut alg = PreemptCheapest::new(&caps);
+        let (accepted, cost) = drive(&mut alg, &caps, &arrivals);
+        assert!(accepted[0] && !accepted[1]);
+        assert_eq!(cost, 1.0);
+    }
+
+    #[test]
+    fn credit_scheme_poisons_hot_edges() {
+        let m = 9; // √m = 3
+        let caps = vec![1u32; m];
+        let mut alg = CreditSqrtM::new(&caps);
+        assert_eq!(alg.cutoff(), 3);
+        // Fill edge 0, then reject 3 times to charge it.
+        let mut arrivals: Vec<(&[u32], f64)> = vec![(&[0], 1.0); 5];
+        // A request over edges {0,1}: edge 0 has ≥3 credits → auto-reject,
+        // even though edge 1 is empty.
+        arrivals.push((&[0, 1], 1.0));
+        let (accepted, _) = drive(&mut alg, &caps, &arrivals);
+        assert!(accepted[0]);
+        assert!(!accepted[5], "poisoned edge must reject the spanning request");
+    }
+
+    #[test]
+    fn random_preempt_is_feasible_and_seeded() {
+        let caps = [2u32, 2];
+        let arrivals: Vec<(&[u32], f64)> = vec![(&[0, 1], 1.0); 10];
+        let r1 = {
+            let mut alg = RandomPreempt::new(&caps, StdRng::seed_from_u64(5));
+            drive(&mut alg, &caps, &arrivals)
+        };
+        let r2 = {
+            let mut alg = RandomPreempt::new(&caps, StdRng::seed_from_u64(5));
+            drive(&mut alg, &caps, &arrivals)
+        };
+        assert_eq!(r1.0, r2.0);
+        assert_eq!(r1.0.iter().filter(|&&a| a).count(), 2);
+    }
+
+    #[test]
+    fn all_baselines_accept_when_capacity_suffices() {
+        let caps = [4u32, 4];
+        let arrivals: Vec<(&[u32], f64)> = vec![(&[0, 1], 3.0); 4];
+        let (a1, c1) = drive(&mut GreedyNonPreemptive::new(&caps), &caps, &arrivals);
+        let (a2, c2) = drive(&mut PreemptCheapest::new(&caps), &caps, &arrivals);
+        let (a3, c3) = drive(&mut CreditSqrtM::new(&caps), &caps, &arrivals);
+        let (a4, c4) = drive(
+            &mut RandomPreempt::new(&caps, StdRng::seed_from_u64(1)),
+            &caps,
+            &arrivals,
+        );
+        for a in [a1, a2, a3, a4] {
+            assert!(a.iter().all(|&x| x));
+        }
+        assert_eq!(c1 + c2 + c3 + c4, 0.0);
+    }
+}

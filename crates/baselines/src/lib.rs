@@ -1,0 +1,41 @@
+//! # acmr-baselines
+//!
+//! Baseline online algorithms the paper's contributions are compared
+//! against in experiment **E7**.
+//!
+//! The prior state of the art for admission control to minimize
+//! rejections is Blum, Kalai & Kleinberg (WADS 2001) — cited as \[10\]
+//! by the paper — with two deterministic algorithms: one
+//! `(c+1)`-competitive and one `O(√m)`-competitive. Their internals are
+//! not reproduced in the SPAA 2005 text, so this crate provides
+//! *documented reconstructions* in the same spirit (see `DESIGN.md`
+//! §6): deterministic, natural, and provably **not** polylogarithmic —
+//! exactly what E7 needs to exhibit the paper's asymptotic win.
+//!
+//! * [`GreedyNonPreemptive`] — accept iff it fits; never preempt. On a
+//!   single edge this is `(c+1)`-competitive in the unweighted case
+//!   (it rejects at most all `k` excess arrivals while OPT rejects
+//!   `k − c` … within a `c+1` factor), the flavour of BKK's first
+//!   algorithm.
+//! * [`PreemptCheapest`] — make room for an expensive newcomer by
+//!   evicting the cheapest evictable requests when that is cheaper
+//!   than rejecting the newcomer. A natural cost-greedy heuristic.
+//! * [`CreditSqrtM`] — credit/charging scheme: each edge accrues a
+//!   credit per rejection it causes; a newcomer is rejected outright
+//!   once an edge on its footprint has accumulated `√m` credits
+//!   (BKK's `O(√m)` flavour: spreading charges over edges).
+//! * [`RandomPreempt`] — preempt uniformly random victims; the control
+//!   baseline.
+//! * [`setcover::NaiveOnlineCover`] — buy the cheapest uncovered set
+//!   per arrival (the trivial online set-cover baseline).
+//! * [`setcover::offline_greedy_multicover`] — offline greedy
+//!   (Chvátal), the classic `H_n`-approximation used as an OPT proxy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod setcover;
+
+pub use admission::{CreditSqrtM, GreedyNonPreemptive, PreemptCheapest, RandomPreempt};
+pub use setcover::NaiveOnlineCover;

@@ -1,0 +1,56 @@
+//! Bench: baseline admission algorithms vs the paper's (the speed side
+//! of E7 — the quality side is `exp_e7`).
+
+use acmr_baselines::{CreditSqrtM, GreedyNonPreemptive, PreemptCheapest};
+use acmr_core::{OnlineAdmission, RandConfig, RandomizedAdmission, Request, RequestId};
+use acmr_workloads::{random_path_workload, CostModel, PathWorkloadSpec, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn drive<A: OnlineAdmission>(alg: &mut A, inst: &acmr_core::AdmissionInstance) -> f64 {
+    let mut rejected = 0.0;
+    for (i, r) in inst.requests.iter().enumerate() {
+        let req = Request::new(r.footprint.clone(), r.cost);
+        if !alg.on_request(RequestId(i as u32), &req).accepted {
+            rejected += r.cost;
+        }
+    }
+    rejected
+}
+
+fn bench_baselines(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("baselines");
+    let spec = PathWorkloadSpec {
+        topology: Topology::Line { m: 256 },
+        capacity: 8,
+        overload: 2.0,
+        costs: CostModel::Uniform { lo: 1.0, hi: 16.0 },
+        max_hops: 8,
+    };
+    let (_, inst) = random_path_workload(&spec, &mut StdRng::seed_from_u64(23));
+    group.throughput(Throughput::Elements(inst.requests.len() as u64));
+    group.bench_with_input(BenchmarkId::new("aag-randomized", "m256"), &inst, |b, inst| {
+        b.iter(|| {
+            let mut alg = RandomizedAdmission::new(
+                &inst.capacities,
+                RandConfig::weighted(),
+                StdRng::seed_from_u64(1),
+            );
+            drive(&mut alg, inst)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("greedy", "m256"), &inst, |b, inst| {
+        b.iter(|| drive(&mut GreedyNonPreemptive::new(&inst.capacities), inst))
+    });
+    group.bench_with_input(BenchmarkId::new("credit-sqrt-m", "m256"), &inst, |b, inst| {
+        b.iter(|| drive(&mut CreditSqrtM::new(&inst.capacities), inst))
+    });
+    group.bench_with_input(BenchmarkId::new("preempt-cheapest", "m256"), &inst, |b, inst| {
+        b.iter(|| drive(&mut PreemptCheapest::new(&inst.capacities), inst))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

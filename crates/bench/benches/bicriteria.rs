@@ -1,0 +1,44 @@
+//! Bench: §5 deterministic bicriteria algorithm (the engine behind
+//! tables E6/E9), across scale and ε.
+
+use acmr_core::setcover::{BicriteriaCover, OnlineSetCover};
+use acmr_workloads::{random_arrivals, random_set_system, ArrivalPattern, SetSystemSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_bicriteria(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("bicriteria_cover");
+    for &(n, m) in &[(16usize, 24usize), (64, 96), (256, 384)] {
+        let spec = SetSystemSpec {
+            num_elements: n,
+            num_sets: m,
+            density: 0.25,
+            min_degree: 3,
+            max_cost: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(19);
+        let system = random_set_system(&spec, &mut rng);
+        let arrivals = random_arrivals(&system, ArrivalPattern::RoundRobin, 2, &mut rng);
+        for &eps in &[0.25f64, 0.5] {
+            group.throughput(Throughput::Elements(arrivals.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("eps{eps}"), format!("n{n}_m{m}")),
+                &(system.clone(), arrivals.clone()),
+                |b, (system, arrivals)| {
+                    b.iter(|| {
+                        let mut alg = BicriteriaCover::new(system.clone(), eps);
+                        for &j in arrivals {
+                            alg.on_arrival(j);
+                        }
+                        alg.total_cost()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bicriteria);
+criterion_main!(benches);

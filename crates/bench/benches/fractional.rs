@@ -1,0 +1,56 @@
+//! Bench: §2 fractional engine — arrival processing throughput across
+//! instance scales (supports experiment E1/E2 regeneration at speed).
+
+use acmr_core::{FracConfig, FracEngine};
+use acmr_workloads::{random_path_workload, CostModel, PathWorkloadSpec, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fractional(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("fractional_engine");
+    for &(m, c) in &[(64u32, 4u32), (256, 8), (1024, 16)] {
+        let spec = PathWorkloadSpec {
+            topology: Topology::Line { m },
+            capacity: c,
+            overload: 2.0,
+            costs: CostModel::Zipf {
+                n_values: 64,
+                s: 1.1,
+            },
+            max_hops: 8,
+        };
+        let (_, inst) = random_path_workload(&spec, &mut StdRng::seed_from_u64(7));
+        group.throughput(Throughput::Elements(inst.requests.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("weighted", format!("m{m}_c{c}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut eng = FracEngine::new(&inst.capacities, FracConfig::weighted());
+                    for r in &inst.requests {
+                        eng.on_request(&r.footprint, r.cost);
+                    }
+                    eng.online_cost()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unweighted", format!("m{m}_c{c}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut eng = FracEngine::new(&inst.capacities, FracConfig::unweighted());
+                    for r in &inst.requests {
+                        eng.on_request(&r.footprint, 1.0);
+                    }
+                    eng.online_cost()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fractional);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Bench: the LP/ILP substrate — simplex solve time and B&B nodes on
+//! covering programs of growing size (supports every OPT bound).
+
+use acmr_harness::admission_covering_problem;
+use acmr_lp::{branch_and_bound, BnbLimits};
+use acmr_workloads::{random_path_workload, CostModel, PathWorkloadSpec, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_lp(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("lp_substrate");
+    group.sample_size(10);
+    for &m in &[16u32, 48, 96] {
+        let spec = PathWorkloadSpec {
+            topology: Topology::Line { m },
+            capacity: 4,
+            overload: 2.0,
+            costs: CostModel::Uniform { lo: 1.0, hi: 8.0 },
+            max_hops: 6,
+        };
+        let (_, inst) = random_path_workload(&spec, &mut StdRng::seed_from_u64(29));
+        let problem = admission_covering_problem(&inst);
+        group.bench_with_input(
+            BenchmarkId::new("simplex_lp", format!("m{m}_items{}", problem.num_items())),
+            &problem,
+            |b, p| b.iter(|| p.lp_lower_bound().unwrap()),
+        );
+        if problem.num_items() <= 120 {
+            group.bench_with_input(
+                BenchmarkId::new("bnb_exact", format!("m{m}")),
+                &problem,
+                |b, p| {
+                    b.iter(|| {
+                        branch_and_bound(p, BnbLimits { max_nodes: 5_000 })
+                            .map(|r| r.cost)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

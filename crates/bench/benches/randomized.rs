@@ -1,0 +1,57 @@
+//! Bench: §3 randomized algorithm — end-to-end run cost across scales
+//! (the engine behind tables E3/E4).
+
+use acmr_core::{OnlineAdmission, RandConfig, RandomizedAdmission, Request, RequestId};
+use acmr_workloads::{random_path_workload, CostModel, PathWorkloadSpec, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn drive(inst: &acmr_core::AdmissionInstance, cfg: RandConfig, seed: u64) -> f64 {
+    let mut alg = RandomizedAdmission::new(&inst.capacities, cfg, StdRng::seed_from_u64(seed));
+    let mut rejected = 0.0;
+    for (i, r) in inst.requests.iter().enumerate() {
+        let req = Request::new(r.footprint.clone(), r.cost);
+        let out = alg.on_request(RequestId(i as u32), &req);
+        if !out.accepted {
+            rejected += r.cost;
+        }
+    }
+    rejected
+}
+
+fn bench_randomized(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("randomized_admission");
+    for &(m, c) in &[(64u32, 4u32), (256, 8), (1024, 16)] {
+        for (label, costs, cfg) in [
+            (
+                "weighted",
+                CostModel::Zipf {
+                    n_values: 64,
+                    s: 1.1,
+                },
+                RandConfig::weighted(),
+            ),
+            ("unweighted", CostModel::Unit, RandConfig::unweighted()),
+        ] {
+            let spec = PathWorkloadSpec {
+                topology: Topology::Line { m },
+                capacity: c,
+                overload: 2.0,
+                costs,
+                max_hops: 8,
+            };
+            let (_, inst) = random_path_workload(&spec, &mut StdRng::seed_from_u64(11));
+            group.throughput(Throughput::Elements(inst.requests.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("m{m}_c{c}")),
+                &inst,
+                |b, inst| b.iter(|| drive(inst, cfg, 99)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_randomized);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bench: §4 reduction — online set cover with repetitions end-to-end
+//! (the engine behind table E5), including phase-1 construction.
+
+use acmr_core::setcover::{OnlineSetCover, ReductionCover};
+use acmr_core::RandConfig;
+use acmr_workloads::{random_arrivals, random_set_system, ArrivalPattern, SetSystemSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_reduction(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("setcover_reduction");
+    for &(n, m) in &[(16usize, 24usize), (64, 96), (256, 384)] {
+        let spec = SetSystemSpec {
+            num_elements: n,
+            num_sets: m,
+            density: 0.25,
+            min_degree: 3,
+            max_cost: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(13);
+        let system = random_set_system(&spec, &mut rng);
+        let arrivals = random_arrivals(&system, ArrivalPattern::RoundRobin, 2, &mut rng);
+        group.throughput(Throughput::Elements(arrivals.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("reduction", format!("n{n}_m{m}")),
+            &(system, arrivals),
+            |b, (system, arrivals)| {
+                b.iter(|| {
+                    let mut red = ReductionCover::randomized(
+                        system.clone(),
+                        RandConfig::unweighted(),
+                        StdRng::seed_from_u64(17),
+                    );
+                    for &j in arrivals {
+                        red.on_arrival(j);
+                    }
+                    red.total_cost()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Bench: **E10** — requests/second scaling of every online algorithm
+//! on a common workload series (the systems dimension: all algorithms
+//! must stay practical as instances grow).
+
+use acmr_baselines::GreedyNonPreemptive;
+use acmr_core::setcover::{BicriteriaCover, OnlineSetCover, ReductionCover};
+use acmr_core::{OnlineAdmission, RandConfig, RandomizedAdmission, Request, RequestId};
+use acmr_workloads::{
+    random_arrivals, random_path_workload, random_set_system, ArrivalPattern, CostModel,
+    PathWorkloadSpec, SetSystemSpec, Topology,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_throughput(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("e10_throughput");
+    for &m in &[128u32, 512, 2048] {
+        let spec = PathWorkloadSpec {
+            topology: Topology::Line { m },
+            capacity: 8,
+            overload: 1.5,
+            costs: CostModel::Unit,
+            max_hops: 8,
+        };
+        let (_, inst) = random_path_workload(&spec, &mut StdRng::seed_from_u64(31));
+        group.throughput(Throughput::Elements(inst.requests.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("randomized_admission", format!("m{m}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut alg = RandomizedAdmission::new(
+                        &inst.capacities,
+                        RandConfig::unweighted(),
+                        StdRng::seed_from_u64(3),
+                    );
+                    let mut accepted = 0usize;
+                    for (i, r) in inst.requests.iter().enumerate() {
+                        let req = Request::new(r.footprint.clone(), r.cost);
+                        if alg.on_request(RequestId(i as u32), &req).accepted {
+                            accepted += 1;
+                        }
+                    }
+                    accepted
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy_baseline", format!("m{m}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut alg = GreedyNonPreemptive::new(&inst.capacities);
+                    let mut accepted = 0usize;
+                    for (i, r) in inst.requests.iter().enumerate() {
+                        let req = Request::new(r.footprint.clone(), r.cost);
+                        if alg.on_request(RequestId(i as u32), &req).accepted {
+                            accepted += 1;
+                        }
+                    }
+                    accepted
+                })
+            },
+        );
+    }
+    for &(n, m) in &[(64usize, 96usize), (256, 384)] {
+        let spec = SetSystemSpec {
+            num_elements: n,
+            num_sets: m,
+            density: 0.2,
+            min_degree: 3,
+            max_cost: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(37);
+        let system = random_set_system(&spec, &mut rng);
+        let arrivals = random_arrivals(&system, ArrivalPattern::UniformRandom, 2, &mut rng);
+        group.throughput(Throughput::Elements(arrivals.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("setcover_reduction", format!("n{n}")),
+            &(system.clone(), arrivals.clone()),
+            |b, (system, arrivals)| {
+                b.iter(|| {
+                    let mut alg = ReductionCover::randomized(
+                        system.clone(),
+                        RandConfig::unweighted(),
+                        StdRng::seed_from_u64(5),
+                    );
+                    for &j in arrivals {
+                        alg.on_arrival(j);
+                    }
+                    alg.total_cost()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("setcover_bicriteria", format!("n{n}")),
+            &(system, arrivals),
+            |b, (system, arrivals)| {
+                b.iter(|| {
+                    let mut alg = BicriteriaCover::new(system.clone(), 0.25);
+                    for &j in arrivals {
+                        alg.on_arrival(j);
+                    }
+                    alg.total_cost()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates the E11 table (see EXPERIMENTS.md). `--quick` shrinks the grid.
+use acmr_harness::experiments::e11_frontier as exp;
+
+fn main() {
+    let quick = !acmr_bench::full_grid_requested();
+    let cells = exp::run(quick);
+    acmr_bench::emit(&exp::table(&cells), "e11");
+}

@@ -1,0 +1,40 @@
+//! # acmr-bench
+//!
+//! Criterion benchmarks and the `exp_*` experiment binaries that
+//! regenerate every table in `EXPERIMENTS.md`.
+//!
+//! Binaries (all support `--quick` for a reduced grid):
+//!
+//! ```text
+//! cargo run -p acmr-bench --release --bin exp_e1   # … through exp_e9
+//! cargo run -p acmr-bench --release --bin exp_all  # everything
+//! ```
+//!
+//! Benches (`cargo bench -p acmr-bench`): `fractional`, `randomized`,
+//! `setcover`, `bicriteria`, `baselines`, `lp`, and `throughput`
+//! (experiment E10 — requests/second scaling).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Shared CLI plumbing for the `exp_*` binaries: returns `true` when
+/// the full grid was requested (no `--quick` flag).
+pub fn full_grid_requested() -> bool {
+    !std::env::args().any(|a| a == "--quick")
+}
+
+/// Print a table and optionally persist its CSV next to the repo
+/// results (path taken from `ACMR_RESULTS_DIR` if set).
+pub fn emit(table: &acmr_harness::Table, name: &str) {
+    println!("{}", table.to_markdown());
+    if let Ok(dir) = std::env::var("ACMR_RESULTS_DIR") {
+        let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+        if let Err(e) = std::fs::create_dir_all(&dir)
+            .and_then(|_| std::fs::write(&path, table.to_csv()))
+        {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Tunable constants of the paper's algorithms.
+//!
+//! The paper fixes explicit constants (`12 log(mc)` thresholds, `4 log m`
+//! unweighted, doubling at `Θ(α log(mc))`, pruning at `4mc²`). Those hide
+//! inside O(·) in the theorems; we expose them so experiment **E8**
+//! can ablate them. Defaults reproduce the paper's text with `log = ln`.
+
+use serde::{Deserialize, Serialize};
+
+/// Weighted vs unweighted parameterization.
+///
+/// The paper proves `O(log²(mc))` for arbitrary costs and the sharper
+/// `O(log m · log c)` when all costs are 1 (different constants in
+/// steps 2–3 of the randomized algorithm).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Weighting {
+    /// Arbitrary positive costs: thresholds scale with `log(mc)`.
+    Weighted,
+    /// All costs are 1: thresholds scale with `log m`, and the
+    /// fractional engine uses `g = 1` (no cost normalization).
+    Unweighted,
+}
+
+/// Configuration of the §2 fractional engine.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FracConfig {
+    /// Weighted or unweighted parameterization.
+    pub weighting: Weighting,
+    /// Multiplier `K_d` in the doubling trigger
+    /// `phase cost > K_d · α · ln(2gc)`: when exceeded, the guess `α`
+    /// doubles (paper §2, "guess and double").
+    pub doubling_factor: f64,
+    /// Enable the `R_big`/`R_small` cost-class preprocessing. The
+    /// competitive proof needs it; turning it off is an E8 ablation.
+    pub cost_classes: bool,
+}
+
+impl FracConfig {
+    /// Paper defaults, weighted.
+    pub fn weighted() -> Self {
+        FracConfig {
+            weighting: Weighting::Weighted,
+            doubling_factor: 8.0,
+            cost_classes: true,
+        }
+    }
+
+    /// Paper defaults, unweighted.
+    pub fn unweighted() -> Self {
+        FracConfig {
+            weighting: Weighting::Unweighted,
+            doubling_factor: 8.0,
+            cost_classes: true,
+        }
+    }
+}
+
+impl Default for FracConfig {
+    fn default() -> Self {
+        FracConfig::weighted()
+    }
+}
+
+/// Configuration of the §3 randomized rounding layer.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RandConfig {
+    /// Fractional-engine configuration underneath.
+    pub frac: FracConfig,
+    /// `K_t`: reject every request whose weight reaches
+    /// `1/(K_t · L)` (paper: 12 weighted, 4 unweighted), where `L` is
+    /// the scale logarithm below.
+    pub threshold_const: f64,
+    /// `K_p`: on a weight increase `δ`, reject with probability
+    /// `K_p · δ · L` (paper: 12 weighted, 4 unweighted).
+    pub prob_const: f64,
+    /// Enable the `|REQ_e| ≥ 4mc²` safeguard of §3 (reject everything
+    /// on pathologically over-requested edges).
+    pub prune_hot_edges: bool,
+}
+
+impl RandConfig {
+    /// Paper defaults for the weighted case: `L = ln(mc)`, constants 12.
+    pub fn weighted() -> Self {
+        RandConfig {
+            frac: FracConfig::weighted(),
+            threshold_const: 12.0,
+            prob_const: 12.0,
+            prune_hot_edges: true,
+        }
+    }
+
+    /// Paper defaults for the unweighted case: `L = ln m`, constants 4.
+    pub fn unweighted() -> Self {
+        RandConfig {
+            frac: FracConfig::unweighted(),
+            threshold_const: 4.0,
+            prob_const: 4.0,
+            prune_hot_edges: true,
+        }
+    }
+
+    /// The scale logarithm `L`: `ln(mc)` weighted, `ln(m)` unweighted,
+    /// floored at 1 so degenerate tiny instances stay sane.
+    pub fn scale_log(&self, m: usize, c: u32) -> f64 {
+        let v = match self.frac.weighting {
+            Weighting::Weighted => (m as f64 * c as f64).ln(),
+            Weighting::Unweighted => (m as f64).ln(),
+        };
+        v.max(1.0)
+    }
+}
+
+impl Default for RandConfig {
+    fn default() -> Self {
+        RandConfig::weighted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let w = RandConfig::weighted();
+        assert_eq!(w.threshold_const, 12.0);
+        assert_eq!(w.prob_const, 12.0);
+        let u = RandConfig::unweighted();
+        assert_eq!(u.threshold_const, 4.0);
+        assert_eq!(u.frac.weighting, Weighting::Unweighted);
+    }
+
+    #[test]
+    fn scale_log_floors_at_one() {
+        let u = RandConfig::unweighted();
+        assert_eq!(u.scale_log(2, 1), 1.0); // ln 2 < 1 → floored
+        assert!(u.scale_log(100, 9) > 1.0);
+        let w = RandConfig::weighted();
+        assert!(w.scale_log(100, 16) > u.scale_log(100, 16));
+    }
+}

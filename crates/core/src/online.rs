@@ -1,0 +1,63 @@
+//! The online admission-control interface.
+
+use crate::instance::{Request, RequestId};
+
+/// What an algorithm did with one arrival.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Outcome {
+    /// Was the arriving request accepted (and still accepted at the end
+    /// of this arrival's processing)?
+    pub accepted: bool,
+    /// Previously accepted requests preempted during this arrival.
+    /// Preemption is rejection: their cost is paid, and they can never
+    /// be re-accepted.
+    pub preempted: Vec<RequestId>,
+}
+
+impl Outcome {
+    /// Reject the newcomer, preempt nothing.
+    pub fn reject() -> Self {
+        Outcome {
+            accepted: false,
+            preempted: Vec::new(),
+        }
+    }
+
+    /// Accept the newcomer, preempt nothing.
+    pub fn accept() -> Self {
+        Outcome {
+            accepted: true,
+            preempted: Vec::new(),
+        }
+    }
+}
+
+/// A preemptive online admission-control algorithm.
+///
+/// The driver calls [`OnlineAdmission::on_request`] once per arrival,
+/// in order; `id` is the dense arrival index. Contract (audited by the
+/// harness):
+///
+/// * the set of accepted requests must satisfy every edge capacity
+///   **after every call** (feasibility at all times);
+/// * a request rejected (or preempted) earlier may never be accepted
+///   later — `preempted` may only contain currently-accepted ids.
+pub trait OnlineAdmission {
+    /// Short stable name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Process one arrival and decide.
+    fn on_request(&mut self, id: RequestId, request: &Request) -> Outcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_constructors() {
+        assert!(!Outcome::reject().accepted);
+        assert!(Outcome::accept().accepted);
+        assert!(Outcome::accept().preempted.is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! Online set cover **with repetitions** (paper §§1, 4, 5).
+//!
+//! Ground set `X` of `n` elements, family `S` of `m` subsets with
+//! costs. Elements arrive online, possibly repeatedly; after the `k`-th
+//! arrival of element `j` it must be covered by `k` **distinct** sets.
+//!
+//! * [`reduction`] — §4: solve it through *any* admission-control
+//!   algorithm. Randomized: `O(log m log n)`-competitive unweighted,
+//!   `O(log²(mn))` weighted.
+//! * [`bicriteria`] — §5: deterministic `O(log m log n)`-competitive
+//!   algorithm covering each element `(1−ε)k` times.
+
+pub mod bicriteria;
+pub mod fractional;
+pub mod reduction;
+pub mod types;
+
+pub use bicriteria::BicriteriaCover;
+pub use fractional::FractionalCover;
+pub use reduction::ReductionCover;
+pub use types::{SetId, SetSystem};
+
+/// An online set-cover-with-repetitions algorithm.
+///
+/// The driver announces one element arrival at a time; the algorithm
+/// returns the sets it buys *now* (possibly none). Bought sets are
+/// permanent. Contract (audited by the harness): after the `k`-th
+/// arrival of element `j`, the sets bought so far must include at least
+/// `k` distinct sets containing `j` (or `(1−ε)k` for a bicriteria
+/// algorithm — see [`OnlineSetCover::coverage_slack`]).
+pub trait OnlineSetCover {
+    /// Short stable name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Process the arrival of `element`; returns newly bought sets.
+    fn on_arrival(&mut self, element: u32) -> Vec<SetId>;
+
+    /// The guaranteed coverage fraction (1.0 for exact algorithms,
+    /// `1−ε` for the bicriteria algorithm).
+    fn coverage_slack(&self) -> f64 {
+        1.0
+    }
+}

@@ -1,0 +1,169 @@
+//! Set systems for online set cover with repetitions.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a set in a [`SetSystem`] (dense, `0..m`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct SetId(pub u32);
+
+impl SetId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A ground set of `n` elements and `m` costed subsets, with an
+/// inverted element → sets index.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SetSystem {
+    num_elements: usize,
+    /// Sorted, deduplicated member lists per set.
+    sets: Vec<Vec<u32>>,
+    costs: Vec<f64>,
+    /// `sets_of[j]` = ids of sets containing element `j` (the paper's
+    /// `S_j`), sorted.
+    sets_of: Vec<Vec<SetId>>,
+}
+
+impl SetSystem {
+    /// Build a system; `sets[i]` lists the elements of set `i`.
+    ///
+    /// # Panics
+    /// If any element id is out of range or any cost is not positive.
+    pub fn new(num_elements: usize, sets: Vec<Vec<u32>>, costs: Vec<f64>) -> Self {
+        assert_eq!(sets.len(), costs.len(), "one cost per set");
+        assert!(costs.iter().all(|&c| c > 0.0), "set costs must be positive");
+        let mut canon: Vec<Vec<u32>> = Vec::with_capacity(sets.len());
+        for mut s in sets {
+            s.sort_unstable();
+            s.dedup();
+            assert!(
+                s.iter().all(|&e| (e as usize) < num_elements),
+                "element id out of range"
+            );
+            canon.push(s);
+        }
+        let mut sets_of = vec![Vec::new(); num_elements];
+        for (i, s) in canon.iter().enumerate() {
+            for &e in s {
+                sets_of[e as usize].push(SetId(i as u32));
+            }
+        }
+        SetSystem {
+            num_elements,
+            sets: canon,
+            costs,
+            sets_of,
+        }
+    }
+
+    /// Unit-cost system (the paper's §5 setting).
+    pub fn unit(num_elements: usize, sets: Vec<Vec<u32>>) -> Self {
+        let m = sets.len();
+        SetSystem::new(num_elements, sets, vec![1.0; m])
+    }
+
+    /// `n`, the number of ground elements.
+    pub fn num_elements(&self) -> usize {
+        self.num_elements
+    }
+
+    /// `m`, the number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Elements of set `s`, sorted.
+    pub fn elements_of(&self, s: SetId) -> &[u32] {
+        &self.sets[s.index()]
+    }
+
+    /// Cost of set `s`.
+    pub fn cost(&self, s: SetId) -> f64 {
+        self.costs[s.index()]
+    }
+
+    /// The paper's `S_j`: ids of sets containing `j`.
+    pub fn sets_containing(&self, element: u32) -> &[SetId] {
+        &self.sets_of[element as usize]
+    }
+
+    /// Element degree `deg(j) = |S_j|` — the §4 reduction's capacity.
+    pub fn degree(&self, element: u32) -> usize {
+        self.sets_of[element as usize].len()
+    }
+
+    /// Total cost of a collection of sets.
+    pub fn total_cost(&self, chosen: &[SetId]) -> f64 {
+        chosen.iter().map(|&s| self.cost(s)).sum()
+    }
+
+    /// True iff all costs are 1.
+    pub fn is_unit_cost(&self) -> bool {
+        self.costs.iter().all(|&c| c == 1.0)
+    }
+
+    /// Check that an arrival sequence is *coverable*: no element arrives
+    /// more times than its degree.
+    pub fn arrivals_feasible(&self, arrivals: &[u32]) -> bool {
+        let mut count = vec![0usize; self.num_elements];
+        for &e in arrivals {
+            if e as usize >= self.num_elements {
+                return false;
+            }
+            count[e as usize] += 1;
+            if count[e as usize] > self.degree(e) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> SetSystem {
+        SetSystem::unit(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]])
+    }
+
+    #[test]
+    fn inverted_index() {
+        let s = sys();
+        assert_eq!(s.num_elements(), 4);
+        assert_eq!(s.num_sets(), 4);
+        assert_eq!(s.sets_containing(1), &[SetId(0), SetId(1)]);
+        assert_eq!(s.degree(2), 2);
+    }
+
+    #[test]
+    fn dedup_and_sort_members() {
+        let s = SetSystem::unit(3, vec![vec![2, 0, 2, 1]]);
+        assert_eq!(s.elements_of(SetId(0)), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn arrivals_feasibility() {
+        let s = sys();
+        assert!(s.arrivals_feasible(&[0, 0, 1, 2]));
+        assert!(!s.arrivals_feasible(&[0, 0, 0])); // deg(0) = 2
+        assert!(!s.arrivals_feasible(&[9]));
+    }
+
+    #[test]
+    fn costs() {
+        let s = SetSystem::new(2, vec![vec![0], vec![1]], vec![2.0, 3.0]);
+        assert_eq!(s.cost(SetId(1)), 3.0);
+        assert_eq!(s.total_cost(&[SetId(0), SetId(1)]), 5.0);
+        assert!(!s.is_unit_cost());
+    }
+
+    #[test]
+    #[should_panic(expected = "element id out of range")]
+    fn out_of_range_element() {
+        SetSystem::unit(2, vec![vec![5]]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests for the paper's algorithms.
+//!
+//! These check the *invariants the proofs rely on* over randomized
+//! instances: the fractional covering condition, weight monotonicity,
+//! integral feasibility at every step, no accept-after-reject, the §4
+//! reduction's coverage guarantee, and the §5 potential bound.
+
+use acmr_core::setcover::{BicriteriaCover, OnlineSetCover, ReductionCover, SetSystem};
+use acmr_core::{
+    FracConfig, FracEngine, OnlineAdmission, RandConfig, RandomizedAdmission, Request, RequestId,
+};
+use acmr_graph::{EdgeId, EdgeSet, LoadTracker};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fp(ids: &[u32]) -> EdgeSet {
+    EdgeSet::new(ids.iter().map(|&i| EdgeId(i)).collect())
+}
+
+/// Arbitrary small workload: capacities plus arrivals (footprint, cost).
+fn workload_strategy() -> impl Strategy<Value = (Vec<u32>, Vec<(Vec<u32>, f64)>)> {
+    (2usize..8).prop_flat_map(|m| {
+        let caps = proptest::collection::vec(1u32..4, m..=m);
+        let arrivals = proptest::collection::vec(
+            (
+                proptest::collection::vec(0u32..m as u32, 1..=m.min(4)),
+                prop_oneof![Just(1.0f64), (1u32..100).prop_map(|c| c as f64)],
+            ),
+            1..30,
+        );
+        (caps, arrivals)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §2: after every arrival the fractional covering invariant holds
+    /// and weights are monotone non-decreasing.
+    #[test]
+    fn fractional_invariants((caps, arrivals) in workload_strategy()) {
+        for cfg in [FracConfig::weighted(), FracConfig::unweighted()] {
+            let mut eng = FracEngine::new(&caps, cfg);
+            let mut prev: Vec<f64> = Vec::new();
+            for (edges, cost) in &arrivals {
+                let cost = if cfg.weighting == acmr_core::Weighting::Unweighted { 1.0 } else { *cost };
+                eng.on_request(&fp(edges), cost);
+                prop_assert!(eng.covering_invariant_holds());
+                let cur: Vec<f64> = (0..eng.num_requests())
+                    .map(|i| eng.weight(RequestId(i as u32)))
+                    .collect();
+                for (i, &p) in prev.iter().enumerate() {
+                    prop_assert!(cur[i] >= p - 1e-12, "weight {i} decreased: {p} -> {}", cur[i]);
+                }
+                prev = cur;
+            }
+            // Cost is the min(f,1)-weighted sum: never negative, never
+            // more than the total cost of all requests.
+            let total: f64 = arrivals.iter().map(|(_, c)| {
+                if cfg.weighting == acmr_core::Weighting::Unweighted { 1.0 } else { *c }
+            }).sum();
+            prop_assert!(eng.online_cost() >= -1e-9);
+            prop_assert!(eng.online_cost() <= total + 1e-6);
+        }
+    }
+
+    /// §3: the integral algorithm never violates capacities (audited by
+    /// an external LoadTracker), never resurrects a rejected request,
+    /// and only preempts currently-accepted requests.
+    #[test]
+    fn randomized_feasibility((caps, arrivals) in workload_strategy(), seed in 0u64..1000) {
+        for cfg in [RandConfig::weighted(), RandConfig::unweighted()] {
+            let mut alg = RandomizedAdmission::new(&caps, cfg, StdRng::seed_from_u64(seed));
+            let mut audit = LoadTracker::from_capacities(caps.clone());
+            let mut state: Vec<Option<bool>> = Vec::new(); // None=never seen
+            for (i, (edges, cost)) in arrivals.iter().enumerate() {
+                let cost = if cfg.frac.weighting == acmr_core::Weighting::Unweighted { 1.0 } else { *cost };
+                let req = Request::new(fp(edges), cost);
+                let out = alg.on_request(RequestId(i as u32), &req);
+                for p in &out.preempted {
+                    prop_assert_eq!(state[p.index()], Some(true), "preempted non-accepted request");
+                    state[p.index()] = Some(false);
+                    audit.release(&fp(&arrivals[p.index()].0));
+                }
+                state.push(Some(out.accepted));
+                if out.accepted {
+                    prop_assert!(audit.fits(&req.footprint), "accept violates capacity");
+                    audit.admit(&req.footprint);
+                }
+                prop_assert!(audit.is_feasible());
+            }
+        }
+    }
+
+    /// §4: the reduction always maintains exact multicover coverage,
+    /// regardless of seed, and never buys the same set twice.
+    #[test]
+    fn reduction_coverage(
+        seed in 0u64..1000,
+        n in 2usize..6,
+        m in 2usize..8,
+        arrivals in proptest::collection::vec(0u32..6, 1..20),
+    ) {
+        // Random system: set i contains element j iff hash-ish predicate.
+        let sets: Vec<Vec<u32>> = (0..m)
+            .map(|i| (0..n as u32).filter(|&j| (i as u32 * 7 + j * 13 + 3) % 3 != 0).collect())
+            .collect();
+        let system = SetSystem::unit(n, sets);
+        let mut red = ReductionCover::randomized(
+            system.clone(),
+            RandConfig::unweighted(),
+            StdRng::seed_from_u64(seed),
+        );
+        let mut counts = vec![0usize; n];
+        for &a in &arrivals {
+            let j = a % n as u32;
+            if counts[j as usize] + 1 > system.degree(j) {
+                continue; // keep the sequence coverable
+            }
+            counts[j as usize] += 1;
+            red.on_arrival(j);
+            for (el, &k) in counts.iter().enumerate() {
+                prop_assert!(red.coverage(el as u32) >= k);
+            }
+        }
+        // No duplicate purchases.
+        let mut seen = std::collections::HashSet::new();
+        for s in red.bought() {
+            prop_assert!(seen.insert(*s), "set bought twice");
+        }
+    }
+
+    /// §5: bicriteria coverage `cover_j ≥ (1−ε)k_j` after every arrival,
+    /// the potential never exceeds n², and greedy never needs fallback.
+    #[test]
+    fn bicriteria_invariants(
+        n in 3usize..8,
+        m in 3usize..10,
+        eps_pct in 1u32..60,
+        arrivals in proptest::collection::vec(0u32..8, 1..25),
+    ) {
+        let eps = eps_pct as f64 / 100.0;
+        let sets: Vec<Vec<u32>> = (0..m)
+            .map(|i| (0..n as u32).filter(|&j| (i as u32 * 5 + j * 11 + 1) % 3 != 0).collect())
+            .collect();
+        if sets.iter().any(|s| s.is_empty()) {
+            return Ok(());
+        }
+        let system = SetSystem::unit(n, sets);
+        let mut alg = BicriteriaCover::new(system.clone(), eps);
+        let n2 = (n as f64).powi(2);
+        let mut counts = vec![0u32; n];
+        for &a in &arrivals {
+            let j = a % n as u32;
+            if (counts[j as usize] + 1) as usize > system.degree(j) {
+                continue;
+            }
+            counts[j as usize] += 1;
+            alg.on_arrival(j);
+            for (el, &k) in counts.iter().enumerate() {
+                let need = (1.0 - eps) * k as f64;
+                prop_assert!(
+                    (alg.coverage(el as u32) as f64) >= need,
+                    "element {el}: {} < {need}", alg.coverage(el as u32)
+                );
+            }
+            prop_assert!(alg.potential() <= n2 * (1.0 + 1e-9), "Φ = {}", alg.potential());
+        }
+        prop_assert_eq!(alg.fallback_picks(), 0);
+    }
+}
+
+/// Unit-style cross-check: the §3 algorithm on a workload where OPT = 0
+/// must reject nothing (the paper's zero-cost base case).
+#[test]
+fn zero_opt_means_zero_rejections() {
+    for seed in 0..30u64 {
+        let caps = vec![3u32; 6];
+        let mut alg =
+            RandomizedAdmission::new(&caps, RandConfig::weighted(), StdRng::seed_from_u64(seed));
+        // 3 requests per edge, disjoint: exactly at capacity.
+        let mut i = 0u32;
+        for e in 0..6u32 {
+            for _ in 0..3 {
+                let out = alg.on_request(RequestId(i), &Request::new(fp(&[e]), 5.0));
+                assert!(out.accepted, "seed {seed}: rejected despite OPT = 0");
+                assert!(out.preempted.is_empty());
+                i += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Theorem-level statistical tests: run the paper's algorithms on
+//! calibrated instances where OPT is known in closed form and check
+//! the competitive envelopes with explicit constants.
+//!
+//! These complement `properties.rs` (invariants) by checking the
+//! *quantities the theorems bound*.
+
+use acmr_core::setcover::{BicriteriaCover, OnlineSetCover, ReductionCover, SetSystem};
+use acmr_core::{
+    FracConfig, FracEngine, OnlineAdmission, RandConfig, RandomizedAdmission, Request, RequestId,
+};
+use acmr_graph::{EdgeId, EdgeSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fp(ids: &[u32]) -> EdgeSet {
+    EdgeSet::new(ids.iter().map(|&i| EdgeId(i)).collect())
+}
+
+/// Theorem 2 (unweighted): on the hot-edge family the fractional cost
+/// is within O(log c) of OPT = total − c, across two orders of
+/// magnitude of c.
+#[test]
+fn theorem2_unweighted_envelope_on_hot_edge() {
+    for &c in &[1u32, 4, 16, 64, 256] {
+        let total = 3 * c;
+        let mut eng = FracEngine::new(&[c], FracConfig::unweighted());
+        for _ in 0..total {
+            eng.on_request(&fp(&[0]), 1.0);
+        }
+        let opt = (total - c) as f64;
+        let ratio = eng.online_cost() / opt;
+        let bound = 4.0 * (c as f64).ln().max(1.0) + 4.0;
+        assert!(
+            ratio <= bound,
+            "c={c}: fractional ratio {ratio} > {bound}"
+        );
+    }
+}
+
+/// Theorem 2 (weighted): with costs spanning 3 decades on one edge,
+/// the fractional algorithm stays within O(log(mc)) — crucially *not*
+/// within O(cost spread), which is what a naive algorithm pays.
+#[test]
+fn theorem2_weighted_envelope_with_cost_spread() {
+    let c = 4u32;
+    let mut eng = FracEngine::new(&[c], FracConfig::weighted());
+    let mut total_cost = 0.0;
+    let mut costs: Vec<f64> = Vec::new();
+    for i in 0..(6 * c) as usize {
+        // Costs cycle through 1, 10, 100.
+        let cost = [1.0, 10.0, 100.0][i % 3];
+        costs.push(cost);
+        total_cost += cost;
+        eng.on_request(&fp(&[0]), cost);
+    }
+    // OPT keeps the c most expensive: rejects everything else.
+    let mut sorted = costs.clone();
+    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let opt: f64 = total_cost - sorted[..c as usize].iter().sum::<f64>();
+    let ratio = eng.online_cost() / opt;
+    let bound = 8.0 * ((1.0_f64 * c as f64).ln().max(1.0) + (2.0 * c as f64).ln()) + 8.0;
+    assert!(ratio <= bound, "ratio {ratio} > {bound}");
+    assert!(eng.covering_invariant_holds());
+}
+
+/// Theorem 4: expected cost of the unweighted randomized algorithm on
+/// the hot-edge family, averaged over seeds, is within
+/// O(log m · log c) of OPT.
+#[test]
+fn theorem4_expected_ratio_on_hot_edge() {
+    let m = 16usize;
+    for &c in &[2u32, 8, 32] {
+        let total = 3 * c;
+        let caps = vec![c; m];
+        let opt = (total - c) as f64;
+        let mut sum_cost = 0.0;
+        let seeds = 12;
+        for seed in 0..seeds {
+            let mut alg = RandomizedAdmission::new(
+                &caps,
+                RandConfig::unweighted(),
+                StdRng::seed_from_u64(seed),
+            );
+            let mut rejected = 0u32;
+            for i in 0..total {
+                let req = Request::unit(fp(&[0]));
+                let out = alg.on_request(RequestId(i), &req);
+                if !out.accepted {
+                    rejected += 1;
+                }
+                rejected += out.preempted.len() as u32;
+            }
+            sum_cost += rejected as f64;
+        }
+        let mean_ratio = sum_cost / seeds as f64 / opt;
+        let bound = 10.0 * (m as f64).ln() * (c as f64).ln().max(1.0) + 10.0;
+        assert!(
+            mean_ratio <= bound,
+            "c={c}: mean ratio {mean_ratio} > {bound}"
+        );
+    }
+}
+
+/// §4 reduction composed with Theorem 4: unweighted set cover ratio on
+/// the partition-gap system stays well below the naive m/OPT gap.
+#[test]
+fn reduction_beats_gap_on_partition_system() {
+    // 4 groups × 3 copies + global set: m = 13, OPT(one round) = 1.
+    let n = 16usize;
+    let mut members: Vec<Vec<u32>> = Vec::new();
+    for g in 0..4u32 {
+        let block: Vec<u32> = (0..n as u32).filter(|j| j % 4 == g).collect();
+        for _ in 0..3 {
+            members.push(block.clone());
+        }
+    }
+    members.push((0..n as u32).collect());
+    let system = SetSystem::unit(n, members);
+    let mut worst = 0.0f64;
+    for seed in 0..8u64 {
+        let mut red = ReductionCover::randomized(
+            system.clone(),
+            RandConfig::unweighted(),
+            StdRng::seed_from_u64(seed),
+        );
+        for j in 0..n as u32 {
+            red.on_arrival(j);
+        }
+        assert_eq!(red.repairs(), 0);
+        worst = worst.max(red.total_cost());
+    }
+    // OPT = 1; naive per-element buying pays ≥ 4. The reduction must
+    // stay within the theorem envelope (log m · log n ≈ 7.1) even in
+    // the worst seed.
+    assert!(
+        worst <= 13.0,
+        "reduction bought every set ({worst}) — no better than trivial"
+    );
+}
+
+/// Theorem 7 cost scaling: bicriteria total sets across rounds scale
+/// like OPT·log m·log n, not like n.
+#[test]
+fn theorem7_cost_scaling_on_partition_system() {
+    for &groups in &[2usize, 4, 8] {
+        let n = 32usize;
+        let mut members: Vec<Vec<u32>> = Vec::new();
+        for g in 0..groups {
+            let block: Vec<u32> = (0..n as u32)
+                .filter(|j| (*j as usize) % groups == g)
+                .collect();
+            for _ in 0..2 {
+                members.push(block.clone());
+            }
+        }
+        members.push((0..n as u32).collect());
+        let system = SetSystem::unit(n, members.clone());
+        let m = members.len() as f64;
+        let mut alg = BicriteriaCover::new(system, 0.25);
+        for j in 0..n as u32 {
+            alg.on_arrival(j);
+        }
+        // OPT = 1 (global set). Envelope with explicit constant.
+        let bound = 4.0 * m.ln().max(1.0) * (n as f64).ln() + 4.0;
+        assert!(
+            alg.total_cost() <= bound,
+            "groups={groups}: cost {} > {bound}",
+            alg.total_cost()
+        );
+        assert_eq!(alg.fallback_picks(), 0);
+    }
+}
+
+/// The randomized algorithm's expected cost bound is *per-instance*
+/// (Theorem 3's proof is oblivious to arrival order): shuffling the
+/// arrival order must keep the ratio inside the same envelope.
+#[test]
+fn theorem3_order_insensitivity() {
+    use rand::seq::SliceRandom;
+    let caps = vec![2u32; 8];
+    // Base instance: every pair of adjacent edges overloaded ×3.
+    let mut arrivals: Vec<(Vec<u32>, f64)> = Vec::new();
+    for e in 0..7u32 {
+        for k in 0..6u32 {
+            arrivals.push((vec![e, e + 1], 1.0 + k as f64));
+        }
+    }
+    let mut ratios = Vec::new();
+    for seed in 0..6u64 {
+        let mut order = arrivals.clone();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        let mut alg = RandomizedAdmission::new(
+            &caps,
+            RandConfig::weighted(),
+            StdRng::seed_from_u64(seed ^ 0xAA),
+        );
+        let mut rejected = 0.0;
+        let mut accepted: Vec<(usize, f64)> = Vec::new();
+        for (i, (edges, cost)) in order.iter().enumerate() {
+            let req = Request::new(fp(edges), *cost);
+            let out = alg.on_request(RequestId(i as u32), &req);
+            for p in &out.preempted {
+                if let Some(pos) = accepted.iter().position(|&(id, _)| id == p.index()) {
+                    rejected += accepted.remove(pos).1;
+                }
+            }
+            if out.accepted {
+                accepted.push((i, *cost));
+            } else {
+                rejected += *cost;
+            }
+        }
+        // A crude OPT lower bound: each edge pair must shed 4 of its 6
+        // requests; cheapest 4 cost 1+2+3+4 = 10... shared between
+        // overlapping pairs, so use the single-edge bound: edge e sits
+        // in 12 requests (two windows) minus capacity 2 ⇒ ≥ 10 sheds.
+        // Keep it simple: OPT ≥ 7·(1+2+3+4)/2.
+        let opt_lb = 7.0 * 10.0 / 2.0;
+        ratios.push(rejected / opt_lb);
+    }
+    let worst = ratios.iter().cloned().fold(0.0, f64::max);
+    let envelope = 20.0 * (8.0f64 * 2.0).ln().powi(2);
+    assert!(worst <= envelope, "worst shuffled ratio {worst} > {envelope}");
+}

@@ -1,0 +1,179 @@
+//! Request footprints as sorted, deduplicated edge-id sets.
+//!
+//! The paper's concluding remark: *"All the algorithms treated a request
+//! as an arbitrary subset of edges"* — [`EdgeSet`] is that subset. It is
+//! kept sorted so that membership tests are `O(log k)` and intersection
+//! / iteration are cache-friendly linear scans over a boxed slice.
+
+use crate::ids::EdgeId;
+use serde::{Deserialize, Serialize};
+
+/// A sorted, deduplicated, immutable set of edge ids — the footprint of
+/// one request.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct EdgeSet {
+    edges: Box<[EdgeId]>,
+}
+
+impl EdgeSet {
+    /// Build from an arbitrary list of edges; sorts and deduplicates.
+    pub fn new(mut edges: Vec<EdgeId>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        EdgeSet {
+            edges: edges.into_boxed_slice(),
+        }
+    }
+
+    /// Build from a slice that is already sorted and strictly increasing.
+    ///
+    /// # Panics
+    /// In debug builds, if the invariant does not hold.
+    pub fn from_sorted(edges: Vec<EdgeId>) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "must be strictly sorted");
+        EdgeSet {
+            edges: edges.into_boxed_slice(),
+        }
+    }
+
+    /// A set with a single edge (used by phase-2 requests of the set
+    /// cover reduction, §4 of the paper).
+    pub fn singleton(e: EdgeId) -> Self {
+        EdgeSet {
+            edges: vec![e].into_boxed_slice(),
+        }
+    }
+
+    /// Number of edges in the footprint.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the footprint is empty (such a request can always be
+    /// accepted; generators never emit one, but the algebra permits it).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The edges, sorted ascending.
+    #[inline]
+    pub fn as_slice(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Iterate over the edges.
+    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Membership test, `O(log len)`.
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.edges.binary_search(&e).is_ok()
+    }
+
+    /// Number of edges shared with `other` (linear merge).
+    pub fn intersection_size(&self, other: &EdgeSet) -> usize {
+        let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+        while i < self.edges.len() && j < other.edges.len() {
+            match self.edges[i].cmp(&other.edges[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    k += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        k
+    }
+
+    /// True if the two footprints share at least one edge.
+    pub fn intersects(&self, other: &EdgeSet) -> bool {
+        self.intersection_size_early_exit(other)
+    }
+
+    fn intersection_size_early_exit(&self, other: &EdgeSet) -> bool {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.edges.len() && j < other.edges.len() {
+            match self.edges[i].cmp(&other.edges[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+impl<'a> IntoIterator for &'a EdgeSet {
+    type Item = EdgeId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, EdgeId>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.edges.iter().copied()
+    }
+}
+
+impl FromIterator<EdgeId> for EdgeSet {
+    fn from_iter<T: IntoIterator<Item = EdgeId>>(iter: T) -> Self {
+        EdgeSet::new(iter.into_iter().collect())
+    }
+}
+
+impl From<Vec<EdgeId>> for EdgeSet {
+    fn from(v: Vec<EdgeId>) -> Self {
+        EdgeSet::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn es(ids: &[u32]) -> EdgeSet {
+        EdgeSet::new(ids.iter().map(|&i| EdgeId(i)).collect())
+    }
+
+    #[test]
+    fn sorts_and_dedups() {
+        let s = es(&[3, 1, 2, 3, 1]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.as_slice(), &[EdgeId(1), EdgeId(2), EdgeId(3)]);
+    }
+
+    #[test]
+    fn membership() {
+        let s = es(&[0, 2, 4]);
+        assert!(s.contains(EdgeId(2)));
+        assert!(!s.contains(EdgeId(3)));
+    }
+
+    #[test]
+    fn intersections() {
+        let a = es(&[0, 1, 2, 5]);
+        let b = es(&[2, 3, 5, 7]);
+        assert_eq!(a.intersection_size(&b), 2);
+        assert!(a.intersects(&b));
+        let c = es(&[10, 11]);
+        assert_eq!(a.intersection_size(&c), 0);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        let s = EdgeSet::singleton(EdgeId(9));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(EdgeId(9)));
+        let e = es(&[]);
+        assert!(e.is_empty());
+        assert!(!e.intersects(&s));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: EdgeSet = (0..4u32).map(EdgeId).collect();
+        assert_eq!(s.len(), 4);
+    }
+}

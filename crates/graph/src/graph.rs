@@ -1,0 +1,278 @@
+//! The capacitated directed multigraph.
+
+use crate::ids::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Metadata of a single directed edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeInfo {
+    /// Tail (source) node.
+    pub from: NodeId,
+    /// Head (target) node.
+    pub to: NodeId,
+    /// Integer capacity `c_e > 0` — the maximum number of simultaneously
+    /// accepted requests whose footprint contains this edge.
+    pub capacity: u32,
+}
+
+/// A directed multigraph with integer edge capacities.
+///
+/// This is the paper's `G = (V, E)` with `|E| = m` and
+/// `c = max_e c_e`. Edges are stored densely (ids `0..m`) so per-edge
+/// algorithm state can live in flat vectors; adjacency lists are built
+/// once via [`CapGraphBuilder::build`] in CSR-like form for cheap
+/// iteration.
+///
+/// Parallel edges and self-loops are permitted (the admission-control
+/// algorithms never care); generators avoid them unless asked.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CapGraph {
+    num_nodes: u32,
+    edges: Vec<EdgeInfo>,
+    /// CSR offsets into `out_edges`, length `num_nodes + 1`.
+    out_offsets: Vec<u32>,
+    /// Edge ids grouped by tail node.
+    out_edges: Vec<EdgeId>,
+}
+
+impl CapGraph {
+    /// Start building a graph with `num_nodes` nodes.
+    pub fn builder(num_nodes: u32) -> CapGraphBuilder {
+        CapGraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes as usize
+    }
+
+    /// Number of edges `m = |E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The paper's `c = max_e c_e`. Zero on an edgeless graph.
+    pub fn max_capacity(&self) -> u32 {
+        self.edges.iter().map(|e| e.capacity).max().unwrap_or(0)
+    }
+
+    /// Smallest edge capacity. Zero on an edgeless graph.
+    pub fn min_capacity(&self) -> u32 {
+        self.edges.iter().map(|e| e.capacity).min().unwrap_or(0)
+    }
+
+    /// Edge metadata.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> EdgeInfo {
+        self.edges[e.index()]
+    }
+
+    /// Capacity of edge `e`.
+    #[inline]
+    pub fn capacity(&self, e: EdgeId) -> u32 {
+        self.edges[e.index()].capacity
+    }
+
+    /// All edges with their ids.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, EdgeInfo)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &info)| (EdgeId(i as u32), info))
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes).map(NodeId)
+    }
+
+    /// Out-edges of `v` (edge ids; look up heads via [`Self::edge`]).
+    #[inline]
+    pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        &self.out_edges[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_edges(v).len()
+    }
+
+    /// Returns a copy of this graph with every capacity replaced by `cap`.
+    pub fn with_uniform_capacity(&self, cap: u32) -> CapGraph {
+        assert!(cap > 0, "capacities must be positive");
+        let mut g = self.clone();
+        for e in &mut g.edges {
+            e.capacity = cap;
+        }
+        g
+    }
+
+    /// Vector of all capacities, indexed by edge id. Handy for solvers.
+    pub fn capacities(&self) -> Vec<u32> {
+        self.edges.iter().map(|e| e.capacity).collect()
+    }
+}
+
+/// Incremental builder for [`CapGraph`].
+#[derive(Clone, Debug)]
+pub struct CapGraphBuilder {
+    num_nodes: u32,
+    edges: Vec<EdgeInfo>,
+}
+
+impl CapGraphBuilder {
+    /// Add a directed edge `from → to` with the given capacity and
+    /// return its id.
+    ///
+    /// # Panics
+    /// If either endpoint is out of range or `capacity == 0` (the paper
+    /// requires `c_e > 0`).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, capacity: u32) -> EdgeId {
+        assert!(from.0 < self.num_nodes, "node {from} out of range");
+        assert!(to.0 < self.num_nodes, "node {to} out of range");
+        assert!(capacity > 0, "edge capacity must be positive (paper: c_e > 0)");
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeInfo {
+            from,
+            to,
+            capacity,
+        });
+        id
+    }
+
+    /// Add both `a → b` and `b → a` with the same capacity; returns the
+    /// pair of ids. Convenience for "undirected" topologies.
+    pub fn add_bidirectional(&mut self, a: NodeId, b: NodeId, capacity: u32) -> (EdgeId, EdgeId) {
+        (
+            self.add_edge(a, b, capacity),
+            self.add_edge(b, a, capacity),
+        )
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalize: compute CSR adjacency.
+    pub fn build(self) -> CapGraph {
+        let n = self.num_nodes as usize;
+        let mut counts = vec![0u32; n + 1];
+        for e in &self.edges {
+            counts[e.from.index() + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let out_offsets = counts.clone();
+        let mut cursor = counts;
+        let mut out_edges = vec![EdgeId(0); self.edges.len()];
+        for (i, e) in self.edges.iter().enumerate() {
+            let slot = cursor[e.from.index()] as usize;
+            out_edges[slot] = EdgeId(i as u32);
+            cursor[e.from.index()] += 1;
+        }
+        CapGraph {
+            num_nodes: self.num_nodes,
+            edges: self.edges,
+            out_offsets,
+            out_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CapGraph {
+        let mut b = CapGraph::builder(3);
+        b.add_edge(NodeId(0), NodeId(1), 2);
+        b.add_edge(NodeId(1), NodeId(2), 3);
+        b.add_edge(NodeId(2), NodeId(0), 1);
+        b.build()
+    }
+
+    #[test]
+    fn builds_and_counts() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.max_capacity(), 3);
+        assert_eq!(g.min_capacity(), 1);
+    }
+
+    #[test]
+    fn adjacency_is_correct() {
+        let g = triangle();
+        assert_eq!(g.out_edges(NodeId(0)), &[EdgeId(0)]);
+        assert_eq!(g.out_edges(NodeId(1)), &[EdgeId(1)]);
+        assert_eq!(g.out_edges(NodeId(2)), &[EdgeId(2)]);
+        assert_eq!(g.out_degree(NodeId(0)), 1);
+        assert_eq!(g.edge(EdgeId(1)).to, NodeId(2));
+    }
+
+    #[test]
+    fn multi_edges_allowed() {
+        let mut b = CapGraph::builder(2);
+        b.add_edge(NodeId(0), NodeId(1), 1);
+        b.add_edge(NodeId(0), NodeId(1), 5);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.max_capacity(), 5);
+    }
+
+    #[test]
+    fn bidirectional_adds_two() {
+        let mut b = CapGraph::builder(2);
+        let (ab, ba) = b.add_bidirectional(NodeId(0), NodeId(1), 4);
+        let g = b.build();
+        assert_eq!(g.edge(ab).from, NodeId(0));
+        assert_eq!(g.edge(ba).from, NodeId(1));
+        assert_eq!(g.capacity(ab), 4);
+    }
+
+    #[test]
+    fn uniform_capacity_rewrite() {
+        let g = triangle().with_uniform_capacity(7);
+        assert_eq!(g.min_capacity(), 7);
+        assert_eq!(g.max_capacity(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let mut b = CapGraph::builder(2);
+        b.add_edge(NodeId(0), NodeId(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_endpoint_rejected() {
+        let mut b = CapGraph::builder(2);
+        b.add_edge(NodeId(0), NodeId(9), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CapGraph::builder(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_capacity(), 0);
+    }
+
+    #[test]
+    fn capacities_vector_matches() {
+        let g = triangle();
+        assert_eq!(g.capacities(), vec![2, 3, 1]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Exact per-edge load accounting.
+//!
+//! [`LoadTracker`] is the referee: the harness replays every
+//! accept/preempt decision an online algorithm makes through a tracker
+//! and verifies that **at every point in time** no edge carries more
+//! accepted requests than its capacity — the feasibility condition of
+//! the paper's problem definition. Algorithms also use it internally to
+//! answer "would accepting this request overflow some edge?".
+
+use crate::edgeset::EdgeSet;
+use crate::graph::CapGraph;
+use crate::ids::EdgeId;
+
+/// Mutable per-edge load vector with capacity checks.
+#[derive(Clone, Debug)]
+pub struct LoadTracker {
+    capacities: Vec<u32>,
+    load: Vec<u32>,
+}
+
+impl LoadTracker {
+    /// Tracker for `g`, all loads zero.
+    pub fn new(g: &CapGraph) -> Self {
+        LoadTracker {
+            capacities: g.capacities(),
+            load: vec![0; g.num_edges()],
+        }
+    }
+
+    /// Tracker from a raw capacity vector (used by the set cover
+    /// reduction, where the "graph" is one edge per element).
+    pub fn from_capacities(capacities: Vec<u32>) -> Self {
+        let n = capacities.len();
+        LoadTracker {
+            capacities,
+            load: vec![0; n],
+        }
+    }
+
+    /// Number of tracked edges.
+    pub fn num_edges(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Current load on `e`.
+    #[inline]
+    pub fn load(&self, e: EdgeId) -> u32 {
+        self.load[e.index()]
+    }
+
+    /// Capacity of `e`.
+    #[inline]
+    pub fn capacity(&self, e: EdgeId) -> u32 {
+        self.capacities[e.index()]
+    }
+
+    /// Remaining slots on `e` (`capacity − load`), saturating at zero.
+    #[inline]
+    pub fn residual(&self, e: EdgeId) -> u32 {
+        self.capacities[e.index()].saturating_sub(self.load[e.index()])
+    }
+
+    /// Would adding one unit on every edge of `fp` keep all loads within
+    /// capacity?
+    pub fn fits(&self, fp: &EdgeSet) -> bool {
+        fp.iter().all(|e| self.load[e.index()] < self.capacities[e.index()])
+    }
+
+    /// Add one unit of load on every edge of `fp`.
+    ///
+    /// # Panics
+    /// If any edge would exceed its capacity — callers must check
+    /// [`Self::fits`] first; the panic is the feasibility audit.
+    pub fn admit(&mut self, fp: &EdgeSet) {
+        for e in fp.iter() {
+            assert!(
+                self.load[e.index()] < self.capacities[e.index()],
+                "capacity violated on {e}: load {} = capacity {}",
+                self.load[e.index()],
+                self.capacities[e.index()],
+            );
+            self.load[e.index()] += 1;
+        }
+    }
+
+    /// Remove one unit of load on every edge of `fp` (a preemption).
+    ///
+    /// # Panics
+    /// If some edge of `fp` has zero load (double-release bug).
+    pub fn release(&mut self, fp: &EdgeSet) {
+        for e in fp.iter() {
+            assert!(self.load[e.index()] > 0, "releasing unloaded edge {e}");
+            self.load[e.index()] -= 1;
+        }
+    }
+
+    /// True if every edge satisfies `load ≤ capacity`. Always true
+    /// unless internal state was corrupted externally; exposed for
+    /// audits and property tests.
+    pub fn is_feasible(&self) -> bool {
+        self.load
+            .iter()
+            .zip(&self.capacities)
+            .all(|(&l, &c)| l <= c)
+    }
+
+    /// Sum of loads over all edges.
+    pub fn total_load(&self) -> u64 {
+        self.load.iter().map(|&l| l as u64).sum()
+    }
+
+    /// Maximum `load/capacity` ratio over edges with positive capacity.
+    pub fn max_utilization(&self) -> f64 {
+        self.load
+            .iter()
+            .zip(&self.capacities)
+            .filter(|(_, &c)| c > 0)
+            .map(|(&l, &c)| l as f64 / c as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CapGraph;
+    use crate::ids::NodeId;
+
+    fn two_edge_graph() -> CapGraph {
+        let mut b = CapGraph::builder(3);
+        b.add_edge(NodeId(0), NodeId(1), 2);
+        b.add_edge(NodeId(1), NodeId(2), 1);
+        b.build()
+    }
+
+    fn fp(ids: &[u32]) -> EdgeSet {
+        EdgeSet::new(ids.iter().map(|&i| EdgeId(i)).collect())
+    }
+
+    #[test]
+    fn admit_and_release_roundtrip() {
+        let g = two_edge_graph();
+        let mut t = LoadTracker::new(&g);
+        let f = fp(&[0, 1]);
+        assert!(t.fits(&f));
+        t.admit(&f);
+        assert_eq!(t.load(EdgeId(0)), 1);
+        assert_eq!(t.load(EdgeId(1)), 1);
+        assert!(!t.fits(&f)); // edge 1 is now full
+        t.release(&f);
+        assert_eq!(t.total_load(), 0);
+        assert!(t.is_feasible());
+    }
+
+    #[test]
+    fn residuals() {
+        let g = two_edge_graph();
+        let mut t = LoadTracker::new(&g);
+        assert_eq!(t.residual(EdgeId(0)), 2);
+        t.admit(&fp(&[0]));
+        assert_eq!(t.residual(EdgeId(0)), 1);
+        assert_eq!(t.max_utilization(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity violated")]
+    fn over_admit_panics() {
+        let g = two_edge_graph();
+        let mut t = LoadTracker::new(&g);
+        t.admit(&fp(&[1]));
+        t.admit(&fp(&[1])); // capacity 1 exceeded
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing unloaded")]
+    fn double_release_panics() {
+        let g = two_edge_graph();
+        let mut t = LoadTracker::new(&g);
+        t.release(&fp(&[0]));
+    }
+
+    #[test]
+    fn from_capacities_vector() {
+        let mut t = LoadTracker::from_capacities(vec![3, 1]);
+        assert_eq!(t.num_edges(), 2);
+        t.admit(&fp(&[0]));
+        t.admit(&fp(&[0]));
+        assert_eq!(t.residual(EdgeId(0)), 1);
+    }
+}

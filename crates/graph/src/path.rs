@@ -1,0 +1,184 @@
+//! Simple paths in a capacitated graph.
+//!
+//! The paper's requests "arrive together with the path" they should be
+//! routed on. [`Path`] stores the ordered edge sequence and validates
+//! simplicity (no repeated node); [`Path::edge_set`] converts to the
+//! footprint the algorithms actually consume.
+
+use crate::edgeset::EdgeSet;
+use crate::graph::CapGraph;
+use crate::ids::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Errors produced by [`Path::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathError {
+    /// The path has no edges.
+    Empty,
+    /// Consecutive edges do not share a node (`edge[i].to != edge[i+1].from`).
+    Disconnected {
+        /// Index of the first edge of the mismatching pair.
+        at: usize,
+    },
+    /// A node occurs twice, so the path is not simple.
+    RepeatedNode(NodeId),
+    /// An edge id is out of range for the graph.
+    UnknownEdge(EdgeId),
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::Empty => write!(f, "path has no edges"),
+            PathError::Disconnected { at } => {
+                write!(f, "edges {at} and {} do not share a node", at + 1)
+            }
+            PathError::RepeatedNode(v) => write!(f, "node {v} repeats; path is not simple"),
+            PathError::UnknownEdge(e) => write!(f, "edge {e} is not in the graph"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// An ordered sequence of edges forming a directed walk; see
+/// [`Path::validate`] for the simple-path check.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// Wrap an edge sequence without validation.
+    pub fn new(edges: Vec<EdgeId>) -> Self {
+        Path { edges }
+    }
+
+    /// The edges in order.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of edges (hops).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the path has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The request footprint: the set of edges, unordered.
+    pub fn edge_set(&self) -> EdgeSet {
+        EdgeSet::new(self.edges.clone())
+    }
+
+    /// First node of the walk, if non-empty.
+    pub fn source(&self, g: &CapGraph) -> Option<NodeId> {
+        self.edges.first().map(|&e| g.edge(e).from)
+    }
+
+    /// Last node of the walk, if non-empty.
+    pub fn target(&self, g: &CapGraph) -> Option<NodeId> {
+        self.edges.last().map(|&e| g.edge(e).to)
+    }
+
+    /// Check that this is a *simple* directed path in `g`: non-empty,
+    /// consecutive edges chained head-to-tail, and no node visited twice.
+    pub fn validate(&self, g: &CapGraph) -> Result<(), PathError> {
+        if self.edges.is_empty() {
+            return Err(PathError::Empty);
+        }
+        for &e in &self.edges {
+            if e.index() >= g.num_edges() {
+                return Err(PathError::UnknownEdge(e));
+            }
+        }
+        for (i, w) in self.edges.windows(2).enumerate() {
+            if g.edge(w[0]).to != g.edge(w[1]).from {
+                return Err(PathError::Disconnected { at: i });
+            }
+        }
+        // Node simplicity: source plus every head must be distinct.
+        let mut seen: Vec<NodeId> = Vec::with_capacity(self.edges.len() + 1);
+        seen.push(g.edge(self.edges[0]).from);
+        for &e in &self.edges {
+            let v = g.edge(e).to;
+            if seen.contains(&v) {
+                return Err(PathError::RepeatedNode(v));
+            }
+            seen.push(v);
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<EdgeId>> for Path {
+    fn from(edges: Vec<EdgeId>) -> Self {
+        Path::new(edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CapGraph;
+
+    /// 0 → 1 → 2 → 3 line plus a chord 0 → 2.
+    fn line_with_chord() -> CapGraph {
+        let mut b = CapGraph::builder(4);
+        b.add_edge(NodeId(0), NodeId(1), 1); // e0
+        b.add_edge(NodeId(1), NodeId(2), 1); // e1
+        b.add_edge(NodeId(2), NodeId(3), 1); // e2
+        b.add_edge(NodeId(0), NodeId(2), 1); // e3 chord
+        b.build()
+    }
+
+    #[test]
+    fn valid_simple_path() {
+        let g = line_with_chord();
+        let p = Path::new(vec![EdgeId(0), EdgeId(1), EdgeId(2)]);
+        assert_eq!(p.validate(&g), Ok(()));
+        assert_eq!(p.source(&g), Some(NodeId(0)));
+        assert_eq!(p.target(&g), Some(NodeId(3)));
+        assert_eq!(p.edge_set().len(), 3);
+    }
+
+    #[test]
+    fn empty_path_invalid() {
+        let g = line_with_chord();
+        assert_eq!(Path::new(vec![]).validate(&g), Err(PathError::Empty));
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let g = line_with_chord();
+        let p = Path::new(vec![EdgeId(0), EdgeId(2)]);
+        assert_eq!(p.validate(&g), Err(PathError::Disconnected { at: 0 }));
+    }
+
+    #[test]
+    fn unknown_edge_detected() {
+        let g = line_with_chord();
+        let p = Path::new(vec![EdgeId(99)]);
+        assert_eq!(p.validate(&g), Err(PathError::UnknownEdge(EdgeId(99))));
+    }
+
+    #[test]
+    fn cycle_not_simple() {
+        let mut b = CapGraph::builder(2);
+        b.add_edge(NodeId(0), NodeId(1), 1);
+        b.add_edge(NodeId(1), NodeId(0), 1);
+        let g = b.build();
+        let p = Path::new(vec![EdgeId(0), EdgeId(1)]);
+        assert_eq!(p.validate(&g), Err(PathError::RepeatedNode(NodeId(0))));
+    }
+
+    #[test]
+    fn chord_path_valid() {
+        let g = line_with_chord();
+        let p = Path::new(vec![EdgeId(3), EdgeId(2)]); // 0→2→3
+        assert_eq!(p.validate(&g), Ok(()));
+    }
+}

@@ -1,0 +1,199 @@
+//! Shortest paths and random simple-path sampling.
+//!
+//! Workload generators need concrete request paths: [`bfs_path`] gives
+//! the fewest-hop route (requests "arrive together with the path it
+//! should be routed on"), and [`random_simple_path`] performs a seeded
+//! self-avoiding walk for diverse footprints.
+
+use crate::graph::CapGraph;
+use crate::ids::NodeId;
+use crate::path::Path;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Fewest-hop path from `src` to `dst` via BFS, or `None` if `dst` is
+/// unreachable. Deterministic: ties are broken by edge-id order.
+pub fn bfs_path(g: &CapGraph, src: NodeId, dst: NodeId) -> Option<Path> {
+    if src == dst {
+        return None; // a request must traverse at least one edge
+    }
+    let n = g.num_nodes();
+    // parent_edge[v] = edge used to first reach v.
+    let mut parent_edge = vec![u32::MAX; n];
+    let mut visited = vec![false; n];
+    visited[src.index()] = true;
+    let mut queue = VecDeque::with_capacity(n);
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        for &e in g.out_edges(v) {
+            let w = g.edge(e).to;
+            if !visited[w.index()] {
+                visited[w.index()] = true;
+                parent_edge[w.index()] = e.0;
+                if w == dst {
+                    queue.clear();
+                    break;
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    if !visited[dst.index()] {
+        return None;
+    }
+    let mut edges = Vec::new();
+    let mut cur = dst;
+    while cur != src {
+        let e = crate::ids::EdgeId(parent_edge[cur.index()]);
+        edges.push(e);
+        cur = g.edge(e).from;
+    }
+    edges.reverse();
+    Some(Path::new(edges))
+}
+
+/// Hop distances from `src` to every node (`u32::MAX` = unreachable).
+pub fn bfs_distances(g: &CapGraph, src: NodeId) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut dist = vec![u32::MAX; n];
+    dist[src.index()] = 0;
+    let mut queue = VecDeque::with_capacity(n);
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        for &e in g.out_edges(v) {
+            let w = g.edge(e).to;
+            if dist[w.index()] == u32::MAX {
+                dist[w.index()] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Random self-avoiding walk from `src` of up to `max_hops` hops.
+///
+/// At each step a random outgoing edge to an unvisited node is taken;
+/// the walk stops early when stuck. Returns `None` only if not even one
+/// hop was possible. The result is always a valid simple path.
+pub fn random_simple_path<R: Rng>(
+    g: &CapGraph,
+    src: NodeId,
+    max_hops: usize,
+    rng: &mut R,
+) -> Option<Path> {
+    assert!(max_hops >= 1, "a path needs at least one hop");
+    let mut visited = vec![false; g.num_nodes()];
+    visited[src.index()] = true;
+    let mut cur = src;
+    let mut edges = Vec::with_capacity(max_hops.min(16));
+    let mut candidates = Vec::new();
+    for _ in 0..max_hops {
+        candidates.clear();
+        candidates.extend(
+            g.out_edges(cur)
+                .iter()
+                .copied()
+                .filter(|&e| !visited[g.edge(e).to.index()]),
+        );
+        let Some(&e) = candidates.choose(rng) else {
+            break;
+        };
+        edges.push(e);
+        cur = g.edge(e).to;
+        visited[cur.index()] = true;
+    }
+    if edges.is_empty() {
+        None
+    } else {
+        Some(Path::new(edges))
+    }
+}
+
+/// Sample a uniformly random ordered node pair `(src, dst)`, `src ≠ dst`.
+pub fn random_node_pair<R: Rng>(g: &CapGraph, rng: &mut R) -> (NodeId, NodeId) {
+    let n = g.num_nodes() as u32;
+    assert!(n >= 2, "need at least 2 nodes");
+    let a = rng.gen_range(0..n);
+    let mut b = rng.gen_range(0..n - 1);
+    if b >= a {
+        b += 1;
+    }
+    (NodeId(a), NodeId(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bfs_on_line_is_the_line() {
+        let g = generators::line(6, 1);
+        let p = bfs_path(&g, NodeId(1), NodeId(4)).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(p.validate(&g).is_ok());
+        assert_eq!(p.source(&g), Some(NodeId(1)));
+        assert_eq!(p.target(&g), Some(NodeId(4)));
+    }
+
+    #[test]
+    fn bfs_unreachable_on_line_backwards() {
+        let g = generators::line(4, 1);
+        assert!(bfs_path(&g, NodeId(3), NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn bfs_same_node_is_none() {
+        let g = generators::line(4, 1);
+        assert!(bfs_path(&g, NodeId(2), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn bfs_shortest_via_grid() {
+        let g = generators::grid(3, 3, 1);
+        // Corner to corner on a 3x3 grid: 4 hops.
+        let p = bfs_path(&g, NodeId(0), NodeId(8)).unwrap();
+        assert_eq!(p.len(), 4);
+        assert!(p.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn distances_on_ring() {
+        let g = generators::ring(5, 1);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_paths_are_simple_and_seeded() {
+        let g = generators::grid(4, 4, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            if let Some(p) = random_simple_path(&g, NodeId(0), 6, &mut rng) {
+                assert!(p.validate(&g).is_ok());
+                assert!(p.len() <= 6);
+            }
+        }
+        // Determinism.
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let p1 = random_simple_path(&g, NodeId(5), 8, &mut r1);
+        let p2 = random_simple_path(&g, NodeId(5), 8, &mut r2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn random_pair_distinct() {
+        let g = generators::line(3, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let (a, b) = random_node_pair(&g, &mut rng);
+            assert_ne!(a, b);
+        }
+    }
+}

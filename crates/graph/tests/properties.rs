@@ -1,0 +1,107 @@
+//! Property-based tests for the graph substrate.
+
+use acmr_graph::{generators, routing, CapGraph, EdgeId, EdgeSet, LoadTracker, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// EdgeSet construction is canonical: any permutation with
+    /// duplicates yields the same sorted, deduplicated set.
+    #[test]
+    fn edgeset_canonical(mut ids in proptest::collection::vec(0u32..500, 0..40)) {
+        let a = EdgeSet::new(ids.iter().map(|&i| EdgeId(i)).collect());
+        ids.reverse();
+        ids.extend(ids.clone()); // duplicates
+        let b = EdgeSet::new(ids.iter().map(|&i| EdgeId(i)).collect());
+        prop_assert_eq!(a.clone(), b);
+        prop_assert!(a.as_slice().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Intersection size is symmetric and bounded by both set sizes.
+    #[test]
+    fn intersection_symmetric(
+        xs in proptest::collection::vec(0u32..100, 0..30),
+        ys in proptest::collection::vec(0u32..100, 0..30),
+    ) {
+        let a = EdgeSet::new(xs.iter().map(|&i| EdgeId(i)).collect());
+        let b = EdgeSet::new(ys.iter().map(|&i| EdgeId(i)).collect());
+        let ab = a.intersection_size(&b);
+        prop_assert_eq!(ab, b.intersection_size(&a));
+        prop_assert!(ab <= a.len() && ab <= b.len());
+        prop_assert_eq!(ab > 0, a.intersects(&b));
+    }
+
+    /// BFS paths on G(n,p) validate as simple paths and have length
+    /// equal to the BFS distance.
+    #[test]
+    fn bfs_paths_are_shortest(seed in 0u64..500, n in 4u32..24, p in 0.05f64..0.5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(n, p, 1, &mut rng);
+        let dist = routing::bfs_distances(&g, NodeId(0));
+        for v in 1..n {
+            let d = dist[v as usize];
+            prop_assert_ne!(d, u32::MAX); // backbone ⇒ strongly connected
+            let path = routing::bfs_path(&g, NodeId(0), NodeId(v)).unwrap();
+            prop_assert!(path.validate(&g).is_ok());
+            prop_assert_eq!(path.len() as u32, d);
+        }
+    }
+
+    /// Random simple paths validate on every topology we generate.
+    #[test]
+    fn random_walks_validate(seed in 0u64..500, rows in 2u32..5, cols in 2u32..5) {
+        let g = generators::grid(rows, cols, 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for start in 0..(rows * cols) {
+            if let Some(p) = routing::random_simple_path(&g, NodeId(start), 5, &mut rng) {
+                prop_assert!(p.validate(&g).is_ok());
+            }
+        }
+    }
+
+    /// LoadTracker: any admit/release sequence that respects `fits`
+    /// keeps the tracker feasible, and releasing everything returns all
+    /// loads to zero.
+    #[test]
+    fn load_tracker_invariants(
+        seed in 0u64..500,
+        footprints in proptest::collection::vec(
+            proptest::collection::vec(0u32..20, 1..6), 1..40),
+    ) {
+        let _ = seed;
+        let mut t = LoadTracker::from_capacities(vec![3; 20]);
+        let mut admitted: Vec<EdgeSet> = Vec::new();
+        for ids in footprints {
+            let fp = EdgeSet::new(ids.iter().map(|&i| EdgeId(i)).collect());
+            if t.fits(&fp) {
+                t.admit(&fp);
+                admitted.push(fp);
+            }
+            prop_assert!(t.is_feasible());
+        }
+        for fp in admitted.iter().rev() {
+            t.release(fp);
+        }
+        prop_assert_eq!(t.total_load(), 0);
+    }
+}
+
+#[test]
+fn generators_produce_positive_capacities() {
+    let gs: Vec<CapGraph> = vec![
+        generators::line(5, 2),
+        generators::ring(5, 2),
+        generators::star(4, 2),
+        generators::balanced_binary_tree(3, 2),
+        generators::grid(3, 3, 2),
+        generators::complete(4, 2),
+    ];
+    for g in gs {
+        assert!(g.min_capacity() >= 1);
+        for (_, info) in g.edges() {
+            assert!(info.from.index() < g.num_nodes());
+            assert!(info.to.index() < g.num_nodes());
+        }
+    }
+}

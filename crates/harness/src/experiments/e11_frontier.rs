@@ -1,0 +1,141 @@
+//! **E11 — the fractional frontier** (extension beyond the paper's
+//! tables): for set cover with repetitions, sandwich every algorithm
+//! between the online fractional cost and the integral OPT:
+//!
+//! `OPT_LP ≤ OPT ≤ bicriteria/reduction ≤ naive`, and the online
+//! *fractional* solver sits within `O(log m)` of `OPT_LP`.
+//!
+//! This measures the price of each step of the paper's pipeline:
+//! fractionality (online fractional vs LP), integrality (rounding vs
+//! fractional), and determinism (bicriteria vs randomized reduction).
+
+use crate::experiments::seed_for;
+use crate::opt::{setcover_opt, BoundBudget};
+use crate::parallel::{default_threads, parallel_map};
+use crate::runner::run_set_cover;
+use crate::stats::Summary;
+use crate::table::Table;
+use acmr_core::setcover::{BicriteriaCover, FractionalCover, ReductionCover};
+use acmr_core::RandConfig;
+use acmr_workloads::{random_arrivals, random_set_system, ArrivalPattern, SetSystemSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EXP_ID: u64 = 11;
+
+/// One sweep cell: mean cost of each layer of the pipeline.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Ground-set size.
+    pub n: usize,
+    /// Family size.
+    pub m: usize,
+    /// OPT bound (LP / exact) mean.
+    pub opt: Summary,
+    /// Online fractional cost mean.
+    pub fractional: Summary,
+    /// Randomized reduction cost mean.
+    pub reduction: Summary,
+    /// Deterministic bicriteria (ε = 0.25) cost mean.
+    pub bicriteria: Summary,
+}
+
+/// Run the sweep.
+pub fn run(quick: bool) -> Vec<Cell> {
+    let (grid, seeds): (Vec<(usize, usize)>, u64) = if quick {
+        (vec![(8, 12), (16, 24)], 3)
+    } else {
+        (vec![(8, 12), (16, 24), (32, 48), (64, 96)], 8)
+    };
+    parallel_map(grid, default_threads(), |&(n, m)| {
+        let mut opt_v = Vec::new();
+        let mut frac_v = Vec::new();
+        let mut red_v = Vec::new();
+        let mut bi_v = Vec::new();
+        for rep in 0..seeds {
+            let seed = seed_for(EXP_ID, (n as u64) << 32 | m as u64, rep);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let spec = SetSystemSpec {
+                num_elements: n,
+                num_sets: m,
+                density: 0.25,
+                min_degree: 3,
+                max_cost: 1,
+            };
+            let system = random_set_system(&spec, &mut rng);
+            let arrivals = random_arrivals(&system, ArrivalPattern::RoundRobin, 2, &mut rng);
+            opt_v.push(setcover_opt(&system, &arrivals, BoundBudget::default()).value);
+
+            let mut frac = FractionalCover::new(system.clone());
+            for &j in &arrivals {
+                frac.on_arrival(j);
+            }
+            assert!(frac.is_feasible());
+            frac_v.push(frac.cost());
+
+            let mut red = ReductionCover::randomized(
+                system.clone(),
+                RandConfig::unweighted(),
+                StdRng::seed_from_u64(seed ^ 0x11),
+            );
+            red_v.push(run_set_cover(&mut red, &system, &arrivals).cost);
+
+            let mut bi = BicriteriaCover::new(system.clone(), 0.25);
+            bi_v.push(run_set_cover(&mut bi, &system, &arrivals).cost);
+        }
+        Cell {
+            n,
+            m,
+            opt: Summary::of(&opt_v),
+            fractional: Summary::of(&frac_v),
+            reduction: Summary::of(&red_v),
+            bicriteria: Summary::of(&bi_v),
+        }
+    })
+}
+
+/// Render the E11 table.
+pub fn table(cells: &[Cell]) -> Table {
+    let mut t = Table::new(
+        "E11 — fractional frontier: cost of each pipeline layer (mean over seeds)",
+        &["n", "m", "OPT bound", "online fractional", "reduction (rand.)", "bicriteria ε=0.25"],
+    );
+    for cell in cells {
+        t.push_row(vec![
+            cell.n.to_string(),
+            cell.m.to_string(),
+            format!("{:.2}", cell.opt.mean),
+            format!("{:.2}", cell.fractional.mean),
+            format!("{:.2}", cell.reduction.mean),
+            format!("{:.2}", cell.bicriteria.mean),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_ordering_holds() {
+        for cell in run(true) {
+            // The online fractional solution is feasible for the LP, so
+            // it costs at least the LP optimum (≤ OPT bound when bound
+            // is LP; allow slack for the exact-bound case).
+            assert!(
+                cell.fractional.mean >= cell.opt.mean * 0.49,
+                "n={} fractional {} far below opt {}",
+                cell.n,
+                cell.fractional.mean,
+                cell.opt.mean
+            );
+            // Integral algorithms cost at least the integral OPT bound.
+            assert!(cell.reduction.mean >= cell.opt.mean - 1e-6);
+            // And no layer is absurdly above the theorem envelope.
+            let env = 25.0 * (cell.m as f64).ln().max(1.0) * (cell.n as f64).ln().max(1.0);
+            assert!(cell.reduction.mean <= env * cell.opt.mean.max(1.0));
+            assert!(cell.bicriteria.mean <= env * cell.opt.mean.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! **E1 — Theorem 2**: the fractional algorithm is
+//! `O(log(mc))`-competitive (weighted) / `O(log c)` (unweighted)
+//! against the *fractional* optimum.
+//!
+//! Sweep `(m, c)` on line topologies with random-interval workloads at
+//! 2× overload; measure `C_frac / OPT_LP` (the LP relaxation *is* the
+//! fractional optimum here). The validated claim: the normalized
+//! column — ratio divided by the theorem's logarithm — stays bounded
+//! (roughly flat) as `m` and `c` grow.
+
+use crate::experiments::seed_for;
+use crate::opt::{admission_covering_problem, BoundBudget, OptBound};
+use crate::parallel::{default_threads, parallel_map};
+use crate::stats::Summary;
+use crate::table::Table;
+use acmr_core::{FracConfig, FracEngine, Weighting};
+use acmr_workloads::{random_path_workload, CostModel, PathWorkloadSpec, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EXP_ID: u64 = 1;
+
+/// One sweep cell result.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Edge count `m`.
+    pub m: u32,
+    /// Uniform capacity `c`.
+    pub c: u32,
+    /// Weighted or unweighted.
+    pub weighting: Weighting,
+    /// Mean competitive ratio vs the fractional optimum.
+    pub ratio: Summary,
+    /// `ratio.mean` divided by the theorem's logarithm.
+    pub normalized: f64,
+    /// Provenance of the OPT figure ("lp" exact fractional OPT,
+    /// "greedy/H" scalable lower bound — ratios then conservative).
+    pub bound: &'static str,
+}
+
+pub(crate) fn kind_label(kind: crate::opt::OptBoundKind) -> &'static str {
+    match kind {
+        crate::opt::OptBoundKind::Exact => "exact",
+        crate::opt::OptBoundKind::LpLowerBound => "lp",
+        crate::opt::OptBoundKind::GreedyOverH => "greedy/H",
+        crate::opt::OptBoundKind::Trivial => "Q",
+    }
+}
+
+fn theorem_log(weighting: Weighting, m: u32, c: u32) -> f64 {
+    match weighting {
+        Weighting::Weighted => (m as f64 * c as f64).ln().max(1.0),
+        Weighting::Unweighted => (c as f64).ln().max(1.0),
+    }
+}
+
+/// Run the sweep. `quick` shrinks the grid for tests.
+pub fn run(quick: bool) -> Vec<Cell> {
+    let (ms, cs, reps): (Vec<u32>, Vec<u32>, u64) = if quick {
+        (vec![16, 64], vec![2, 8], 3)
+    } else {
+        (vec![16, 64, 256, 1024], vec![2, 8, 32], 8)
+    };
+    let mut cells: Vec<(u32, u32, Weighting)> = Vec::new();
+    for &m in &ms {
+        for &c in &cs {
+            cells.push((m, c, Weighting::Unweighted));
+            cells.push((m, c, Weighting::Weighted));
+        }
+    }
+    parallel_map(cells, default_threads(), |&(m, c, weighting)| {
+        let mut ratios = Vec::new();
+        let mut bound = "exact";
+        for rep in 0..reps {
+            let cell_id = (m as u64) << 32 | (c as u64) << 8 | (weighting == Weighting::Weighted) as u64;
+            let seed = seed_for(EXP_ID, cell_id, rep);
+            let costs = match weighting {
+                Weighting::Unweighted => CostModel::Unit,
+                Weighting::Weighted => CostModel::Zipf { n_values: 64, s: 1.1 },
+            };
+            let spec = PathWorkloadSpec {
+                topology: Topology::Line { m },
+                capacity: c,
+                overload: 2.0,
+                costs,
+                max_hops: 8,
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (_, inst) = random_path_workload(&spec, &mut rng);
+            let cfg = match weighting {
+                Weighting::Weighted => FracConfig::weighted(),
+                Weighting::Unweighted => FracConfig::unweighted(),
+            };
+            let mut eng = FracEngine::new(&inst.capacities, cfg);
+            for r in &inst.requests {
+                eng.on_request(&r.footprint, r.cost);
+            }
+            assert!(eng.covering_invariant_holds(), "covering invariant violated");
+            // The fractional optimum = LP bound (no B&B needed: Thm 2 is
+            // vs fractional OPT).
+            let problem = admission_covering_problem(&inst);
+            let budget = BoundBudget {
+                max_exact_items: 0, // fractional benchmark: skip B&B
+                ..Default::default()
+            };
+            let opt = OptBound::compute(&problem, budget, inst.max_excess() as f64);
+            bound = kind_label(opt.kind);
+            let ratio = opt.ratio(eng.online_cost());
+            if ratio.is_finite() {
+                ratios.push(ratio);
+            }
+        }
+        let ratio = Summary::of(&ratios);
+        let normalized = ratio.mean / theorem_log(weighting, m, c);
+        Cell {
+            m,
+            c,
+            weighting,
+            ratio,
+            normalized,
+            bound,
+        }
+    })
+}
+
+/// Render the sweep as the E1 table.
+pub fn table(cells: &[Cell]) -> Table {
+    let mut t = Table::new(
+        "E1 — fractional competitiveness vs fractional OPT (Theorem 2)",
+        &["m", "c", "case", "ratio (mean ± std)", "ratio / log", "log", "opt bound"],
+    );
+    for cell in cells {
+        let (case, log) = match cell.weighting {
+            Weighting::Weighted => ("weighted", theorem_log(cell.weighting, cell.m, cell.c)),
+            Weighting::Unweighted => ("unweighted", theorem_log(cell.weighting, cell.m, cell.c)),
+        };
+        t.push_row(vec![
+            cell.m.to_string(),
+            cell.c.to_string(),
+            case.into(),
+            cell.ratio.mean_pm_std(),
+            format!("{:.3}", cell.normalized),
+            format!("{log:.2}"),
+            cell.bound.into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_validates_theorem_shape() {
+        let cells = run(true);
+        assert!(!cells.is_empty());
+        for cell in &cells {
+            assert!(cell.ratio.n > 0, "cell had no finite ratios");
+            // Theorem 2 with generous constant: ratio ≤ 12·log.
+            let log = theorem_log(cell.weighting, cell.m, cell.c);
+            assert!(
+                cell.ratio.mean <= 12.0 * log,
+                "m={} c={} {:?}: mean ratio {} > 12·log {}",
+                cell.m,
+                cell.c,
+                cell.weighting,
+                cell.ratio.mean,
+                12.0 * log
+            );
+            // Fractional online can never beat the fractional optimum.
+            assert!(cell.ratio.min >= 1.0 - 1e-6);
+        }
+        let t = table(&cells);
+        assert_eq!(t.num_rows(), cells.len());
+    }
+}

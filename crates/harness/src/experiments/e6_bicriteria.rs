@@ -1,0 +1,163 @@
+//! **E6 — Theorem 7**: the deterministic bicriteria algorithm is
+//! `O(log m log n)`-competitive while covering `(1−ε)k` times.
+//!
+//! Sweep ε and `(n, m)`; report cost ratio vs the *full-k* OPT (the
+//! comparison the theorem makes — conservative, since the algorithm
+//! covers less) and the realized worst coverage fraction. The
+//! validated shape: normalized ratio bounded; worst coverage ≥ `1−ε`;
+//! smaller ε costs more.
+
+use crate::experiments::e1_fractional::kind_label;
+use crate::experiments::seed_for;
+use crate::opt::{setcover_opt, BoundBudget};
+use crate::parallel::{default_threads, parallel_map};
+use crate::runner::run_set_cover;
+use crate::stats::Summary;
+use crate::table::Table;
+use acmr_core::setcover::BicriteriaCover;
+use acmr_workloads::{random_arrivals, random_set_system, ArrivalPattern, SetSystemSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EXP_ID: u64 = 6;
+
+/// One sweep cell.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Slack parameter ε.
+    pub epsilon: f64,
+    /// Ground-set size.
+    pub n: usize,
+    /// Family size.
+    pub m: usize,
+    /// Ratio vs full-k OPT.
+    pub ratio: Summary,
+    /// Worst realized coverage fraction (≥ 1−ε required).
+    pub worst_coverage: f64,
+    /// `ratio.mean / (ln m · ln n)`.
+    pub normalized: f64,
+    /// Fallback picks beyond the ⌈2 ln n⌉ budget (should be 0).
+    pub fallbacks: u64,
+    /// OPT bound provenance.
+    pub bound: &'static str,
+}
+
+/// Run the sweep.
+pub fn run(quick: bool) -> Vec<Cell> {
+    let (grid, epsilons, seeds): (Vec<(usize, usize)>, Vec<f64>, u64) = if quick {
+        (vec![(8, 12), (16, 24)], vec![0.25, 0.5], 3)
+    } else {
+        (
+            vec![(8, 12), (16, 24), (32, 48), (64, 96)],
+            vec![0.1, 0.25, 0.5],
+            6,
+        )
+    };
+    let mut cells = Vec::new();
+    for &eps in &epsilons {
+        for &(n, m) in &grid {
+            cells.push((eps, n, m));
+        }
+    }
+    parallel_map(cells, default_threads(), |&(eps, n, m)| {
+        let mut ratios = Vec::new();
+        let mut worst_cov = f64::INFINITY;
+        let mut fallbacks = 0u64;
+        let mut bound = "exact";
+        for rep in 0..seeds {
+            let seed = seed_for(
+                EXP_ID,
+                (n as u64) << 40 | (m as u64) << 16 | (eps * 100.0) as u64,
+                rep,
+            );
+            let mut rng = StdRng::seed_from_u64(seed);
+            let spec = SetSystemSpec {
+                num_elements: n,
+                num_sets: m,
+                density: 0.25,
+                min_degree: 3,
+                max_cost: 1,
+            };
+            let system = random_set_system(&spec, &mut rng);
+            let arrivals = random_arrivals(&system, ArrivalPattern::RoundRobin, 2, &mut rng);
+            let opt = setcover_opt(&system, &arrivals, BoundBudget::default());
+            bound = kind_label(opt.kind);
+            let mut alg = BicriteriaCover::new(system.clone(), eps);
+            let run = run_set_cover(&mut alg, &system, &arrivals);
+            fallbacks += alg.fallback_picks();
+            worst_cov = worst_cov.min(run.worst_coverage_ratio);
+            ratios.push(opt.ratio(run.cost));
+        }
+        let ratio = Summary::of(&ratios);
+        let log_product = (m as f64).ln().max(1.0) * (n as f64).ln().max(1.0);
+        Cell {
+            epsilon: eps,
+            n,
+            m,
+            normalized: ratio.mean / log_product,
+            ratio,
+            worst_coverage: worst_cov,
+            fallbacks,
+            bound,
+        }
+    })
+}
+
+/// Render the E6 table.
+pub fn table(cells: &[Cell]) -> Table {
+    let mut t = Table::new(
+        "E6 — deterministic bicriteria set cover (Theorem 7)",
+        &[
+            "ε",
+            "n",
+            "m",
+            "ratio vs full-k OPT",
+            "ratio/(ln m·ln n)",
+            "worst coverage",
+            "fallbacks",
+            "opt bound",
+        ],
+    );
+    for cell in cells {
+        t.push_row(vec![
+            format!("{:.2}", cell.epsilon),
+            cell.n.to_string(),
+            cell.m.to_string(),
+            cell.ratio.mean_pm_std(),
+            format!("{:.4}", cell.normalized),
+            format!("{:.3}", cell.worst_coverage),
+            cell.fallbacks.to_string(),
+            cell.bound.into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_validates_bicriteria_contract() {
+        let cells = run(true);
+        for cell in &cells {
+            assert!(
+                cell.worst_coverage >= 1.0 - cell.epsilon - 1e-9,
+                "ε={}: worst coverage {}",
+                cell.epsilon,
+                cell.worst_coverage
+            );
+            assert_eq!(cell.fallbacks, 0);
+            let log_product =
+                (cell.m as f64).ln().max(1.0) * (cell.n as f64).ln().max(1.0);
+            assert!(
+                cell.ratio.mean <= 25.0 * log_product,
+                "ε={} n={} m={}: ratio {}",
+                cell.epsilon,
+                cell.n,
+                cell.m,
+                cell.ratio.mean
+            );
+        }
+    }
+}

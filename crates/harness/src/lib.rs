@@ -1,0 +1,38 @@
+//! # acmr-harness
+//!
+//! The experiment harness: drives online algorithms over instances with
+//! full feasibility auditing, computes offline-optimum bounds, runs
+//! parameter sweeps in parallel, and renders the tables that
+//! `EXPERIMENTS.md` records.
+//!
+//! Design rules (see `DESIGN.md` §7):
+//!
+//! * **The harness is the referee.** Every decision stream is replayed
+//!   against an external [`acmr_graph::LoadTracker`]; a capacity
+//!   violation or an accept-after-reject panics the run.
+//! * **Ratios are conservative.** Competitive ratios are reported
+//!   against the best available *lower bound* on OPT (exact B&B when it
+//!   proves optimality, LP relaxation otherwise, max-excess `Q` as a
+//!   last resort), so reported ratios never flatter the algorithm.
+//! * **Determinism.** Every cell of every sweep derives its RNG seed
+//!   from `(experiment, cell, repetition)`; re-running any table
+//!   reproduces it bit-for-bit, single- or multi-threaded.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod opt;
+pub mod parallel;
+pub mod runner;
+pub mod stats;
+pub mod table;
+
+pub use opt::{
+    admission_covering_problem, admission_opt, multicover_problem, setcover_opt, BoundBudget,
+    OptBound, OptBoundKind,
+};
+pub use parallel::parallel_map;
+pub use runner::{run_admission, run_set_cover, AdmissionRun, SetCoverRun};
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,108 @@
+//! Embarrassingly-parallel sweep execution.
+//!
+//! Experiment sweeps are grids of independent cells (each with its own
+//! derived seed), so parallelism is a pure wall-clock optimization that
+//! must never change results. [`parallel_map`] fans work out over
+//! `crossbeam::scope`d threads pulling indices from an atomic counter
+//! (work-stealing-lite) and writes results into pre-allocated slots
+//! under a `parking_lot::Mutex`, preserving input order.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Apply `f` to every input on up to `threads` worker threads,
+/// returning outputs in input order. `f` must be deterministic per
+/// input for reproducibility (all experiment cells are).
+pub fn parallel_map<T, U, F>(inputs: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return inputs.iter().map(|t| f(t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let inputs_ref = &inputs;
+    let f_ref = &f;
+    let next_ref = &next;
+    let slots_ref = &slots;
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move |_| loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f_ref(&inputs_ref[i]);
+                *slots_ref[i].lock() = Some(out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot filled"))
+        .collect()
+}
+
+/// A sensible default worker count: available parallelism capped at 8
+/// (experiment cells are memory-light; more threads rarely help).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), 4, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = parallel_map(vec![1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(vec![7], 16, |&x| x);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn matches_sequential_for_stateful_work() {
+        // Deterministic per-input work (hashing) must agree across
+        // thread counts.
+        let inputs: Vec<u64> = (0..50).collect();
+        let work = |&x: &u64| {
+            let mut v = x;
+            for _ in 0..1000 {
+                v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+            v
+        };
+        let seq = parallel_map(inputs.clone(), 1, work);
+        let par = parallel_map(inputs, 6, work);
+        assert_eq!(seq, par);
+    }
+}

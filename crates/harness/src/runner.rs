@@ -1,0 +1,189 @@
+//! Audited drivers for online algorithms.
+
+use acmr_core::setcover::{OnlineSetCover, SetSystem};
+use acmr_core::{AdmissionInstance, OnlineAdmission, RequestId};
+use acmr_graph::LoadTracker;
+
+/// Result of replaying an admission-control algorithm over an instance.
+#[derive(Clone, Debug)]
+pub struct AdmissionRun {
+    /// Final acceptance state per request.
+    pub accepted: Vec<bool>,
+    /// Total cost of rejected requests (the paper's objective).
+    pub rejected_cost: f64,
+    /// Number of rejected requests.
+    pub rejected_count: usize,
+    /// Number of preemptions (a preempted request is also rejected).
+    pub preemptions: usize,
+}
+
+/// Drive `alg` over `inst`, auditing feasibility after every arrival.
+///
+/// # Panics
+/// If the algorithm violates a capacity, preempts a request that is not
+/// currently accepted, or otherwise breaks the online contract — the
+/// harness treats those as algorithm bugs, not data.
+pub fn run_admission<A: OnlineAdmission>(alg: &mut A, inst: &AdmissionInstance) -> AdmissionRun {
+    let mut audit = LoadTracker::from_capacities(inst.capacities.clone());
+    let mut accepted = vec![false; inst.requests.len()];
+    let mut ever_rejected = vec![false; inst.requests.len()];
+    let mut preemptions = 0usize;
+    for (i, req) in inst.requests.iter().enumerate() {
+        let out = alg.on_request(RequestId(i as u32), req);
+        for p in &out.preempted {
+            assert!(
+                accepted[p.index()],
+                "{}: preempted request {p:?} is not currently accepted",
+                alg.name()
+            );
+            accepted[p.index()] = false;
+            ever_rejected[p.index()] = true;
+            preemptions += 1;
+            audit.release(&inst.requests[p.index()].footprint);
+        }
+        if out.accepted {
+            assert!(
+                !ever_rejected[i],
+                "{}: accepted a previously rejected request",
+                alg.name()
+            );
+            assert!(
+                audit.fits(&req.footprint),
+                "{}: accepting request {i} violates a capacity",
+                alg.name()
+            );
+            audit.admit(&req.footprint);
+            accepted[i] = true;
+        } else {
+            ever_rejected[i] = true;
+        }
+        debug_assert!(audit.is_feasible());
+    }
+    let rejected_cost = inst
+        .requests
+        .iter()
+        .zip(&accepted)
+        .filter(|(_, &a)| !a)
+        .map(|(r, _)| r.cost)
+        .sum();
+    let rejected_count = accepted.iter().filter(|&&a| !a).count();
+    AdmissionRun {
+        accepted,
+        rejected_cost,
+        rejected_count,
+        preemptions,
+    }
+}
+
+/// Result of replaying an online set-cover algorithm.
+#[derive(Clone, Debug)]
+pub struct SetCoverRun {
+    /// Total cost of bought sets.
+    pub cost: f64,
+    /// Number of bought sets.
+    pub sets_bought: usize,
+    /// Minimum of `coverage_j / k_j` over elements with `k_j > 0` at
+    /// the end (≥ 1 for exact algorithms, ≥ `1−ε` for bicriteria).
+    pub worst_coverage_ratio: f64,
+}
+
+/// Drive an online set-cover algorithm over an arrival sequence,
+/// auditing the coverage contract after every arrival.
+///
+/// # Panics
+/// If coverage ever falls below `alg.coverage_slack() · k_j` (with
+/// integer rounding: `cover_j ≥ ceil(slack·k_j) − 1 + 1` is not
+/// required; we check `cover_j ≥ slack·k_j` directly), or if a set is
+/// bought twice.
+pub fn run_set_cover<A: OnlineSetCover>(
+    alg: &mut A,
+    system: &SetSystem,
+    arrivals: &[u32],
+) -> SetCoverRun {
+    assert!(
+        system.arrivals_feasible(arrivals),
+        "arrival sequence is uncoverable"
+    );
+    let slack = alg.coverage_slack();
+    let mut bought = vec![false; system.num_sets()];
+    let mut coverage = vec![0u32; system.num_elements()];
+    let mut k = vec![0u32; system.num_elements()];
+    let mut cost = 0.0;
+    let mut sets_bought = 0usize;
+    for &j in arrivals {
+        k[j as usize] += 1;
+        let new_sets = alg.on_arrival(j);
+        for s in new_sets {
+            assert!(!bought[s.index()], "{}: set {s:?} bought twice", alg.name());
+            bought[s.index()] = true;
+            sets_bought += 1;
+            cost += system.cost(s);
+            for &el in system.elements_of(s) {
+                coverage[el as usize] += 1;
+            }
+        }
+        for el in 0..system.num_elements() {
+            let need = slack * k[el] as f64;
+            assert!(
+                coverage[el] as f64 >= need - 1e-9,
+                "{}: element {el} covered {} < {need}",
+                alg.name(),
+                coverage[el]
+            );
+        }
+    }
+    let worst_coverage_ratio = (0..system.num_elements())
+        .filter(|&el| k[el] > 0)
+        .map(|el| coverage[el] as f64 / k[el] as f64)
+        .fold(f64::INFINITY, f64::min);
+    SetCoverRun {
+        cost,
+        sets_bought,
+        worst_coverage_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acmr_baselines::{GreedyNonPreemptive, NaiveOnlineCover};
+    use acmr_core::setcover::SetSystem;
+    use acmr_core::Request;
+    use acmr_graph::{EdgeId, EdgeSet};
+
+    fn fp(ids: &[u32]) -> EdgeSet {
+        EdgeSet::new(ids.iter().map(|&i| EdgeId(i)).collect())
+    }
+
+    #[test]
+    fn admission_run_counts() {
+        let mut inst = AdmissionInstance::from_capacities(vec![1]);
+        inst.push(Request::new(fp(&[0]), 2.0));
+        inst.push(Request::new(fp(&[0]), 3.0));
+        inst.push(Request::new(fp(&[0]), 4.0));
+        let mut alg = GreedyNonPreemptive::new(&inst.capacities);
+        let run = run_admission(&mut alg, &inst);
+        assert_eq!(run.accepted, vec![true, false, false]);
+        assert_eq!(run.rejected_cost, 7.0);
+        assert_eq!(run.rejected_count, 2);
+        assert_eq!(run.preemptions, 0);
+    }
+
+    #[test]
+    fn set_cover_run_audits_coverage() {
+        let system = SetSystem::unit(2, vec![vec![0], vec![1], vec![0, 1]]);
+        let mut alg = NaiveOnlineCover::new(system.clone());
+        let run = run_set_cover(&mut alg, &system, &[0, 1, 0]);
+        assert!(run.worst_coverage_ratio >= 1.0);
+        assert!(run.cost >= 2.0);
+        assert_eq!(run.sets_bought as f64, run.cost); // unit costs
+    }
+
+    #[test]
+    #[should_panic(expected = "uncoverable")]
+    fn set_cover_rejects_infeasible_arrivals() {
+        let system = SetSystem::unit(1, vec![vec![0]]);
+        let mut alg = NaiveOnlineCover::new(system.clone());
+        run_set_cover(&mut alg, &system, &[0, 0]);
+    }
+}

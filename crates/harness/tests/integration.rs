@@ -1,0 +1,77 @@
+//! Harness-level integration tests: the audited runner, OPT bounds and
+//! experiments working together on instances with known structure.
+
+use acmr_baselines::GreedyNonPreemptive;
+use acmr_core::{RandConfig, RandomizedAdmission, Request};
+use acmr_harness::{
+    admission_covering_problem, admission_opt, run_admission, BoundBudget, OptBoundKind,
+};
+use acmr_graph::{EdgeId, EdgeSet};
+use acmr_workloads::adversarial::nested_intervals;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn covering_problem_matches_instance_structure() {
+    let inst = nested_intervals(8, 2, 2, 2);
+    let p = admission_covering_problem(&inst);
+    assert_eq!(p.num_items(), inst.requests.len());
+    // Edge 0 is in every footprint: its row must exist with demand
+    // |REQ| − cap = 8 − 2 = 6.
+    let row0 = p
+        .rows
+        .iter()
+        .find(|r| r.items.len() == inst.requests.len())
+        .expect("edge-0 row");
+    assert_eq!(row0.demand, 6);
+}
+
+#[test]
+fn greedy_baseline_vs_opt_monotonicity() {
+    // More overload ⇒ OPT (and greedy cost) weakly increase.
+    let mut last_opt = 0.0;
+    for rounds in 1..=3u32 {
+        let inst = nested_intervals(12, 2, 3, rounds);
+        let opt = admission_opt(&inst, BoundBudget::default());
+        assert!(opt.value >= last_opt - 1e-9);
+        last_opt = opt.value;
+        let mut alg = GreedyNonPreemptive::new(&inst.capacities);
+        let run = run_admission(&mut alg, &inst);
+        assert!(run.rejected_cost >= opt.value - 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On arbitrary random instances: online cost ≥ OPT bound (lower
+    /// bounds must actually be lower bounds), and the exact bound
+    /// agrees with the LP bound when both are computed.
+    #[test]
+    fn bounds_are_actually_bounds(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng as _;
+        let m = rng.gen_range(2usize..6);
+        let caps: Vec<u32> = (0..m).map(|_| rng.gen_range(1u32..3)).collect();
+        let mut inst = acmr_core::AdmissionInstance::from_capacities(caps.clone());
+        for _ in 0..rng.gen_range(3usize..18) {
+            let k = rng.gen_range(1usize..=m);
+            let edges: Vec<EdgeId> = (0..k as u32).map(EdgeId).collect();
+            let cost = rng.gen_range(1u32..10) as f64;
+            inst.push(Request::new(EdgeSet::new(edges), cost));
+        }
+        let exact = admission_opt(&inst, BoundBudget::default());
+        prop_assert_eq!(exact.kind, OptBoundKind::Exact);
+        let lp_only = admission_opt(&inst, BoundBudget { max_exact_items: 0, ..Default::default() });
+        prop_assert!(lp_only.value <= exact.value + 1e-6,
+            "LP bound {} exceeds exact OPT {}", lp_only.value, exact.value);
+
+        // Any real algorithm's cost is ≥ the exact OPT.
+        let mut alg = RandomizedAdmission::new(
+            &inst.capacities, RandConfig::weighted(), StdRng::seed_from_u64(seed ^ 1));
+        let run = run_admission(&mut alg, &inst);
+        prop_assert!(run.rejected_cost >= exact.value - 1e-6,
+            "online {} below exact OPT {}", run.rejected_cost, exact.value);
+    }
+}

@@ -1,0 +1,332 @@
+//! Best-first branch-and-bound for the 0/1 multicovering program.
+//!
+//! Exact offline optima on small/medium instances: nodes carry partial
+//! assignments, the LP relaxation of the residual problem gives the
+//! bound, the density greedy supplies the initial incumbent, and
+//! branching follows the most fractional LP variable. A node budget
+//! keeps worst cases bounded; the result reports whether optimality was
+//! proven.
+
+use crate::covering::CoveringProblem;
+use crate::greedy::greedy_cover;
+use crate::simplex::{self, LpError};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Search limits for [`branch_and_bound`].
+#[derive(Clone, Copy, Debug)]
+pub struct BnbLimits {
+    /// Maximum number of explored nodes before giving up on proving
+    /// optimality (the best incumbent found so far is still returned).
+    pub max_nodes: usize,
+}
+
+impl Default for BnbLimits {
+    fn default() -> Self {
+        BnbLimits { max_nodes: 20_000 }
+    }
+}
+
+/// Result of [`branch_and_bound`].
+#[derive(Clone, Debug)]
+pub struct BnbResult {
+    /// Best 0/1 solution found.
+    pub chosen: Vec<bool>,
+    /// Its cost.
+    pub cost: f64,
+    /// True iff the search proved this is the integral optimum.
+    pub proven_optimal: bool,
+    /// Nodes explored.
+    pub nodes: usize,
+}
+
+#[derive(Clone)]
+struct Node {
+    /// `None` = free, `Some(b)` = fixed to b.
+    fixed: Vec<Option<bool>>,
+    bound: f64,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on bound: reverse the comparison.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Solve the covering problem exactly (within `limits`).
+///
+/// Returns `None` when the instance is infeasible.
+pub fn branch_and_bound(p: &CoveringProblem, limits: BnbLimits) -> Option<BnbResult> {
+    let greedy = greedy_cover(p)?;
+    let n = p.num_items();
+    let mut best = greedy.chosen;
+    let mut best_cost = greedy.cost;
+    let mut nodes = 0usize;
+    let mut proven = true;
+
+    let root_fixed = vec![None; n];
+    let Some(root_bound) = node_bound(p, &root_fixed) else {
+        // LP infeasible at root despite greedy success can't happen.
+        return Some(BnbResult {
+            chosen: best,
+            cost: best_cost,
+            proven_optimal: true,
+            nodes: 0,
+        });
+    };
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Node {
+        fixed: root_fixed,
+        bound: root_bound.0,
+    });
+
+    while let Some(node) = heap.pop() {
+        if node.bound >= best_cost - 1e-9 {
+            // Best-first: every remaining node is at least this bound.
+            break;
+        }
+        nodes += 1;
+        if nodes > limits.max_nodes {
+            proven = false;
+            break;
+        }
+        // Re-solve to get the fractional point for branching (bound was
+        // computed at push time; we need x as well).
+        let Some((_, x)) = node_bound_with_x(p, &node.fixed) else {
+            continue; // infeasible subtree
+        };
+        // Find most fractional free variable.
+        let mut branch_var: Option<(usize, f64)> = None;
+        for i in 0..n {
+            if node.fixed[i].is_some() {
+                continue;
+            }
+            let frac = (x[i] - 0.5).abs();
+            match branch_var {
+                None => branch_var = Some((i, frac)),
+                Some((_, bf)) if frac < bf => branch_var = Some((i, frac)),
+                _ => {}
+            }
+        }
+        match branch_var {
+            None => {
+                // All variables fixed: evaluate leaf.
+                let chosen: Vec<bool> =
+                    node.fixed.iter().map(|f| f.unwrap_or(false)).collect();
+                if p.satisfies(&chosen) {
+                    let cost = p.cost_of(&chosen);
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best = chosen;
+                    }
+                }
+            }
+            Some((i, frac)) => {
+                // If the LP point is already integral, round it — it is
+                // a feasible integral solution for the residual problem.
+                if frac > 0.5 - 1e-7 {
+                    let chosen: Vec<bool> = (0..n)
+                        .map(|j| node.fixed[j].unwrap_or(x[j] > 0.5))
+                        .collect();
+                    if p.satisfies(&chosen) {
+                        let cost = p.cost_of(&chosen);
+                        if cost < best_cost {
+                            best_cost = cost;
+                            best = chosen;
+                        }
+                        continue;
+                    }
+                }
+                for b in [true, false] {
+                    let mut fixed = node.fixed.clone();
+                    fixed[i] = Some(b);
+                    if let Some((bound, _)) = node_bound_with_x(p, &fixed) {
+                        if bound < best_cost - 1e-9 {
+                            heap.push(Node { fixed, bound });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    debug_assert!(p.satisfies(&best));
+    Some(BnbResult {
+        chosen: best,
+        cost: best_cost,
+        proven_optimal: proven,
+        nodes,
+    })
+}
+
+fn node_bound(p: &CoveringProblem, fixed: &[Option<bool>]) -> Option<(f64, ())> {
+    node_bound_with_x(p, fixed).map(|(b, _)| (b, ()))
+}
+
+/// LP bound of the subproblem where some variables are fixed, plus the
+/// LP point (full length, fixed vars at their fixed values).
+fn node_bound_with_x(p: &CoveringProblem, fixed: &[Option<bool>]) -> Option<(f64, Vec<f64>)> {
+    let n = p.num_items();
+    // Residual problem over free items.
+    let mut map = vec![usize::MAX; n]; // original → residual index
+    let mut free = Vec::new();
+    let mut fixed_cost = 0.0;
+    for i in 0..n {
+        match fixed[i] {
+            None => {
+                map[i] = free.len();
+                free.push(i);
+            }
+            Some(true) => fixed_cost += p.costs[i],
+            Some(false) => {}
+        }
+    }
+    let mut sub = CoveringProblem::new(free.iter().map(|&i| p.costs[i]).collect());
+    for row in &p.rows {
+        let satisfied = row
+            .items
+            .iter()
+            .filter(|&&i| fixed[i] == Some(true))
+            .count() as u32;
+        let demand = row.demand.saturating_sub(satisfied);
+        if demand == 0 {
+            continue;
+        }
+        let items: Vec<usize> = row
+            .items
+            .iter()
+            .filter(|&&i| fixed[i].is_none())
+            .map(|&i| map[i])
+            .collect();
+        if (items.len() as u32) < demand {
+            return None; // infeasible subtree
+        }
+        sub.rows.push(crate::covering::CoverRow { items, demand });
+    }
+    match simplex::solve(&sub.lp_relaxation()) {
+        Ok(sol) => {
+            let mut x = vec![0.0; n];
+            for i in 0..n {
+                x[i] = match fixed[i] {
+                    Some(true) => 1.0,
+                    Some(false) => 0.0,
+                    None => sol.x[map[i]],
+                };
+            }
+            Some((fixed_cost + sol.objective, x))
+        }
+        Err(LpError::Infeasible) => None,
+        Err(_) => {
+            // Defensive: treat solver trouble as "no usable bound" by
+            // returning a trivial bound of fixed cost only.
+            Some((fixed_cost, vec![0.5; n]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_toy() {
+        // Optimal is {0, 2} with cost 4 (see covering.rs tests).
+        let mut p = CoveringProblem::new(vec![1.0, 2.0, 3.0, 4.0]);
+        p.push_row(vec![0, 1, 2], 2);
+        p.push_row(vec![2, 3], 1);
+        let r = branch_and_bound(&p, BnbLimits::default()).unwrap();
+        assert!(r.proven_optimal);
+        assert!((r.cost - 4.0).abs() < 1e-9, "cost = {}", r.cost);
+        assert!(p.satisfies(&r.chosen));
+    }
+
+    #[test]
+    fn beats_or_matches_greedy() {
+        // Instance where greedy is suboptimal: classic set-cover trap.
+        // rows: {0,1} each coverable by item2 (cost 1.5) or singles (1.0).
+        // greedy takes item2? density item2 = 0.75 < 1.0 → greedy = 1.5 = opt.
+        // Make greedy fail: demands force...
+        let mut p = CoveringProblem::new(vec![2.0, 2.0, 3.1]);
+        p.push_row(vec![0, 2], 1);
+        p.push_row(vec![1, 2], 1);
+        // greedy: densities 2.0, 2.0, 1.55 → picks item2 (3.1). opt = 3.1? or items 0+1 = 4.0. opt = 3.1.
+        let r = branch_and_bound(&p, BnbLimits::default()).unwrap();
+        assert!((r.cost - 3.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multicover_exact() {
+        // One row needs 2 of 4 items with distinct costs: picks the 2 cheapest.
+        let mut p = CoveringProblem::new(vec![5.0, 1.0, 3.0, 2.0]);
+        p.push_row(vec![0, 1, 2, 3], 2);
+        let r = branch_and_bound(&p, BnbLimits::default()).unwrap();
+        assert!((r.cost - 3.0).abs() < 1e-9);
+        assert!(r.chosen[1] && r.chosen[3]);
+    }
+
+    #[test]
+    fn infeasible_is_none() {
+        let mut p = CoveringProblem::new(vec![1.0]);
+        p.push_row(vec![0], 3);
+        assert!(branch_and_bound(&p, BnbLimits::default()).is_none());
+    }
+
+    #[test]
+    fn respects_node_limit() {
+        // A slightly larger random-ish instance; tiny node budget.
+        let mut p = CoveringProblem::new((0..12).map(|i| 1.0 + (i % 5) as f64).collect());
+        for r in 0..8 {
+            let items: Vec<usize> = (0..12).filter(|i| (i + r) % 3 != 0).collect();
+            p.push_row(items, 3);
+        }
+        let r = branch_and_bound(&p, BnbLimits { max_nodes: 1 }).unwrap();
+        assert!(p.satisfies(&r.chosen)); // incumbent always feasible
+    }
+
+    #[test]
+    fn bound_sandwich() {
+        // lp ≤ bnb ≤ greedy on a handful of structured instances.
+        for shift in 0..5usize {
+            let mut p =
+                CoveringProblem::new((0..10).map(|i| 1.0 + ((i + shift) % 4) as f64).collect());
+            for r in 0..6 {
+                let items: Vec<usize> = (0..10).filter(|i| (i * 2 + r) % 4 != 0).collect();
+                p.push_row(items, 2);
+            }
+            let lp = p.lp_lower_bound().unwrap();
+            let bnb = branch_and_bound(&p, BnbLimits::default()).unwrap();
+            let greedy = crate::greedy::greedy_cover(&p).unwrap();
+            assert!(lp <= bnb.cost + 1e-7, "lp {lp} > bnb {}", bnb.cost);
+            assert!(
+                bnb.cost <= greedy.cost + 1e-7,
+                "bnb {} > greedy {}",
+                bnb.cost,
+                greedy.cost
+            );
+        }
+    }
+
+    #[test]
+    fn zero_demand_trivial() {
+        let mut p = CoveringProblem::new(vec![4.0, 5.0]);
+        p.push_row(vec![0, 1], 0);
+        let r = branch_and_bound(&p, BnbLimits::default()).unwrap();
+        assert_eq!(r.cost, 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! The 0/1 multicovering program shared by both offline optima.
+//!
+//! **Admission control** (paper §1): offline OPT rejects a minimum-cost
+//! request set such that every edge `e` loses at least
+//! `|REQ_e| − c_e` requests — items are requests, rows are edges.
+//!
+//! **Set cover with repetitions** (paper §1): buy minimum-cost sets so
+//! element `j` is covered `k_j` times — items are sets, rows are
+//! elements with demand `k_j` (each set counted once: repetitions must
+//! be covered by *different* subsets).
+//!
+//! Both are instances of: choose `x ∈ {0,1}^items` minimizing `Σ cᵢxᵢ`
+//! subject to `Σ_{i ∈ row} xᵢ ≥ demand(row)` for every row.
+
+use crate::simplex::{self, Cmp, Lp, LpError};
+use serde::{Deserialize, Serialize};
+
+/// One covering row: the items that can satisfy it and how many are
+/// needed.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverRow {
+    /// Indices of items that contribute one unit each to this row.
+    /// Must be duplicate-free (each item helps a row at most once).
+    pub items: Vec<usize>,
+    /// Required number of chosen items among `items`.
+    pub demand: u32,
+}
+
+/// A 0/1 multicovering problem. See module docs.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CoveringProblem {
+    /// Item costs (all must be ≥ 0).
+    pub costs: Vec<f64>,
+    /// Covering rows.
+    pub rows: Vec<CoverRow>,
+}
+
+impl CoveringProblem {
+    /// New problem over items with the given costs.
+    pub fn new(costs: Vec<f64>) -> Self {
+        CoveringProblem {
+            costs,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of items (columns).
+    pub fn num_items(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Add a row; items are deduplicated, demand clamped to ≥ 0.
+    pub fn push_row(&mut self, mut items: Vec<usize>, demand: u32) {
+        items.sort_unstable();
+        items.dedup();
+        debug_assert!(items.iter().all(|&i| i < self.costs.len()));
+        self.rows.push(CoverRow { items, demand });
+    }
+
+    /// A problem is integrally feasible iff every row has at least
+    /// `demand` candidate items.
+    pub fn is_feasible(&self) -> bool {
+        self.rows.iter().all(|r| r.items.len() >= r.demand as usize)
+    }
+
+    /// Does the 0/1 vector `chosen` satisfy every row?
+    pub fn satisfies(&self, chosen: &[bool]) -> bool {
+        debug_assert_eq!(chosen.len(), self.num_items());
+        self.rows.iter().all(|r| {
+            let got = r.items.iter().filter(|&&i| chosen[i]).count();
+            got >= r.demand as usize
+        })
+    }
+
+    /// Total cost of a 0/1 choice.
+    pub fn cost_of(&self, chosen: &[bool]) -> f64 {
+        chosen
+            .iter()
+            .zip(&self.costs)
+            .filter(|(&c, _)| c)
+            .map(|(_, &p)| p)
+            .sum()
+    }
+
+    /// The LP relaxation (`0 ≤ x ≤ 1`).
+    pub fn lp_relaxation(&self) -> Lp {
+        let mut lp = Lp::new(self.costs.clone());
+        for row in &self.rows {
+            if row.demand == 0 {
+                continue;
+            }
+            lp.push(
+                row.items.iter().map(|&i| (i, 1.0)).collect(),
+                Cmp::Ge,
+                row.demand as f64,
+            );
+        }
+        for i in 0..self.num_items() {
+            lp.push(vec![(i, 1.0)], Cmp::Le, 1.0);
+        }
+        lp
+    }
+
+    /// Fractional optimum — a valid lower bound on the integral optimum.
+    ///
+    /// Returns `Err(Infeasible)` when even the LP has no solution
+    /// (some row demands more than its candidate count).
+    pub fn lp_lower_bound(&self) -> Result<f64, LpError> {
+        if !self.is_feasible() {
+            return Err(LpError::Infeasible);
+        }
+        simplex::solve(&self.lp_relaxation()).map(|s| s.objective)
+    }
+
+    /// Rows with positive residual demand under `chosen`.
+    pub fn residual_demands(&self, chosen: &[bool]) -> Vec<u32> {
+        self.rows
+            .iter()
+            .map(|r| {
+                let got = r.items.iter().filter(|&&i| chosen[i]).count() as u32;
+                r.demand.saturating_sub(got)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> CoveringProblem {
+        // 4 items, costs 1..4; row0 needs 2 of {0,1,2}; row1 needs 1 of {2,3}.
+        let mut p = CoveringProblem::new(vec![1.0, 2.0, 3.0, 4.0]);
+        p.push_row(vec![0, 1, 2], 2);
+        p.push_row(vec![2, 3], 1);
+        p
+    }
+
+    #[test]
+    fn feasibility() {
+        let p = toy();
+        assert!(p.is_feasible());
+        let mut bad = p.clone();
+        bad.push_row(vec![0], 2);
+        assert!(!bad.is_feasible());
+    }
+
+    #[test]
+    fn satisfies_and_cost() {
+        let p = toy();
+        // items 0,1 cover row0; nothing covers row1.
+        assert!(!p.satisfies(&[true, true, false, false]));
+        assert!(p.satisfies(&[true, true, true, false]));
+        assert_eq!(p.cost_of(&[true, true, true, false]), 6.0);
+        // items 0,2 also work: row0 gets 2 (0 and 2), row1 gets 1 (2).
+        assert!(p.satisfies(&[true, false, true, false]));
+        assert_eq!(p.cost_of(&[true, false, true, false]), 4.0);
+    }
+
+    #[test]
+    fn lp_bound_is_sane() {
+        let p = toy();
+        let lb = p.lp_lower_bound().unwrap();
+        // Integral optimum is {0,2} = 4.0; LP can be ≤ that but ≥ 3
+        // (row0 alone forces cost ≥ 1+2 fractionally = 3).
+        assert!(lb <= 4.0 + 1e-7, "lb = {lb}");
+        assert!(lb >= 3.0 - 1e-7, "lb = {lb}");
+    }
+
+    #[test]
+    fn lp_infeasible_when_demand_exceeds_candidates() {
+        let mut p = CoveringProblem::new(vec![1.0]);
+        p.push_row(vec![0], 2);
+        assert_eq!(p.lp_lower_bound().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn dedup_in_rows() {
+        let mut p = CoveringProblem::new(vec![1.0, 1.0]);
+        p.push_row(vec![0, 0, 1], 2);
+        assert_eq!(p.rows[0].items, vec![0, 1]);
+    }
+
+    #[test]
+    fn residuals() {
+        let p = toy();
+        assert_eq!(p.residual_demands(&[false; 4]), vec![2, 1]);
+        assert_eq!(p.residual_demands(&[true, false, true, false]), vec![0, 0]);
+    }
+
+    #[test]
+    fn zero_demand_rows_ignored_by_lp() {
+        let mut p = CoveringProblem::new(vec![5.0]);
+        p.push_row(vec![0], 0);
+        assert_eq!(p.lp_lower_bound().unwrap(), 0.0);
+    }
+}

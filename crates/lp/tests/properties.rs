@@ -1,0 +1,94 @@
+//! Property-based tests for the LP/ILP solvers.
+//!
+//! Random covering instances are generated and the three solvers
+//! cross-checked: `LP ≤ exact ≤ greedy`, exactness of B&B on small
+//! instances via brute force, and LP solution feasibility.
+
+use acmr_lp::{branch_and_bound, greedy_cover, BnbLimits, CoveringProblem};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random feasible covering problem.
+fn random_problem(seed: u64, items: usize, rows: usize, max_demand: u32) -> CoveringProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let costs: Vec<f64> = (0..items).map(|_| rng.gen_range(1..=20) as f64).collect();
+    let mut p = CoveringProblem::new(costs);
+    for _ in 0..rows {
+        let k = rng.gen_range(1..=items);
+        let mut row: Vec<usize> = (0..items).collect();
+        // Partial shuffle: take k random distinct items.
+        for i in 0..k {
+            let j = rng.gen_range(i..items);
+            row.swap(i, j);
+        }
+        row.truncate(k);
+        let demand = rng.gen_range(0..=max_demand.min(k as u32));
+        p.push_row(row, demand);
+    }
+    p
+}
+
+/// Brute force exact optimum by enumerating all 2^items subsets.
+fn brute_force(p: &CoveringProblem) -> Option<f64> {
+    let n = p.num_items();
+    assert!(n <= 16);
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << n) {
+        let chosen: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+        if p.satisfies(&chosen) {
+            let c = p.cost_of(&chosen);
+            if best.is_none_or(|b| c < b) {
+                best = Some(c);
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// B&B equals brute force on every feasible small instance.
+    #[test]
+    fn bnb_matches_brute_force(seed in 0u64..10_000) {
+        let p = random_problem(seed, 8, 5, 3);
+        let brute = brute_force(&p);
+        let bnb = branch_and_bound(&p, BnbLimits::default());
+        match (brute, bnb) {
+            (Some(b), Some(r)) => {
+                prop_assert!(r.proven_optimal);
+                prop_assert!((r.cost - b).abs() < 1e-7, "bnb {} vs brute {}", r.cost, b);
+            }
+            (None, None) => {}
+            (b, r) => prop_assert!(false, "feasibility disagreement: brute {b:?} bnb {:?}", r.map(|x| x.cost)),
+        }
+    }
+
+    /// Sandwich LP ≤ B&B ≤ greedy on medium instances, and all
+    /// reported solutions actually satisfy the rows.
+    #[test]
+    fn solver_sandwich(seed in 0u64..10_000) {
+        let p = random_problem(seed, 14, 10, 4);
+        if !p.is_feasible() { return Ok(()); }
+        let lp = p.lp_lower_bound().unwrap();
+        let g = greedy_cover(&p).unwrap();
+        let b = branch_and_bound(&p, BnbLimits { max_nodes: 2_000 }).unwrap();
+        prop_assert!(p.satisfies(&g.chosen));
+        prop_assert!(p.satisfies(&b.chosen));
+        prop_assert!(lp <= b.cost + 1e-6, "lp {lp} > bnb {}", b.cost);
+        prop_assert!(b.cost <= g.cost + 1e-6, "bnb {} > greedy {}", b.cost, g.cost);
+        prop_assert!(lp >= 0.0);
+    }
+
+    /// The LP solution is primal feasible for the relaxation.
+    #[test]
+    fn lp_solution_feasible(seed in 0u64..10_000) {
+        let p = random_problem(seed, 10, 8, 3);
+        if !p.is_feasible() { return Ok(()); }
+        let lp = p.lp_relaxation();
+        let sol = acmr_lp::solve(&lp).unwrap();
+        prop_assert!(lp.is_feasible(&sol.x, 1e-6));
+        prop_assert!((sol.objective - lp.objective_value(&sol.x)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,131 @@
+//! Adversarial instances that stress the preemption machinery.
+//!
+//! These are the structures lower-bound arguments in this literature
+//! are built from: nested intervals on a line (each new request
+//! overlaps all previous ones on a shrinking core), a single hot edge
+//! hammered far beyond capacity, and a two-phase squeeze mirroring the
+//! §4 reduction (fill to capacity, then force preemptions one by one).
+
+use acmr_core::{AdmissionInstance, Request};
+use acmr_graph::{EdgeId, EdgeSet};
+
+/// Nested intervals on a line of `m` edges with capacity `cap`:
+/// request `i` covers edges `[0, m − i·shrink)` — every later request
+/// nests inside the earlier ones, so edge 0 is the choke point while
+/// outer edges see decreasing load. `rounds` full nests are issued.
+///
+/// OPT rejects the *widest* requests (they hog everything); greedy
+/// FCFS baselines keep them and then must reject many narrow ones.
+pub fn nested_intervals(m: u32, cap: u32, shrink: u32, rounds: u32) -> AdmissionInstance {
+    assert!(m >= 2 && shrink >= 1);
+    let mut inst = AdmissionInstance::from_capacities(vec![cap; m as usize]);
+    for _ in 0..rounds {
+        let mut width = m;
+        let mut i = 0u32;
+        while width >= 1 {
+            let fp: EdgeSet = (0..width).map(EdgeId).collect();
+            inst.push(Request::new(fp, 1.0 + i as f64)); // narrower = pricier
+            if width <= shrink {
+                break;
+            }
+            width -= shrink;
+            i += 1;
+        }
+    }
+    inst
+}
+
+/// `total` unit requests on a single edge of capacity `cap` (all other
+/// `m − 1` edges idle). OPT = `total − cap`; drives E1/E2 calibration.
+pub fn repeated_hot_edge(m: u32, cap: u32, total: u32) -> AdmissionInstance {
+    assert!(m >= 1);
+    let mut inst = AdmissionInstance::from_capacities(vec![cap; m as usize]);
+    for _ in 0..total {
+        inst.push(Request::unit(EdgeSet::singleton(EdgeId(0))));
+    }
+    inst
+}
+
+/// Two-phase squeeze mirroring the §4 reduction: `width`-edge requests
+/// fill every edge of an `m`-edge network exactly to capacity `cap`
+/// (phase 1), then `hits` expensive single-edge requests land on edge
+/// 0 (phase 2), each forcing a preemption among the incumbents.
+pub fn two_phase_squeeze(m: u32, cap: u32, width: u32, hits: u32) -> AdmissionInstance {
+    assert!(width >= 1 && width <= m);
+    assert!(hits <= cap, "phase 2 cannot exceed edge-0 capacity");
+    let mut inst = AdmissionInstance::from_capacities(vec![cap; m as usize]);
+    // Phase 1: sliding windows, `cap` passes, wrapping.
+    for _ in 0..cap {
+        let mut start = 0u32;
+        while start < m {
+            let fp: EdgeSet = (start..(start + width).min(m)).map(EdgeId).collect();
+            inst.push(Request::unit(fp));
+            start += width;
+        }
+    }
+    // Phase 2: expensive hits on edge 0.
+    for _ in 0..hits {
+        inst.push(Request::new(EdgeSet::singleton(EdgeId(0)), 1_000.0));
+    }
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_intervals_shape() {
+        let inst = nested_intervals(8, 2, 2, 1);
+        // Widths: 8, 6, 4, 2 → 4 requests.
+        assert_eq!(inst.requests.len(), 4);
+        assert_eq!(inst.requests[0].footprint.len(), 8);
+        assert_eq!(inst.requests[3].footprint.len(), 2);
+        // Edge 0 is in every footprint.
+        assert!(inst
+            .requests
+            .iter()
+            .all(|r| r.footprint.contains(EdgeId(0))));
+        // Later requests cost more.
+        assert!(inst.requests[3].cost > inst.requests[0].cost);
+    }
+
+    #[test]
+    fn nested_rounds_multiply() {
+        let one = nested_intervals(8, 2, 2, 1).requests.len();
+        let three = nested_intervals(8, 2, 2, 3).requests.len();
+        assert_eq!(three, 3 * one);
+    }
+
+    #[test]
+    fn hot_edge_excess() {
+        let inst = repeated_hot_edge(4, 3, 10);
+        assert_eq!(inst.requests.len(), 10);
+        assert_eq!(inst.max_excess(), 7);
+        assert!(inst.is_unweighted());
+    }
+
+    #[test]
+    fn squeeze_phase1_exactly_fills() {
+        let inst = two_phase_squeeze(6, 2, 3, 2);
+        // Phase 1: 2 passes × 2 windows = 4 requests; phase 2: 2.
+        assert_eq!(inst.requests.len(), 6);
+        // Count load per edge from phase 1 only.
+        let mut load = vec![0u32; 6];
+        for r in inst.requests.iter().take(4) {
+            for e in r.footprint.iter() {
+                load[e.index()] += 1;
+            }
+        }
+        assert!(load.iter().all(|&l| l == 2), "load {load:?}");
+        // Phase 2 requests are expensive singletons on edge 0.
+        assert_eq!(inst.requests[4].footprint.len(), 1);
+        assert!(inst.requests[4].cost > 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn squeeze_rejects_too_many_hits() {
+        two_phase_squeeze(6, 2, 3, 5);
+    }
+}

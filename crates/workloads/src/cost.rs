@@ -1,0 +1,140 @@
+//! Request-cost distributions.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Cost model for generated requests.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CostModel {
+    /// All costs 1 (the paper's unweighted case).
+    Unit,
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound (must be > 0).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Discrete Zipf over `{1, …, n_values}` with exponent `s`:
+    /// value `v` has probability ∝ `1/v^s`. Heavy-tailed costs —
+    /// the regime where the weighted algorithm's cost classes matter.
+    Zipf {
+        /// Number of distinct values.
+        n_values: u32,
+        /// Skew exponent (≈1 classic).
+        s: f64,
+    },
+    /// Mixture: cheap cost `lo` with probability `1−p_hi`, expensive
+    /// `hi` with probability `p_hi`. Stresses the `R_big` machinery.
+    Bimodal {
+        /// Cheap value.
+        lo: f64,
+        /// Expensive value.
+        hi: f64,
+        /// Probability of the expensive value.
+        p_hi: f64,
+    },
+}
+
+impl CostModel {
+    /// Draw one cost.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match *self {
+            CostModel::Unit => 1.0,
+            CostModel::Uniform { lo, hi } => {
+                debug_assert!(lo > 0.0 && hi >= lo);
+                rng.gen_range(lo..=hi)
+            }
+            CostModel::Zipf { n_values, s } => {
+                // Inverse-CDF sampling over the discrete support; n is
+                // small (≤ a few thousand) in every experiment.
+                let n = n_values.max(1);
+                let norm: f64 = (1..=n).map(|v| 1.0 / (v as f64).powf(s)).sum();
+                let mut u = rng.gen_range(0.0..1.0) * norm;
+                for v in 1..=n {
+                    u -= 1.0 / (v as f64).powf(s);
+                    if u <= 0.0 {
+                        return v as f64;
+                    }
+                }
+                n as f64
+            }
+            CostModel::Bimodal { lo, hi, p_hi } => {
+                if rng.gen_bool(p_hi) {
+                    hi
+                } else {
+                    lo
+                }
+            }
+        }
+    }
+
+    /// True iff this model always returns 1.
+    pub fn is_unit(&self) -> bool {
+        matches!(self, CostModel::Unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unit_is_one() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(CostModel::Unit.sample(&mut rng), 1.0);
+        assert!(CostModel::Unit.is_unit());
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = CostModel::Uniform { lo: 2.0, hi: 5.0 };
+        for _ in 0..500 {
+            let c = m.sample(&mut rng);
+            assert!((2.0..=5.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn zipf_is_heavy_on_small_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = CostModel::Zipf { n_values: 100, s: 1.2 };
+        let mut ones = 0;
+        let mut total = 0.0;
+        for _ in 0..2000 {
+            let c = m.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&c));
+            if c == 1.0 {
+                ones += 1;
+            }
+            total += c;
+        }
+        assert!(ones > 300, "zipf should concentrate on 1 (got {ones})");
+        assert!(total / 2000.0 < 20.0);
+    }
+
+    #[test]
+    fn bimodal_frequencies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = CostModel::Bimodal { lo: 1.0, hi: 50.0, p_hi: 0.2 };
+        let hits = (0..2000).filter(|_| m.sample(&mut rng) == 50.0).count();
+        assert!((200..=600).contains(&hits), "p_hi≈0.2 got {hits}/2000");
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let m = CostModel::Zipf { n_values: 50, s: 1.0 };
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| m.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| m.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,31 @@
+//! # acmr-workloads
+//!
+//! Workload generators, adversarial constructions and a plain-text
+//! trace format for the admission-control / set-cover experiments.
+//!
+//! The paper is a theory paper with no benchmark suite; these
+//! generators realize the scenarios its introduction motivates
+//! (communication requests on virtual paths in capacitated networks,
+//! where *rejections are meant to be rare events*) plus adversarial
+//! stress instances exercising the preemption machinery the proofs
+//! rely on.
+//!
+//! Everything takes explicit seeds; generation is bit-reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod adversarial;
+pub mod cost;
+pub mod lower_bound;
+pub mod setcover;
+pub mod trace;
+
+pub use admission::{random_path_workload, PathWorkloadSpec, Topology};
+pub use adversarial::{nested_intervals, repeated_hot_edge, two_phase_squeeze};
+pub use cost::CostModel;
+pub use setcover::{
+    random_arrivals, random_set_system, structured_partition_system, ArrivalPattern,
+    SetSystemSpec,
+};

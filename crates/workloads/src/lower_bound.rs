@@ -1,0 +1,152 @@
+//! Hard instance families in the spirit of the lower bounds the paper
+//! cites.
+//!
+//! Feige & Korman's `Ω(log m log n)` lower bound (personal
+//! communication in the paper; unpublished) and the earlier
+//! `Ω(log m log n / (log log m + log log n))` bound of Alon et al.
+//! \[2\] both rest on *recursive/dyadic* set structure: the adversary
+//! walks down a hierarchy, always requesting the element about which
+//! the algorithm has revealed the least. We implement a simplified
+//! deterministic variant: a **dyadic set system** (one set per node of
+//! a complete binary tree over the ground set) and an adversary that
+//! repeatedly requests the element whose current coverage is smallest
+//! — forcing any online algorithm to spread purchases across all
+//! `log n` levels while OPT buys only the leaves-to-root path sets it
+//! needs in hindsight.
+//!
+//! These are *stress* instances: we use them to exercise the
+//! algorithms' worst-case machinery, not to claim the lower bound.
+
+use acmr_core::setcover::{OnlineSetCover, SetSystem};
+
+/// The dyadic set system over `n = 2^levels` elements: one set per
+/// node of a complete binary tree whose leaves are elements; the set
+/// of a node contains every element in its subtree.
+/// `m = 2n − 1` sets; element degree = `levels + 1`.
+pub fn dyadic_system(levels: u32) -> SetSystem {
+    assert!((1..=16).contains(&levels), "levels must be in 1..=16");
+    let n = 1usize << levels;
+    let mut sets: Vec<Vec<u32>> = Vec::with_capacity(2 * n - 1);
+    // Level ℓ has 2^ℓ nodes, each spanning n / 2^ℓ consecutive leaves.
+    for level in 0..=levels {
+        let nodes = 1usize << level;
+        let span = n >> level;
+        for b in 0..nodes {
+            sets.push(((b * span) as u32..((b + 1) * span) as u32).collect());
+        }
+    }
+    SetSystem::unit(n, sets)
+}
+
+/// Adversarial schedule against `alg` on a dyadic system: for
+/// `rounds·n` steps, request the feasible element with the smallest
+/// current coverage (ties → smallest id). Returns the arrival
+/// sequence actually played.
+///
+/// `coverage_of` must report the algorithm's current distinct-set
+/// coverage of an element (both paper algorithms expose it).
+pub fn adaptive_least_covered_schedule<A, F>(
+    system: &SetSystem,
+    alg: &mut A,
+    coverage_of: F,
+    rounds: u32,
+) -> Vec<u32>
+where
+    A: OnlineSetCover,
+    F: Fn(&A, u32) -> usize,
+{
+    let n = system.num_elements();
+    let mut count = vec![0u32; n];
+    let mut played = Vec::new();
+    for _ in 0..rounds as usize * n {
+        // Least-covered feasible element.
+        let target = (0..n as u32)
+            .filter(|&j| (count[j as usize] as usize) < system.degree(j))
+            .min_by_key(|&j| (coverage_of(alg, j), j));
+        let Some(j) = target else {
+            break; // every element exhausted its degree
+        };
+        count[j as usize] += 1;
+        alg.on_arrival(j);
+        played.push(j);
+    }
+    played
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acmr_core::setcover::{BicriteriaCover, ReductionCover};
+    use acmr_core::RandConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dyadic_structure() {
+        let sys = dyadic_system(3); // n = 8, m = 15
+        assert_eq!(sys.num_elements(), 8);
+        assert_eq!(sys.num_sets(), 15);
+        for j in 0..8u32 {
+            assert_eq!(sys.degree(j), 4); // root + 3 levels… = levels+1
+        }
+        // The root set covers everything.
+        assert_eq!(sys.elements_of(acmr_core::setcover::SetId(0)).len(), 8);
+        // Leaf sets are singletons.
+        assert_eq!(sys.elements_of(acmr_core::setcover::SetId(14)).len(), 1);
+    }
+
+    #[test]
+    fn adversary_respects_feasibility() {
+        let sys = dyadic_system(3);
+        let mut alg = BicriteriaCover::new(sys.clone(), 0.25);
+        let played = adaptive_least_covered_schedule(
+            &sys,
+            &mut alg,
+            |a, j| a.coverage(j) as usize,
+            2,
+        );
+        assert!(!played.is_empty());
+        assert!(sys.arrivals_feasible(&played));
+    }
+
+    #[test]
+    fn reduction_survives_adaptive_adversary() {
+        let sys = dyadic_system(3);
+        let mut alg = ReductionCover::randomized(
+            sys.clone(),
+            RandConfig::unweighted(),
+            StdRng::seed_from_u64(17),
+        );
+        let played =
+            adaptive_least_covered_schedule(&sys, &mut alg, |a, j| a.coverage(j), 2);
+        // Coverage contract after the whole adaptive schedule.
+        let mut demand = vec![0usize; sys.num_elements()];
+        for &j in &played {
+            demand[j as usize] += 1;
+        }
+        for j in 0..sys.num_elements() as u32 {
+            assert!(alg.coverage(j) >= demand[j as usize]);
+        }
+        assert_eq!(alg.repairs(), 0);
+    }
+
+    #[test]
+    fn adaptive_adversary_is_harder_than_round_robin() {
+        // The adaptive schedule should cost at least as much as a
+        // plain one-round pass for the deterministic algorithm.
+        let sys = dyadic_system(4);
+        let adaptive_cost = {
+            let mut alg = BicriteriaCover::new(sys.clone(), 0.25);
+            adaptive_least_covered_schedule(&sys, &mut alg, |a, j| a.coverage(j) as usize, 1);
+            alg.total_cost()
+        };
+        let rr_cost = {
+            let mut alg = BicriteriaCover::new(sys.clone(), 0.25);
+            for j in 0..sys.num_elements() as u32 {
+                alg.on_arrival(j);
+            }
+            alg.total_cost()
+        };
+        assert!(adaptive_cost + 1e-9 >= rr_cost * 0.5, "adaptive {adaptive_cost} rr {rr_cost}");
+    }
+}

@@ -1,0 +1,266 @@
+//! Set-system generators and arrival schedules for online set cover
+//! with repetitions.
+
+use acmr_core::setcover::SetSystem;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Specification of a random set system.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SetSystemSpec {
+    /// Ground-set size `n`.
+    pub num_elements: usize,
+    /// Family size `m`.
+    pub num_sets: usize,
+    /// Probability that a given element belongs to a given set.
+    pub density: f64,
+    /// Minimum element degree enforced after sampling (elements are
+    /// patched into random sets until they belong to at least this
+    /// many) — keeps repetition schedules feasible.
+    pub min_degree: usize,
+    /// Uniform-cost range `[1, max_cost]` (1 = unit costs).
+    pub max_cost: u32,
+}
+
+impl SetSystemSpec {
+    /// Unit-cost default with density 0.2 and min degree 2.
+    pub fn unit(num_elements: usize, num_sets: usize) -> Self {
+        SetSystemSpec {
+            num_elements,
+            num_sets,
+            density: 0.2,
+            min_degree: 2,
+            max_cost: 1,
+        }
+    }
+}
+
+/// Sample a random set system per the spec.
+pub fn random_set_system<R: Rng>(spec: &SetSystemSpec, rng: &mut R) -> SetSystem {
+    assert!(spec.num_elements >= 1 && spec.num_sets >= 1);
+    assert!(
+        spec.min_degree <= spec.num_sets,
+        "min_degree cannot exceed the number of sets"
+    );
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); spec.num_sets];
+    let mut degree = vec![0usize; spec.num_elements];
+    for (i, set) in members.iter_mut().enumerate() {
+        for j in 0..spec.num_elements as u32 {
+            if rng.gen_bool(spec.density) {
+                set.push(j);
+                degree[j as usize] += 1;
+                let _ = i;
+            }
+        }
+    }
+    // Patch low-degree elements into random extra sets.
+    let mut order: Vec<usize> = (0..spec.num_sets).collect();
+    for j in 0..spec.num_elements {
+        while degree[j] < spec.min_degree {
+            order.shuffle(rng);
+            let target = order
+                .iter()
+                .copied()
+                .find(|&s| !members[s].contains(&(j as u32)))
+                .expect("min_degree ≤ num_sets guarantees a free set");
+            members[target].push(j as u32);
+            degree[j] += 1;
+        }
+    }
+    let costs: Vec<f64> = (0..spec.num_sets)
+        .map(|_| {
+            if spec.max_cost <= 1 {
+                1.0
+            } else {
+                rng.gen_range(1..=spec.max_cost) as f64
+            }
+        })
+        .collect();
+    SetSystem::new(spec.num_elements, members, costs)
+}
+
+/// A structured system: elements are partitioned into `groups` blocks;
+/// each block gets `copies` identical covering sets, plus one global
+/// set covering everything. OPT for one round of all elements is 1
+/// (the global set) while per-block buying costs `groups` — a clean
+/// gap instance for E5/E7.
+pub fn structured_partition_system(
+    num_elements: usize,
+    groups: usize,
+    copies: usize,
+) -> SetSystem {
+    assert!(groups >= 1 && copies >= 1 && num_elements >= groups);
+    let mut members: Vec<Vec<u32>> = Vec::new();
+    for g in 0..groups {
+        let block: Vec<u32> = (0..num_elements as u32)
+            .filter(|j| (*j as usize) % groups == g)
+            .collect();
+        for _ in 0..copies {
+            members.push(block.clone());
+        }
+    }
+    members.push((0..num_elements as u32).collect());
+    SetSystem::unit(num_elements, members)
+}
+
+/// Arrival schedules over a set system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrivalPattern {
+    /// Uniformly random elements, each repetition independent.
+    UniformRandom,
+    /// Round-robin over all elements, `reps` full rounds (every element
+    /// arrives exactly `reps` times).
+    RoundRobin,
+    /// All repetitions of one element delivered consecutively before
+    /// moving on (bursty — the hardest ordering for repetition logic).
+    Bursty,
+}
+
+/// Generate a feasible arrival sequence: `reps` target repetitions per
+/// element, truncated at each element's degree.
+pub fn random_arrivals<R: Rng>(
+    system: &SetSystem,
+    pattern: ArrivalPattern,
+    reps: u32,
+    rng: &mut R,
+) -> Vec<u32> {
+    let n = system.num_elements();
+    let quota: Vec<u32> = (0..n as u32)
+        .map(|j| reps.min(system.degree(j) as u32))
+        .collect();
+    match pattern {
+        ArrivalPattern::RoundRobin => {
+            let mut out = Vec::new();
+            for round in 0..reps {
+                for j in 0..n as u32 {
+                    if round < quota[j as usize] {
+                        out.push(j);
+                    }
+                }
+            }
+            out
+        }
+        ArrivalPattern::Bursty => {
+            let mut elements: Vec<u32> = (0..n as u32).collect();
+            elements.shuffle(rng);
+            let mut out = Vec::new();
+            for j in elements {
+                for _ in 0..quota[j as usize] {
+                    out.push(j);
+                }
+            }
+            out
+        }
+        ArrivalPattern::UniformRandom => {
+            // Multiset of all (element, rep) pairs, shuffled.
+            let mut out: Vec<u32> = (0..n as u32)
+                .flat_map(|j| std::iter::repeat(j).take(quota[j as usize] as usize))
+                .collect();
+            out.shuffle(rng);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_system_respects_min_degree() {
+        let spec = SetSystemSpec {
+            num_elements: 20,
+            num_sets: 10,
+            density: 0.05, // sparse: patching must kick in
+            min_degree: 3,
+            max_cost: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let sys = random_set_system(&spec, &mut rng);
+        for j in 0..20u32 {
+            assert!(sys.degree(j) >= 3, "element {j} degree {}", sys.degree(j));
+        }
+    }
+
+    #[test]
+    fn random_system_is_deterministic() {
+        let spec = SetSystemSpec::unit(15, 12);
+        let a = random_set_system(&spec, &mut StdRng::seed_from_u64(2));
+        let b = random_set_system(&spec, &mut StdRng::seed_from_u64(2));
+        for i in 0..12u32 {
+            assert_eq!(
+                a.elements_of(acmr_core::setcover::SetId(i)),
+                b.elements_of(acmr_core::setcover::SetId(i))
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_costs_in_range() {
+        let spec = SetSystemSpec {
+            max_cost: 10,
+            ..SetSystemSpec::unit(10, 8)
+        };
+        let sys = random_set_system(&spec, &mut StdRng::seed_from_u64(3));
+        for i in 0..8u32 {
+            let c = sys.cost(acmr_core::setcover::SetId(i));
+            assert!((1.0..=10.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn structured_system_shape() {
+        let sys = structured_partition_system(12, 3, 2);
+        // 3 groups × 2 copies + 1 global = 7 sets.
+        assert_eq!(sys.num_sets(), 7);
+        // Every element: 2 block copies + global = degree 3.
+        for j in 0..12u32 {
+            assert_eq!(sys.degree(j), 3);
+        }
+    }
+
+    #[test]
+    fn round_robin_counts() {
+        let sys = structured_partition_system(6, 2, 2);
+        let arr = random_arrivals(&sys, ArrivalPattern::RoundRobin, 2, &mut StdRng::seed_from_u64(4));
+        assert_eq!(arr.len(), 12);
+        assert!(sys.arrivals_feasible(&arr));
+    }
+
+    #[test]
+    fn bursty_is_feasible_and_grouped() {
+        let sys = structured_partition_system(6, 2, 3);
+        let arr = random_arrivals(&sys, ArrivalPattern::Bursty, 2, &mut StdRng::seed_from_u64(5));
+        assert!(sys.arrivals_feasible(&arr));
+        // Consecutive duplicates: each element's arrivals are adjacent.
+        let mut seen = std::collections::HashSet::new();
+        let mut prev = u32::MAX;
+        for &j in &arr {
+            if j != prev {
+                assert!(seen.insert(j), "element {j} appeared in two bursts");
+                prev = j;
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_random_is_feasible() {
+        let spec = SetSystemSpec::unit(10, 8);
+        let sys = random_set_system(&spec, &mut StdRng::seed_from_u64(6));
+        let arr = random_arrivals(&sys, ArrivalPattern::UniformRandom, 3, &mut StdRng::seed_from_u64(7));
+        assert!(sys.arrivals_feasible(&arr));
+    }
+
+    #[test]
+    fn quota_truncated_at_degree() {
+        // Element degree can be < reps; quota must clamp.
+        let sys = SetSystem::unit(2, vec![vec![0], vec![0], vec![1]]);
+        let arr = random_arrivals(&sys, ArrivalPattern::RoundRobin, 5, &mut StdRng::seed_from_u64(8));
+        let count1 = arr.iter().filter(|&&j| j == 1).count();
+        assert_eq!(count1, 1); // deg(1) = 1
+        assert!(sys.arrivals_feasible(&arr));
+    }
+}

@@ -1,0 +1,188 @@
+//! Plain-text trace format for admission instances.
+//!
+//! Experiments persist generated instances so runs can be replayed and
+//! diffed. The format is a deliberately simple line protocol (the
+//! allowed dependency set has no serde *format* crate):
+//!
+//! ```text
+//! ACMR-TRACE v1
+//! edges 3
+//! caps 2 2 1
+//! requests 2
+//! 1 0 1
+//! 2.5 1 2
+//! ```
+//!
+//! Request lines are `<cost> <edge>…`. Floats round-trip via Rust's
+//! shortest-repr formatting, so write→read→write is idempotent.
+
+use acmr_core::{AdmissionInstance, Request};
+use acmr_graph::{EdgeId, EdgeSet};
+use std::fmt::Write as _;
+
+/// Parse failure, with the 1-based line number where it occurred.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn err(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serialize an instance to the trace format.
+pub fn write_trace(inst: &AdmissionInstance) -> String {
+    let mut out = String::new();
+    out.push_str("ACMR-TRACE v1\n");
+    let _ = writeln!(out, "edges {}", inst.capacities.len());
+    out.push_str("caps");
+    for &c in &inst.capacities {
+        let _ = write!(out, " {c}");
+    }
+    out.push('\n');
+    let _ = writeln!(out, "requests {}", inst.requests.len());
+    for r in &inst.requests {
+        let _ = write!(out, "{}", r.cost);
+        for e in r.footprint.iter() {
+            let _ = write!(out, " {}", e.0);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse an instance from the trace format.
+pub fn read_trace(text: &str) -> Result<AdmissionInstance, TraceError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+    let (ln, header) = lines.next().ok_or_else(|| err(0, "empty trace"))?;
+    if header != "ACMR-TRACE v1" {
+        return Err(err(ln, format!("bad header {header:?}")));
+    }
+    let (ln, edges_line) = lines.next().ok_or_else(|| err(ln, "missing edges line"))?;
+    let m: usize = edges_line
+        .strip_prefix("edges ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(ln, "expected `edges <m>`"))?;
+    let (ln, caps_line) = lines.next().ok_or_else(|| err(ln, "missing caps line"))?;
+    let caps_body = caps_line
+        .strip_prefix("caps")
+        .ok_or_else(|| err(ln, "expected `caps …`"))?;
+    let capacities: Vec<u32> = caps_body
+        .split_whitespace()
+        .map(|t| t.parse::<u32>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| err(ln, format!("bad capacity: {e}")))?;
+    if capacities.len() != m {
+        return Err(err(ln, format!("expected {m} capacities, got {}", capacities.len())));
+    }
+    if capacities.iter().any(|&c| c == 0) {
+        return Err(err(ln, "capacities must be positive"));
+    }
+    let (ln, reqs_line) = lines.next().ok_or_else(|| err(ln, "missing requests line"))?;
+    let k: usize = reqs_line
+        .strip_prefix("requests ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(ln, "expected `requests <k>`"))?;
+    let mut inst = AdmissionInstance::from_capacities(capacities);
+    for _ in 0..k {
+        let (ln, line) = lines.next().ok_or_else(|| err(ln, "truncated requests"))?;
+        let mut toks = line.split_whitespace();
+        let cost: f64 = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| err(ln, "missing cost"))?;
+        if !(cost > 0.0 && cost.is_finite()) {
+            return Err(err(ln, format!("bad cost {cost}")));
+        }
+        let edges: Vec<EdgeId> = toks
+            .map(|t| t.parse::<u32>().map(EdgeId))
+            .collect::<Result<_, _>>()
+            .map_err(|e| err(ln, format!("bad edge id: {e}")))?;
+        if edges.is_empty() {
+            return Err(err(ln, "request has no edges"));
+        }
+        if edges.iter().any(|e| e.index() >= m) {
+            return Err(err(ln, "edge id out of range"));
+        }
+        inst.push(Request::new(EdgeSet::new(edges), cost));
+    }
+    if let Some((ln, extra)) = lines.find(|(_, l)| !l.is_empty()) {
+        return Err(err(ln, format!("trailing content {extra:?}")));
+    }
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversarial;
+
+    #[test]
+    fn roundtrip_identity() {
+        let inst = adversarial::nested_intervals(8, 2, 2, 2);
+        let text = write_trace(&inst);
+        let back = read_trace(&text).unwrap();
+        assert_eq!(back.capacities, inst.capacities);
+        assert_eq!(back.requests, inst.requests);
+        // Idempotent re-serialization.
+        assert_eq!(write_trace(&back), text);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_trace("WRONG v9\n").is_err());
+        assert!(read_trace("").is_err());
+    }
+
+    #[test]
+    fn rejects_capacity_mismatch() {
+        let e = read_trace("ACMR-TRACE v1\nedges 2\ncaps 1\nrequests 0\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn rejects_zero_capacity() {
+        assert!(read_trace("ACMR-TRACE v1\nedges 1\ncaps 0\nrequests 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_edge() {
+        let text = "ACMR-TRACE v1\nedges 1\ncaps 2\nrequests 1\n1 5\n";
+        let e = read_trace(text).unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_truncated_requests() {
+        let text = "ACMR-TRACE v1\nedges 1\ncaps 2\nrequests 2\n1 0\n";
+        assert!(read_trace(text).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let text = "ACMR-TRACE v1\nedges 1\ncaps 2\nrequests 0\nunexpected\n";
+        assert!(read_trace(text).is_err());
+    }
+
+    #[test]
+    fn float_costs_roundtrip() {
+        let mut inst = AdmissionInstance::from_capacities(vec![1]);
+        inst.push(Request::new(EdgeSet::singleton(EdgeId(0)), 0.1 + 0.2));
+        let back = read_trace(&write_trace(&inst)).unwrap();
+        assert_eq!(back.requests[0].cost, inst.requests[0].cost);
+    }
+}

@@ -1,0 +1,58 @@
+//! Fuzz-style property tests for the trace parser: arbitrary input
+//! never panics, and structured round-trips are lossless.
+
+use acmr_core::{AdmissionInstance, Request};
+use acmr_graph::{EdgeId, EdgeSet};
+use acmr_workloads::trace::{read_trace, write_trace};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary bytes: the parser returns Ok or Err, never panics.
+    #[test]
+    fn parser_never_panics(input in ".{0,400}") {
+        let _ = read_trace(&input);
+    }
+
+    /// Arbitrary *line-shaped* garbage built from plausible tokens.
+    #[test]
+    fn structured_garbage_never_panics(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just("ACMR-TRACE v1".to_string()),
+                Just("edges 3".to_string()),
+                Just("caps 1 2 3".to_string()),
+                Just("requests 2".to_string()),
+                Just("1 0 1".to_string()),
+                Just("-5 99".to_string()),
+                Just("nan 0".to_string()),
+                Just("".to_string()),
+            ],
+            0..12,
+        )
+    ) {
+        let _ = read_trace(&lines.join("\n"));
+    }
+
+    /// Structured round-trip: any valid instance survives
+    /// write → read → write byte-identically.
+    #[test]
+    fn roundtrip_lossless(
+        caps in proptest::collection::vec(1u32..9, 1..6),
+        reqs in proptest::collection::vec(
+            (proptest::collection::vec(0usize..6, 1..4), 1u32..1000),
+            0..20,
+        ),
+    ) {
+        let m = caps.len();
+        let mut inst = AdmissionInstance::from_capacities(caps);
+        for (edges, cost) in reqs {
+            let edges: Vec<EdgeId> = edges.into_iter().map(|e| EdgeId((e % m) as u32)).collect();
+            inst.push(Request::new(EdgeSet::new(edges), cost as f64));
+        }
+        let text = write_trace(&inst);
+        let back = read_trace(&text).unwrap();
+        prop_assert_eq!(&back.capacities, &inst.capacities);
+        prop_assert_eq!(&back.requests, &inst.requests);
+        prop_assert_eq!(write_trace(&back), text);
+    }
+}

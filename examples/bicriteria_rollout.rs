@@ -1,0 +1,67 @@
+//! Deterministic bicriteria rollout (§5): when randomness is not an
+//! option (reproducible infrastructure rollouts), the bicriteria
+//! algorithm covers every demand `(1−ε)k` times deterministically at
+//! `O(log m log n)` cost.
+//!
+//! Shows the ε trade-off: more slack → fewer sets bought, always
+//! meeting the relaxed coverage contract, with the Lemma 6 potential
+//! audited along the run.
+//!
+//! ```text
+//! cargo run --example bicriteria_rollout
+//! ```
+
+use acmr::core::setcover::{BicriteriaCover, OnlineSetCover};
+use acmr::harness::{run_set_cover, setcover_opt, BoundBudget};
+use acmr::workloads::{random_arrivals, random_set_system, ArrivalPattern, SetSystemSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let spec = SetSystemSpec {
+        num_elements: 30,
+        num_sets: 45,
+        density: 0.3,
+        min_degree: 4,
+        max_cost: 1,
+    };
+    let mut rng = StdRng::seed_from_u64(555);
+    let system = random_set_system(&spec, &mut rng);
+    let arrivals = random_arrivals(&system, ArrivalPattern::RoundRobin, 3, &mut rng);
+    let opt = setcover_opt(&system, &arrivals, BoundBudget::default());
+    println!(
+        "{} zones, {} rollout bundles, {} demands; full-k OPT ≥ {:.1}\n",
+        system.num_elements(),
+        system.num_sets(),
+        arrivals.len(),
+        opt.value,
+    );
+    println!("{:<8} {:>8} {:>10} {:>16} {:>12} {:>10}", "ε", "bundles", "ratio", "worst coverage", "max Φ/n²", "fallbacks");
+    for &eps in &[0.05, 0.1, 0.25, 0.5] {
+        let mut alg = BicriteriaCover::new(system.clone(), eps);
+        let n2 = (system.num_elements() as f64).powi(2);
+        // Audited replay with a potential probe per arrival.
+        let mut max_phi = alg.potential() / n2;
+        let run = {
+            // run_set_cover audits the (1−ε)k contract per arrival.
+            let mut probe = BicriteriaCover::new(system.clone(), eps);
+            let r = run_set_cover(&mut probe, &system, &arrivals);
+            for &j in &arrivals {
+                alg.on_arrival(j);
+                max_phi = max_phi.max(alg.potential() / n2);
+            }
+            r
+        };
+        println!(
+            "{:<8} {:>8} {:>10.2} {:>16.3} {:>12.4} {:>10}",
+            eps,
+            run.sets_bought,
+            opt.ratio(run.cost),
+            run.worst_coverage_ratio,
+            max_phi,
+            alg.fallback_picks(),
+        );
+        assert!(max_phi <= 1.0 + 1e-9, "Lemma 6 violated");
+    }
+    println!("\nLemma 6 held on every run (Φ ≤ n² throughout).");
+}

@@ -1,0 +1,61 @@
+//! Quickstart: run the paper's randomized admission-control algorithm
+//! on a small overloaded network and compare against the exact offline
+//! optimum.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use acmr::core::{RandConfig, RandomizedAdmission};
+use acmr::harness::{admission_opt, run_admission, BoundBudget};
+use acmr::workloads::{random_path_workload, CostModel, PathWorkloadSpec, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A 32-edge line network, capacity 4 per edge, loaded to 2× its
+    // capacity with random weighted interval requests — the regime
+    // where rejections are unavoidable and *who* you reject matters.
+    let spec = PathWorkloadSpec {
+        topology: Topology::Line { m: 32 },
+        capacity: 4,
+        overload: 2.0,
+        costs: CostModel::Uniform { lo: 1.0, hi: 10.0 },
+        max_hops: 8,
+    };
+    let (graph, instance) = random_path_workload(&spec, &mut StdRng::seed_from_u64(7));
+    println!(
+        "network: {} edges, capacity {}, {} requests (total cost {:.1})",
+        graph.num_edges(),
+        graph.max_capacity(),
+        instance.requests.len(),
+        instance.total_cost(),
+    );
+
+    // The paper's O(log²(mc))-competitive randomized algorithm.
+    let mut alg = RandomizedAdmission::new(
+        &instance.capacities,
+        RandConfig::weighted(),
+        StdRng::seed_from_u64(42),
+    );
+    let run = run_admission(&mut alg, &instance);
+    println!(
+        "online : rejected {} requests (cost {:.1}), {} preemptions",
+        run.rejected_count, run.rejected_cost, run.preemptions,
+    );
+
+    // Offline optimum (exact if small enough, LP bound otherwise).
+    let opt = admission_opt(&instance, BoundBudget::default());
+    println!("offline: OPT {} {:.1}", bound_label(opt.kind), opt.value);
+    println!("ratio  : {:.2}  (theory: O(log²(mc)) = O({:.1}))",
+        opt.ratio(run.rejected_cost),
+        (graph.num_edges() as f64 * graph.max_capacity() as f64).ln().powi(2),
+    );
+}
+
+fn bound_label(kind: acmr::harness::OptBoundKind) -> &'static str {
+    match kind {
+        acmr::harness::OptBoundKind::Exact => "=",
+        _ => "≥",
+    }
+}

@@ -1,0 +1,30 @@
+//! Thin shim for the `acmr` CLI; all logic (and its tests) lives in
+//! `acmr::cli`.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let needs_stdin = matches!(
+        argv.first().map(String::as_str),
+        Some("stats") | Some("opt") | Some("run")
+    );
+    let mut stdin = String::new();
+    if needs_stdin {
+        if std::io::stdin().read_to_string(&mut stdin).is_err() {
+            eprintln!("error: could not read trace from stdin");
+            return ExitCode::FAILURE;
+        }
+    }
+    match acmr::cli::dispatch(&argv, &stdin) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The `acmr` command-line tool: generate, inspect, bound and run
+//! admission-control traces from the shell.
+//!
+//! ```text
+//! acmr gen  --m 64 --cap 4 --overload 2 --seed 1 [--weighted] > t.trace
+//! acmr stats < t.trace
+//! acmr opt   < t.trace
+//! acmr run --alg aag-weighted --seed 7 < t.trace
+//! ```
+//!
+//! All subcommand logic lives here (unit-tested); `src/bin/acmr.rs` is
+//! a thin stdin/stdout shim.
+
+use crate::baselines::{CreditSqrtM, GreedyNonPreemptive, PreemptCheapest};
+use crate::core::{AdmissionInstance, RandConfig, RandomizedAdmission};
+use crate::harness::{admission_opt, run_admission, BoundBudget, OptBoundKind};
+use crate::workloads::trace::{read_trace, write_trace};
+use crate::workloads::{random_path_workload, CostModel, PathWorkloadSpec, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// CLI failure: message for stderr, non-zero exit.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parse `--key value` pairs (flags without values get `"true"`).
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| err(format!("expected --flag, got {:?}", args[i])))?;
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            map.insert(key.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            map.insert(key.to_string(), "true".to_string());
+            i += 1;
+        }
+    }
+    Ok(map)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| err(format!("--{key}: cannot parse {v:?}"))),
+    }
+}
+
+/// `acmr gen` — emit a trace to the returned string.
+pub fn cmd_gen(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(args)?;
+    let m: u32 = get(&flags, "m", 64)?;
+    let cap: u32 = get(&flags, "cap", 4)?;
+    let overload: f64 = get(&flags, "overload", 2.0)?;
+    let seed: u64 = get(&flags, "seed", 0)?;
+    let max_hops: u32 = get(&flags, "max-hops", 8)?;
+    let weighted = flags.contains_key("weighted");
+    let topology = match flags.get("topology").map(String::as_str) {
+        None | Some("line") => Topology::Line { m },
+        Some("grid") => {
+            let side = ((m as f64).sqrt().ceil() as u32).max(2);
+            Topology::Grid {
+                rows: side,
+                cols: side,
+            }
+        }
+        Some("tree") => Topology::Tree {
+            levels: (32 - m.leading_zeros()).max(2),
+        },
+        Some(other) => return Err(err(format!("unknown topology {other:?}"))),
+    };
+    let spec = PathWorkloadSpec {
+        topology,
+        capacity: cap,
+        overload,
+        costs: if weighted {
+            CostModel::Zipf {
+                n_values: 64,
+                s: 1.1,
+            }
+        } else {
+            CostModel::Unit
+        },
+        max_hops,
+    };
+    let (_, inst) = random_path_workload(&spec, &mut StdRng::seed_from_u64(seed));
+    Ok(write_trace(&inst))
+}
+
+/// `acmr stats` — summarize a trace.
+pub fn cmd_stats(trace: &str) -> Result<String, CliError> {
+    let inst = read_trace(trace).map_err(|e| err(e.to_string()))?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "edges           : {}\nmax capacity    : {}\nrequests        : {}\ntotal cost      : {:.2}\nunweighted      : {}\nmax edge excess : {}\n",
+        inst.num_edges(),
+        inst.max_capacity(),
+        inst.requests.len(),
+        inst.total_cost(),
+        inst.is_unweighted(),
+        inst.max_excess(),
+    ));
+    Ok(out)
+}
+
+/// `acmr opt` — best offline bound for a trace.
+pub fn cmd_opt(trace: &str) -> Result<String, CliError> {
+    let inst = read_trace(trace).map_err(|e| err(e.to_string()))?;
+    let bound = admission_opt(&inst, BoundBudget::default());
+    let kind = match bound.kind {
+        OptBoundKind::Exact => "exact",
+        OptBoundKind::LpLowerBound => "lp-lower-bound",
+        OptBoundKind::GreedyOverH => "greedy-over-H",
+        OptBoundKind::Trivial => "trivial(Q)",
+    };
+    Ok(format!("opt {kind} {:.4}\n", bound.value))
+}
+
+/// `acmr run` — run an algorithm over a trace; returns the report.
+pub fn cmd_run(args: &[String], trace: &str) -> Result<String, CliError> {
+    let flags = parse_flags(args)?;
+    let inst = read_trace(trace).map_err(|e| err(e.to_string()))?;
+    let seed: u64 = get(&flags, "seed", 0)?;
+    let alg_name = flags
+        .get("alg")
+        .map(String::as_str)
+        .unwrap_or("aag-weighted");
+    let run = run_named(alg_name, &inst, seed)?;
+    let opt = admission_opt(&inst, BoundBudget::default());
+    Ok(format!(
+        "algorithm      : {alg_name}\nrejected cost  : {:.2}\nrejected count : {}\npreemptions    : {}\nopt bound      : {:.2}\nratio          : {:.3}\n",
+        run.rejected_cost,
+        run.rejected_count,
+        run.preemptions,
+        opt.value,
+        opt.ratio(run.rejected_cost),
+    ))
+}
+
+fn run_named(
+    name: &str,
+    inst: &AdmissionInstance,
+    seed: u64,
+) -> Result<crate::harness::AdmissionRun, CliError> {
+    let caps = &inst.capacities;
+    Ok(match name {
+        "aag-weighted" => {
+            let mut alg =
+                RandomizedAdmission::new(caps, RandConfig::weighted(), StdRng::seed_from_u64(seed));
+            run_admission(&mut alg, inst)
+        }
+        "aag-unweighted" => {
+            let mut alg = RandomizedAdmission::new(
+                caps,
+                RandConfig::unweighted(),
+                StdRng::seed_from_u64(seed),
+            );
+            run_admission(&mut alg, inst)
+        }
+        "greedy" => run_admission(&mut GreedyNonPreemptive::new(caps), inst),
+        "preempt-cheapest" => run_admission(&mut PreemptCheapest::new(caps), inst),
+        "credit-sqrt-m" => run_admission(&mut CreditSqrtM::new(caps), inst),
+        other => {
+            return Err(err(format!(
+                "unknown --alg {other:?} (try aag-weighted, aag-unweighted, greedy, preempt-cheapest, credit-sqrt-m)"
+            )))
+        }
+    })
+}
+
+/// Top-level dispatch; `stdin` supplies the trace for the commands
+/// that read one. Returns the stdout payload.
+pub fn dispatch(argv: &[String], stdin: &str) -> Result<String, CliError> {
+    match argv.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&argv[1..]),
+        Some("stats") => cmd_stats(stdin),
+        Some("opt") => cmd_opt(stdin),
+        Some("run") => cmd_run(&argv[1..], stdin),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(err(format!("unknown command {other:?}\n{USAGE}"))),
+    }
+}
+
+/// CLI usage text.
+pub const USAGE: &str = "acmr — admission control to minimize rejections (Alon–Azar–Gutner, SPAA 2005)
+
+USAGE:
+  acmr gen  [--topology line|grid|tree] [--m N] [--cap C] [--overload F]
+            [--seed S] [--weighted] [--max-hops H]     # trace to stdout
+  acmr stats                                           # trace from stdin
+  acmr opt                                             # trace from stdin
+  acmr run  [--alg NAME] [--seed S]                    # trace from stdin
+            NAME: aag-weighted | aag-unweighted | greedy
+                | preempt-cheapest | credit-sqrt-m
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn gen_stats_opt_run_pipeline() {
+        let trace = cmd_gen(&argv(&["--m", "16", "--cap", "2", "--seed", "5"])).unwrap();
+        assert!(trace.starts_with("ACMR-TRACE v1"));
+        let stats = cmd_stats(&trace).unwrap();
+        assert!(stats.contains("edges           : 16"));
+        let opt = cmd_opt(&trace).unwrap();
+        assert!(opt.starts_with("opt "));
+        let run = cmd_run(&argv(&["--alg", "aag-unweighted", "--seed", "1"]), &trace).unwrap();
+        assert!(run.contains("ratio"));
+    }
+
+    #[test]
+    fn weighted_gen_has_varied_costs() {
+        let trace = cmd_gen(&argv(&["--m", "16", "--weighted", "--seed", "3"])).unwrap();
+        let stats = cmd_stats(&trace).unwrap();
+        assert!(stats.contains("unweighted      : false"));
+    }
+
+    #[test]
+    fn all_algorithms_run() {
+        let trace = cmd_gen(&argv(&["--m", "12", "--cap", "2", "--seed", "9"])).unwrap();
+        for alg in [
+            "aag-weighted",
+            "aag-unweighted",
+            "greedy",
+            "preempt-cheapest",
+            "credit-sqrt-m",
+        ] {
+            let out = cmd_run(&argv(&["--alg", alg]), &trace).unwrap();
+            assert!(out.contains(alg), "missing name in {out}");
+        }
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(cmd_stats("garbage").is_err());
+        assert!(cmd_run(&argv(&["--alg", "nope"]), "x").is_err());
+        assert!(cmd_gen(&argv(&["--m", "NaN"])).is_err());
+        assert!(cmd_gen(&argv(&["--topology", "torus"])).is_err());
+        assert!(parse_flags(&argv(&["oops"])).is_err());
+    }
+
+    #[test]
+    fn dispatch_covers_commands() {
+        assert!(dispatch(&argv(&["help"]), "").unwrap().contains("USAGE"));
+        assert!(dispatch(&[], "").unwrap().contains("USAGE"));
+        assert!(dispatch(&argv(&["wat"]), "").is_err());
+        let trace = dispatch(&argv(&["gen", "--m", "8", "--cap", "2"]), "").unwrap();
+        assert!(dispatch(&argv(&["stats"]), &trace).is_ok());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = cmd_gen(&argv(&["--m", "16", "--seed", "4"])).unwrap();
+        let b = cmd_gen(&argv(&["--m", "16", "--seed", "4"])).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,49 @@
+//! # acmr — Admission Control to Minimize Rejections & Online Set Cover with Repetitions
+//!
+//! A from-scratch Rust reproduction of **Alon, Azar & Gutner,
+//! SPAA 2005**: the `O(log²(mc))`-competitive randomized preemptive
+//! admission-control algorithm (and its `O(log m log c)` unweighted
+//! variant), the reduction from online set cover with repetitions to
+//! admission control, and the deterministic `O(log m log n)` bicriteria
+//! set-cover algorithm — plus every substrate needed to evaluate them.
+//!
+//! This facade crate re-exports the workspace so applications can use a
+//! single dependency:
+//!
+//! * [`graph`] — capacitated graphs, paths, generators, load auditing
+//! * [`lp`] — simplex LP, branch-and-bound ILP, greedy covering
+//! * [`core`] — the paper's algorithms (start here)
+//! * [`baselines`] — BKK-style and greedy baselines
+//! * [`workloads`] — instance generators and traces
+//! * [`harness`] — audited runners, OPT bounds, experiments E1–E9, E11
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use acmr::core::{RandConfig, RandomizedAdmission, Request, RequestId, OnlineAdmission};
+//! use acmr::graph::{EdgeId, EdgeSet};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // Two-edge network, capacity 1 each.
+//! let mut alg = RandomizedAdmission::new(
+//!     &[1, 1],
+//!     RandConfig::weighted(),
+//!     StdRng::seed_from_u64(42),
+//! );
+//! let r0 = Request::new(EdgeSet::new(vec![EdgeId(0), EdgeId(1)]), 5.0);
+//! let out = alg.on_request(RequestId(0), &r0);
+//! assert!(out.accepted); // plenty of room: the paper's base case
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use acmr_baselines as baselines;
+pub use acmr_core as core;
+pub use acmr_graph as graph;
+pub use acmr_harness as harness;
+pub use acmr_lp as lp;
+pub use acmr_workloads as workloads;
