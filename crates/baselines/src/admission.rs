@@ -78,8 +78,7 @@ impl OnlineAdmission for PreemptCheapest {
         let mut victim_cost = 0.0;
         let mut planned: Vec<bool> = vec![false; self.accepted.len()];
         for e in request.footprint.iter() {
-            let mut needed =
-                (self.load.load(e) + 1).saturating_sub(self.load.capacity(e)) as i64;
+            let mut needed = (self.load.load(e) + 1).saturating_sub(self.load.capacity(e)) as i64;
             // Discount victims already planned on this edge.
             for (i, p) in planned.iter().enumerate() {
                 if *p {
@@ -314,8 +313,7 @@ mod tests {
         // Newcomer spans two saturated edges; it must evict one victim
         // per edge (here one request sits on each).
         let caps = [1u32, 1];
-        let arrivals: Vec<(&[u32], f64)> =
-            vec![(&[0], 2.0), (&[1], 3.0), (&[0, 1], 100.0)];
+        let arrivals: Vec<(&[u32], f64)> = vec![(&[0], 2.0), (&[1], 3.0), (&[0, 1], 100.0)];
         let mut alg = PreemptCheapest::new(&caps);
         let (accepted, cost) = drive(&mut alg, &caps, &arrivals);
         assert!(accepted[2]);
@@ -345,7 +343,10 @@ mod tests {
         arrivals.push((&[0, 1], 1.0));
         let (accepted, _) = drive(&mut alg, &caps, &arrivals);
         assert!(accepted[0]);
-        assert!(!accepted[5], "poisoned edge must reject the spanning request");
+        assert!(
+            !accepted[5],
+            "poisoned edge must reject the spanning request"
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod registry;
 pub mod setcover;
 
 pub use admission::{CreditSqrtM, GreedyNonPreemptive, PreemptCheapest, RandomPreempt};
+pub use registry::register_baselines;
 pub use setcover::NaiveOnlineCover;

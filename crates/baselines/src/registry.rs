@@ -1,0 +1,109 @@
+//! Registry registration for the baseline algorithms.
+
+use crate::admission::{CreditSqrtM, GreedyNonPreemptive, PreemptCheapest, RandomPreempt};
+use acmr_core::registry::Registry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Register every baseline admission algorithm:
+/// `greedy`, `preempt-cheapest`, `credit-sqrt-m`, `random-preempt`.
+///
+/// None of them take tuning parameters; only the shared `seed` key is
+/// accepted (and only `random-preempt` consumes randomness).
+pub fn register_baselines(reg: &mut Registry) {
+    reg.register(
+        "greedy",
+        "FCFS non-preemptive greedy: accept iff it fits (BKK's (c+1)-competitive flavour)",
+        Box::new(|spec, ctx| {
+            spec.reject_unknown_params(&["seed"])?;
+            Ok(Box::new(GreedyNonPreemptive::new(ctx.capacities)))
+        }),
+    );
+    reg.register(
+        "preempt-cheapest",
+        "evict cheapest conflicting requests when cheaper than rejecting the newcomer",
+        Box::new(|spec, ctx| {
+            spec.reject_unknown_params(&["seed"])?;
+            Ok(Box::new(PreemptCheapest::new(ctx.capacities)))
+        }),
+    );
+    reg.register(
+        "credit-sqrt-m",
+        "credit/charging scheme in the spirit of BKK's O(sqrt m) algorithm",
+        Box::new(|spec, ctx| {
+            spec.reject_unknown_params(&["seed"])?;
+            Ok(Box::new(CreditSqrtM::new(ctx.capacities)))
+        }),
+    );
+    reg.register(
+        "random-preempt",
+        "preempt uniformly random victims to make room (control baseline)",
+        Box::new(|spec, ctx| {
+            spec.reject_unknown_params(&["seed"])?;
+            let seed = ctx.effective_seed(spec)?;
+            Ok(Box::new(RandomPreempt::new(
+                ctx.capacities,
+                StdRng::seed_from_u64(seed),
+            )))
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acmr_core::registry::BuildCtx;
+    use acmr_core::{OnlineAdmission as _, Request, RequestId};
+    use acmr_graph::{EdgeId, EdgeSet};
+
+    #[test]
+    fn all_baselines_register_and_build() {
+        let mut reg = Registry::new();
+        register_baselines(&mut reg);
+        assert_eq!(
+            reg.names(),
+            vec![
+                "credit-sqrt-m",
+                "greedy",
+                "preempt-cheapest",
+                "random-preempt"
+            ]
+        );
+        let caps = vec![2u32, 2];
+        let ctx = BuildCtx::new(&caps).with_seed(1);
+        for name in reg.names() {
+            let mut alg = reg.build(name, &ctx).unwrap();
+            let req = Request::unit(EdgeSet::singleton(EdgeId(0)));
+            assert!(alg.on_request(RequestId(0), &req).accepted, "{name}");
+        }
+    }
+
+    #[test]
+    fn random_preempt_is_reproducible_from_spec_seed() {
+        let mut reg = Registry::new();
+        register_baselines(&mut reg);
+        let caps = vec![1u32];
+        let ctx = BuildCtx::new(&caps);
+        let drive = |mut alg: Box<dyn acmr_core::OnlineAdmission>| -> Vec<bool> {
+            (0..6)
+                .map(|i| {
+                    let req = Request::unit(EdgeSet::singleton(EdgeId(0)));
+                    alg.on_request(RequestId(i), &req).accepted
+                })
+                .collect()
+        };
+        let a = drive(reg.build("random-preempt?seed=9", &ctx).unwrap());
+        let b = drive(reg.build("random-preempt?seed=9", &ctx).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tuning_params_are_rejected() {
+        let mut reg = Registry::new();
+        register_baselines(&mut reg);
+        let caps = vec![1u32];
+        assert!(reg
+            .build("greedy?threshold=2", &BuildCtx::new(&caps))
+            .is_err());
+    }
+}

@@ -103,8 +103,8 @@ pub fn offline_greedy_multicover(system: &SetSystem, demands: &[u32]) -> Option<
     let mut order = Vec::new();
     while open > 0 {
         let mut best: Option<(SetId, f64)> = None;
-        for i in 0..system.num_sets() {
-            if bought[i] {
+        for (i, &already) in bought.iter().enumerate() {
+            if already {
                 continue;
             }
             let s = SetId(i as u32);

@@ -1,25 +1,20 @@
 //! Bench: baseline admission algorithms vs the paper's (the speed side
 //! of E7 — the quality side is `exp_e7`).
+//!
+//! Every algorithm is addressed through the default registry and driven
+//! through a `Session`, so this bench measures exactly the code path
+//! the CLI and the harness use — and adding an algorithm to the
+//! registry automatically adds it here.
 
-use acmr_baselines::{CreditSqrtM, GreedyNonPreemptive, PreemptCheapest};
-use acmr_core::{OnlineAdmission, RandConfig, RandomizedAdmission, Request, RequestId};
+use acmr_core::{AlgorithmSpec, Session};
+use acmr_harness::default_registry;
 use acmr_workloads::{random_path_workload, CostModel, PathWorkloadSpec, Topology};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn drive<A: OnlineAdmission>(alg: &mut A, inst: &acmr_core::AdmissionInstance) -> f64 {
-    let mut rejected = 0.0;
-    for (i, r) in inst.requests.iter().enumerate() {
-        let req = Request::new(r.footprint.clone(), r.cost);
-        if !alg.on_request(RequestId(i as u32), &req).accepted {
-            rejected += r.cost;
-        }
-    }
-    rejected
-}
-
 fn bench_baselines(criterion: &mut Criterion) {
+    let registry = default_registry();
     let mut group = criterion.benchmark_group("baselines");
     let spec = PathWorkloadSpec {
         topology: Topology::Line { m: 256 },
@@ -30,25 +25,16 @@ fn bench_baselines(criterion: &mut Criterion) {
     };
     let (_, inst) = random_path_workload(&spec, &mut StdRng::seed_from_u64(23));
     group.throughput(Throughput::Elements(inst.requests.len() as u64));
-    group.bench_with_input(BenchmarkId::new("aag-randomized", "m256"), &inst, |b, inst| {
-        b.iter(|| {
-            let mut alg = RandomizedAdmission::new(
-                &inst.capacities,
-                RandConfig::weighted(),
-                StdRng::seed_from_u64(1),
-            );
-            drive(&mut alg, inst)
-        })
-    });
-    group.bench_with_input(BenchmarkId::new("greedy", "m256"), &inst, |b, inst| {
-        b.iter(|| drive(&mut GreedyNonPreemptive::new(&inst.capacities), inst))
-    });
-    group.bench_with_input(BenchmarkId::new("credit-sqrt-m", "m256"), &inst, |b, inst| {
-        b.iter(|| drive(&mut CreditSqrtM::new(&inst.capacities), inst))
-    });
-    group.bench_with_input(BenchmarkId::new("preempt-cheapest", "m256"), &inst, |b, inst| {
-        b.iter(|| drive(&mut PreemptCheapest::new(&inst.capacities), inst))
-    });
+    for name in registry.names() {
+        let alg_spec = AlgorithmSpec::parse(name).expect("registry name parses");
+        group.bench_with_input(BenchmarkId::new(name, "m256"), &inst, |b, inst| {
+            b.iter(|| {
+                let mut session = Session::from_registry(&registry, &alg_spec, &inst.capacities, 1)
+                    .expect("registry build");
+                session.run_trace(inst).expect("audited run").rejected_cost
+            })
+        });
+    }
     group.finish();
 }
 

@@ -31,10 +31,7 @@ fn bench_lp(criterion: &mut Criterion) {
                 BenchmarkId::new("bnb_exact", format!("m{m}")),
                 &problem,
                 |b, p| {
-                    b.iter(|| {
-                        branch_and_bound(p, BnbLimits { max_nodes: 5_000 })
-                            .map(|r| r.cost)
-                    })
+                    b.iter(|| branch_and_bound(p, BnbLimits { max_nodes: 5_000 }).map(|r| r.cost))
                 },
             );
         }

@@ -2,9 +2,9 @@
 //! on a common workload series (the systems dimension: all algorithms
 //! must stay practical as instances grow).
 
-use acmr_baselines::GreedyNonPreemptive;
 use acmr_core::setcover::{BicriteriaCover, OnlineSetCover, ReductionCover};
-use acmr_core::{OnlineAdmission, RandConfig, RandomizedAdmission, Request, RequestId};
+use acmr_core::{AlgorithmSpec, RandConfig, Session};
+use acmr_harness::default_registry;
 use acmr_workloads::{
     random_arrivals, random_path_workload, random_set_system, ArrivalPattern, CostModel,
     PathWorkloadSpec, SetSystemSpec, Topology,
@@ -14,6 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_throughput(criterion: &mut Criterion) {
+    let registry = default_registry();
     let mut group = criterion.benchmark_group("e10_throughput");
     for &m in &[128u32, 512, 2048] {
         let spec = PathWorkloadSpec {
@@ -25,44 +26,17 @@ fn bench_throughput(criterion: &mut Criterion) {
         };
         let (_, inst) = random_path_workload(&spec, &mut StdRng::seed_from_u64(31));
         group.throughput(Throughput::Elements(inst.requests.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("randomized_admission", format!("m{m}")),
-            &inst,
-            |b, inst| {
+        for name in ["aag-unweighted", "greedy"] {
+            let alg_spec = AlgorithmSpec::parse(name).expect("registry name parses");
+            group.bench_with_input(BenchmarkId::new(name, format!("m{m}")), &inst, |b, inst| {
                 b.iter(|| {
-                    let mut alg = RandomizedAdmission::new(
-                        &inst.capacities,
-                        RandConfig::unweighted(),
-                        StdRng::seed_from_u64(3),
-                    );
-                    let mut accepted = 0usize;
-                    for (i, r) in inst.requests.iter().enumerate() {
-                        let req = Request::new(r.footprint.clone(), r.cost);
-                        if alg.on_request(RequestId(i as u32), &req).accepted {
-                            accepted += 1;
-                        }
-                    }
-                    accepted
+                    let mut session =
+                        Session::from_registry(&registry, &alg_spec, &inst.capacities, 3)
+                            .expect("registry build");
+                    session.run_trace(inst).expect("audited run").accepted_count
                 })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("greedy_baseline", format!("m{m}")),
-            &inst,
-            |b, inst| {
-                b.iter(|| {
-                    let mut alg = GreedyNonPreemptive::new(&inst.capacities);
-                    let mut accepted = 0usize;
-                    for (i, r) in inst.requests.iter().enumerate() {
-                        let req = Request::new(r.footprint.clone(), r.cost);
-                        if alg.on_request(RequestId(i as u32), &req).accepted {
-                            accepted += 1;
-                        }
-                    }
-                    accepted
-                })
-            },
-        );
+            });
+        }
     }
     for &(n, m) in &[(64usize, 96usize), (256, 384)] {
         let spec = SetSystemSpec {

@@ -3,14 +3,44 @@ use acmr_harness::experiments as ex;
 
 fn main() {
     let quick = !acmr_bench::full_grid_requested();
-    acmr_bench::emit(&ex::e1_fractional::table(&ex::e1_fractional::run(quick)), "e1");
-    acmr_bench::emit(&ex::e2_augmentations::table(&ex::e2_augmentations::run(quick)), "e2");
-    acmr_bench::emit(&ex::e3_randomized_weighted::table(&ex::e3_randomized_weighted::run(quick)), "e3");
-    acmr_bench::emit(&ex::e4_randomized_unweighted::table(&ex::e4_randomized_unweighted::run(quick)), "e4");
-    acmr_bench::emit(&ex::e5_reduction::table(&ex::e5_reduction::run(quick)), "e5");
-    acmr_bench::emit(&ex::e6_bicriteria::table(&ex::e6_bicriteria::run(quick)), "e6");
-    acmr_bench::emit(&ex::e7_baselines::table(&ex::e7_baselines::run(quick)), "e7");
-    acmr_bench::emit(&ex::e8_ablations::table(&ex::e8_ablations::run(quick)), "e8");
-    acmr_bench::emit(&ex::e9_potential::table(&ex::e9_potential::run(quick)), "e9");
-    acmr_bench::emit(&ex::e11_frontier::table(&ex::e11_frontier::run(quick)), "e11");
+    acmr_bench::emit(
+        &ex::e1_fractional::table(&ex::e1_fractional::run(quick)),
+        "e1",
+    );
+    acmr_bench::emit(
+        &ex::e2_augmentations::table(&ex::e2_augmentations::run(quick)),
+        "e2",
+    );
+    acmr_bench::emit(
+        &ex::e3_randomized_weighted::table(&ex::e3_randomized_weighted::run(quick)),
+        "e3",
+    );
+    acmr_bench::emit(
+        &ex::e4_randomized_unweighted::table(&ex::e4_randomized_unweighted::run(quick)),
+        "e4",
+    );
+    acmr_bench::emit(
+        &ex::e5_reduction::table(&ex::e5_reduction::run(quick)),
+        "e5",
+    );
+    acmr_bench::emit(
+        &ex::e6_bicriteria::table(&ex::e6_bicriteria::run(quick)),
+        "e6",
+    );
+    acmr_bench::emit(
+        &ex::e7_baselines::table(&ex::e7_baselines::run(quick)),
+        "e7",
+    );
+    acmr_bench::emit(
+        &ex::e8_ablations::table(&ex::e8_ablations::run(quick)),
+        "e8",
+    );
+    acmr_bench::emit(
+        &ex::e9_potential::table(&ex::e9_potential::run(quick)),
+        "e9",
+    );
+    acmr_bench::emit(
+        &ex::e11_frontier::table(&ex::e11_frontier::run(quick)),
+        "e11",
+    );
 }

@@ -29,8 +29,8 @@ pub fn emit(table: &acmr_harness::Table, name: &str) {
     println!("{}", table.to_markdown());
     if let Ok(dir) = std::env::var("ACMR_RESULTS_DIR") {
         let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
-        if let Err(e) = std::fs::create_dir_all(&dir)
-            .and_then(|_| std::fs::write(&path, table.to_csv()))
+        if let Err(e) =
+            std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, table.to_csv()))
         {
             eprintln!("warning: could not write {}: {e}", path.display());
         } else {

@@ -1,0 +1,110 @@
+//! The typed error surface of the public API.
+//!
+//! The harness historically treated every contract violation as a
+//! panic ("the harness is the referee"). That remains true for the
+//! audited batch runners — a buggy algorithm should abort an
+//! experiment — but the streaming [`crate::Session`] API converts the
+//! same violations into [`AcmrError`] values so that services embedding
+//! the engine can reject one misbehaving stream without crashing the
+//! process.
+
+use std::fmt;
+
+/// Everything that can go wrong at the public API boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AcmrError {
+    /// An algorithm spec string (e.g. `aag-weighted?seed=7`) failed to
+    /// parse.
+    SpecParse {
+        /// The offending input.
+        input: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A spec named an algorithm no registry entry matches.
+    UnknownAlgorithm {
+        /// The requested name.
+        name: String,
+        /// Names that are registered, for the error message.
+        known: Vec<String>,
+    },
+    /// A spec parameter existed but its value could not be used.
+    BadParam {
+        /// Parameter key.
+        key: String,
+        /// Offending value.
+        value: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// An online algorithm broke its contract mid-stream (capacity
+    /// violation, phantom preemption, accept-after-reject). The message
+    /// is phrased exactly like the historical harness panics so logs
+    /// stay greppable.
+    ContractViolation {
+        /// Name of the offending algorithm.
+        algorithm: String,
+        /// Violation description.
+        detail: String,
+    },
+    /// The session was already poisoned by an earlier contract
+    /// violation; no further arrivals are accepted.
+    SessionPoisoned,
+    /// An instance or request was structurally invalid for this
+    /// session (e.g. an edge id beyond the capacity vector).
+    InvalidRequest {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AcmrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcmrError::SpecParse { input, reason } => {
+                write!(f, "cannot parse algorithm spec {input:?}: {reason}")
+            }
+            AcmrError::UnknownAlgorithm { name, known } => {
+                write!(
+                    f,
+                    "unknown algorithm {name:?} (registered: {})",
+                    known.join(", ")
+                )
+            }
+            AcmrError::BadParam { key, value, reason } => {
+                write!(f, "bad parameter {key}={value:?}: {reason}")
+            }
+            AcmrError::ContractViolation { algorithm, detail } => {
+                write!(f, "{algorithm}: {detail}")
+            }
+            AcmrError::SessionPoisoned => {
+                write!(f, "session poisoned by an earlier contract violation")
+            }
+            AcmrError::InvalidRequest { reason } => {
+                write!(f, "invalid request: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AcmrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_greppable() {
+        let e = AcmrError::ContractViolation {
+            algorithm: "aag".into(),
+            detail: "accepting request 3 violates a capacity".into(),
+        };
+        assert!(e.to_string().contains("violates a capacity"));
+        let e = AcmrError::UnknownAlgorithm {
+            name: "nope".into(),
+            known: vec!["a".into(), "b".into()],
+        };
+        assert!(e.to_string().contains("nope"));
+        assert!(e.to_string().contains("a, b"));
+    }
+}

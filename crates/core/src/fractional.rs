@@ -307,9 +307,7 @@ impl FracEngine {
                 // than c_e big requests), in which case acceptance is
                 // impossible and the request is rejected outright
                 // (mirrors step 4 of the §3 integral algorithm).
-                let fits = footprint
-                    .iter()
-                    .all(|e| self.edges[e.index()].cap_adj >= 1);
+                let fits = footprint.iter().all(|e| self.edges[e.index()].cap_adj >= 1);
                 for e in footprint.iter() {
                     let es = &mut self.edges[e.index()];
                     es.req_count += 1;
@@ -363,9 +361,8 @@ impl FracEngine {
             if self.alpha <= 0.0 {
                 break;
             }
-            let threshold = self.cfg.doubling_factor
-                * self.alpha
-                * (2.0 * self.g * self.c_max).ln().max(1.0);
+            let threshold =
+                self.cfg.doubling_factor * self.alpha * (2.0 * self.g * self.c_max).ln().max(1.0);
             if self.phase_cost <= threshold {
                 break;
             }
@@ -641,7 +638,10 @@ mod tests {
         for k in 0..8 {
             let footprint = fp(&[k % 3, (k + 1) % 3]);
             eng.on_request(&footprint, 1.0);
-            assert!(eng.covering_invariant_holds(), "invariant after arrival {k}");
+            assert!(
+                eng.covering_invariant_holds(),
+                "invariant after arrival {k}"
+            );
             let cur: Vec<f64> = (0..eng.num_requests())
                 .map(|i| eng.weight(RequestId(i as u32)))
                 .collect();
@@ -664,7 +664,10 @@ mod tests {
         let opt = (k - 1) as f64;
         let ratio = eng.online_cost() / opt;
         assert!(ratio >= 0.9, "online below opt? ratio {ratio}"); // sanity: must reject ≈ everything
-        assert!(ratio <= 4.0, "unweighted single-edge ratio too big: {ratio}");
+        assert!(
+            ratio <= 4.0,
+            "unweighted single-edge ratio too big: {ratio}"
+        );
         assert!(eng.covering_invariant_holds());
     }
 

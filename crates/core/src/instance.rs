@@ -33,7 +33,10 @@ pub struct Request {
 impl Request {
     /// A request with the given footprint and cost.
     pub fn new(footprint: EdgeSet, cost: f64) -> Self {
-        assert!(cost > 0.0 && cost.is_finite(), "request cost must be positive and finite");
+        assert!(
+            cost > 0.0 && cost.is_finite(),
+            "request cost must be positive and finite"
+        );
         Request { footprint, cost }
     }
 

@@ -29,22 +29,48 @@
 //! The crate is deliberately **instance-in, decisions-out**: algorithms
 //! consume [`Request`]s one at a time through [`OnlineAdmission`] /
 //! [`setcover::OnlineSetCover`] and report decisions; all cost
-//! accounting and feasibility auditing is replayable by the caller
-//! (see `acmr-harness`), so an algorithm bug cannot silently
-//! misreport its own score.
+//! accounting and feasibility auditing is replayable by the caller,
+//! so an algorithm bug cannot silently misreport its own score.
+//!
+//! ## The engine API
+//!
+//! Applications address algorithms through the **registry** and drive
+//! them through a streaming **session**:
+//!
+//! * [`registry::AlgorithmSpec`] — parsed from strings like
+//!   `aag-weighted?seed=7`; the single name→constructor table
+//!   ([`registry::Registry`]) replaces per-consumer dispatch.
+//! * [`session::Session`] — owns the algorithm, the
+//!   [`acmr_graph::LoadTracker`] audit, and incremental statistics;
+//!   `push(request)` yields one audited [`session::ArrivalEvent`] per
+//!   arrival, and `run_trace` subsumes the old batch runners.
+//! * [`report::RunReport`] — the serde-backed result schema shared by
+//!   the CLI (`acmr run --format json`), the experiment harness, and
+//!   the benches.
+//! * [`error::AcmrError`] — contract violations and bad specs as typed
+//!   errors at the API boundary (the batch harness still panics; a
+//!   streaming service should not).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod fractional;
 pub mod instance;
 pub mod online;
 pub mod randomized;
+pub mod registry;
+pub mod report;
+pub mod session;
 pub mod setcover;
 
 pub use config::{FracConfig, RandConfig, Weighting};
+pub use error::AcmrError;
 pub use fractional::{ArrivalReport, Classification, FracEngine};
 pub use instance::{AdmissionInstance, Request, RequestId};
 pub use online::{OnlineAdmission, Outcome};
 pub use randomized::RandomizedAdmission;
+pub use registry::{register_core, AlgorithmSpec, BuildCtx, Registry, DEFAULT_ALGORITHM};
+pub use report::{OptSummary, RunReport};
+pub use session::{ArrivalEvent, RunStats, Session};

@@ -50,6 +50,26 @@ pub trait OnlineAdmission {
     fn on_request(&mut self, id: RequestId, request: &Request) -> Outcome;
 }
 
+impl<A: OnlineAdmission + ?Sized> OnlineAdmission for Box<A> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_request(&mut self, id: RequestId, request: &Request) -> Outcome {
+        (**self).on_request(id, request)
+    }
+}
+
+impl<A: OnlineAdmission + ?Sized> OnlineAdmission for &mut A {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_request(&mut self, id: RequestId, request: &Request) -> Outcome {
+        (**self).on_request(id, request)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

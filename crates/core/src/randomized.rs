@@ -141,11 +141,7 @@ impl<R: Rng> OnlineAdmission for RandomizedAdmission<R> {
                     }
                 }
             }
-            if request
-                .footprint
-                .iter()
-                .any(|e| self.poisoned[e.index()])
-            {
+            if request.footprint.iter().any(|e| self.poisoned[e.index()]) {
                 // Newcomer rides a poisoned edge: rejected outright.
                 let preempted = std::mem::take(&mut self.preempted_scratch);
                 return Outcome {
@@ -301,9 +297,15 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let arrivals: Vec<(&[u32], f64)> = (0..20).map(|i| {
-            if i % 2 == 0 { (&[0][..], 1.0) } else { (&[0, 1][..], 2.0) }
-        }).collect();
+        let arrivals: Vec<(&[u32], f64)> = (0..20)
+            .map(|i| {
+                if i % 2 == 0 {
+                    (&[0][..], 1.0)
+                } else {
+                    (&[0, 1][..], 2.0)
+                }
+            })
+            .collect();
         let a = run(&[2, 3], &arrivals, RandConfig::weighted(), 123);
         let b = run(&[2, 3], &arrivals, RandConfig::weighted(), 123);
         assert_eq!(a.0, b.0);
@@ -330,7 +332,10 @@ mod tests {
                 survived += 1;
             }
         }
-        assert!(survived >= 8, "expensive request survived only {survived}/10 runs");
+        assert!(
+            survived >= 8,
+            "expensive request survived only {survived}/10 runs"
+        );
     }
 
     #[test]

@@ -1,0 +1,463 @@
+//! The algorithm registry: one name→constructor table for the whole
+//! workspace.
+//!
+//! Algorithms are addressed by **spec strings** like
+//! `aag-weighted?seed=7&threshold=6`, parsed into [`AlgorithmSpec`].
+//! Each crate that defines algorithms registers constructor closures
+//! into a [`Registry`] (this crate registers the paper's algorithms via
+//! [`register_core`]; `acmr-baselines` registers its baselines;
+//! `acmr-harness::default_registry` assembles the full set). The CLI,
+//! the experiment suite, and the benches all dispatch through a
+//! registry — the per-consumer `match name { … }` tables the seed tree
+//! carried are gone.
+//!
+//! Registered constructors receive the parsed spec plus a [`BuildCtx`]
+//! (capacities and a caller-provided base seed) and return a boxed
+//! [`OnlineAdmission`]. A spec's own `seed` parameter overrides the
+//! context seed, so `acmr run --alg 'aag-weighted?seed=7'` is fully
+//! reproducible from the spec string alone.
+
+use crate::config::RandConfig;
+use crate::error::AcmrError;
+use crate::online::OnlineAdmission;
+use crate::randomized::RandomizedAdmission;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// The registry name consumers fall back to when no algorithm is
+/// specified: the paper's weighted randomized algorithm.
+pub const DEFAULT_ALGORITHM: &str = "aag-weighted";
+
+/// A parsed algorithm spec: a registry name plus `key=value` options.
+///
+/// Grammar: `name[?key[=value][&key[=value]]…]`. A key without `=`
+/// gets the value `"true"`, so boolean switches read naturally:
+/// `aag-weighted?no-prune`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AlgorithmSpec {
+    /// Registry name (everything before `?`).
+    pub name: String,
+    /// Options in spec order.
+    pub params: Vec<(String, String)>,
+}
+
+impl AlgorithmSpec {
+    /// Spec with no options.
+    pub fn bare(name: impl Into<String>) -> Self {
+        AlgorithmSpec {
+            name: name.into(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Parse a spec string.
+    pub fn parse(input: &str) -> Result<Self, AcmrError> {
+        let bad = |reason: &str| AcmrError::SpecParse {
+            input: input.to_string(),
+            reason: reason.to_string(),
+        };
+        let (name, query) = match input.split_once('?') {
+            None => (input, ""),
+            Some((n, q)) => (n, q),
+        };
+        if name.is_empty() {
+            return Err(bad("empty algorithm name"));
+        }
+        if !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(bad("name may contain only [A-Za-z0-9_-]"));
+        }
+        let mut params = Vec::new();
+        if !query.is_empty() {
+            for pair in query.split('&') {
+                let (k, v) = match pair.split_once('=') {
+                    Some((k, v)) => (k, v),
+                    None => (pair, "true"),
+                };
+                if k.is_empty() {
+                    return Err(bad("empty parameter key"));
+                }
+                params.push((k.to_string(), v.to_string()));
+            }
+        }
+        Ok(AlgorithmSpec {
+            name: name.to_string(),
+            params,
+        })
+    }
+
+    /// Raw value of `key`, if present (last occurrence wins).
+    pub fn raw(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parsed value of `key`, if present.
+    pub fn get<T: FromStr>(&self, key: &str) -> Result<Option<T>, AcmrError> {
+        match self.raw(key) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| AcmrError::BadParam {
+                key: key.to_string(),
+                value: v.to_string(),
+                reason: format!("expected a {}", std::any::type_name::<T>()),
+            }),
+        }
+    }
+
+    /// The spec's `seed` override, if any.
+    pub fn seed(&self) -> Result<Option<u64>, AcmrError> {
+        self.get::<u64>("seed")
+    }
+
+    /// A boolean switch: absent → `false`, bare key or `=true` →
+    /// `true`, `=false` → `false`; anything else is a [`AcmrError::BadParam`].
+    pub fn flag(&self, key: &str) -> Result<bool, AcmrError> {
+        Ok(self.get::<bool>(key)?.unwrap_or(false))
+    }
+
+    /// Render back to the `name?k=v&…` string form. For any spec
+    /// produced by [`AlgorithmSpec::parse`], parsing the result yields
+    /// this spec again (the round-trip the registry tests pin). The
+    /// grammar has no escaping, so a hand-constructed spec whose param
+    /// keys or values contain `?`, `&`, or `=` cannot be represented
+    /// and will not round-trip — parse-derived specs never do.
+    pub fn canonical(&self) -> String {
+        if self.params.is_empty() {
+            return self.name.clone();
+        }
+        let query: Vec<String> = self
+            .params
+            .iter()
+            .map(|(k, v)| {
+                if v == "true" {
+                    k.clone()
+                } else {
+                    format!("{k}={v}")
+                }
+            })
+            .collect();
+        format!("{}?{}", self.name, query.join("&"))
+    }
+
+    /// Error for a parameter this algorithm does not understand; used
+    /// by constructors to reject typos instead of ignoring them.
+    pub fn reject_unknown_params(&self, known: &[&str]) -> Result<(), AcmrError> {
+        for (k, v) in &self.params {
+            if !known.contains(&k.as_str()) {
+                return Err(AcmrError::BadParam {
+                    key: k.clone(),
+                    value: v.clone(),
+                    reason: format!(
+                        "unknown parameter for {} (known: {})",
+                        self.name,
+                        known.join(", ")
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for AlgorithmSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+impl FromStr for AlgorithmSpec {
+    type Err = AcmrError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AlgorithmSpec::parse(s)
+    }
+}
+
+/// Everything a constructor needs besides the spec itself.
+#[derive(Clone, Copy, Debug)]
+pub struct BuildCtx<'a> {
+    /// Edge capacities of the instance the algorithm will face.
+    pub capacities: &'a [u32],
+    /// Base RNG seed; a spec `seed=` parameter takes precedence.
+    pub seed: u64,
+}
+
+impl<'a> BuildCtx<'a> {
+    /// Context from capacities with seed 0.
+    pub fn new(capacities: &'a [u32]) -> Self {
+        BuildCtx {
+            capacities,
+            seed: 0,
+        }
+    }
+
+    /// Same context with a different base seed.
+    pub fn with_seed(self, seed: u64) -> Self {
+        BuildCtx { seed, ..self }
+    }
+
+    /// The seed the constructor should actually use: the spec override
+    /// when present, the context seed otherwise.
+    pub fn effective_seed(&self, spec: &AlgorithmSpec) -> Result<u64, AcmrError> {
+        Ok(spec.seed()?.unwrap_or(self.seed))
+    }
+}
+
+/// Constructor closure stored per registry entry.
+pub type Constructor = Box<
+    dyn Fn(&AlgorithmSpec, &BuildCtx<'_>) -> Result<Box<dyn OnlineAdmission>, AcmrError>
+        + Send
+        + Sync,
+>;
+
+struct Entry {
+    summary: &'static str,
+    ctor: Constructor,
+}
+
+/// The name→constructor table.
+///
+/// Deliberately an explicit value (not a global): tests can build
+/// scratch registries, and crates register into whichever registry the
+/// application assembles.
+#[derive(Default)]
+pub struct Registry {
+    entries: BTreeMap<String, Entry>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register `name`. Panics if the name is already taken — two
+    /// crates claiming one name is a programming error worth failing
+    /// loudly at startup.
+    pub fn register(&mut self, name: &str, summary: &'static str, ctor: Constructor) {
+        let prev = self
+            .entries
+            .insert(name.to_string(), Entry { summary, ctor });
+        assert!(prev.is_none(), "algorithm {name:?} registered twice");
+    }
+
+    /// Sorted registered names.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// One-line description of a registered algorithm.
+    pub fn summary(&self, name: &str) -> Option<&'static str> {
+        self.entries.get(name).map(|e| e.summary)
+    }
+
+    /// Build from a parsed spec.
+    pub fn build_spec(
+        &self,
+        spec: &AlgorithmSpec,
+        ctx: &BuildCtx<'_>,
+    ) -> Result<Box<dyn OnlineAdmission>, AcmrError> {
+        let entry = self
+            .entries
+            .get(&spec.name)
+            .ok_or_else(|| AcmrError::UnknownAlgorithm {
+                name: spec.name.clone(),
+                known: self.entries.keys().cloned().collect(),
+            })?;
+        (entry.ctor)(spec, ctx)
+    }
+
+    /// Parse a spec string and build it.
+    pub fn build(
+        &self,
+        spec_str: &str,
+        ctx: &BuildCtx<'_>,
+    ) -> Result<Box<dyn OnlineAdmission>, AcmrError> {
+        self.build_spec(&AlgorithmSpec::parse(spec_str)?, ctx)
+    }
+}
+
+/// Apply the shared `aag-*` tuning parameters onto a base config.
+///
+/// * `threshold` / `prob` — override the step-2/3 rounding constants
+/// * `doubling` — override the α-doubling trigger factor
+/// * `no-prune` — disable the `4mc²` hot-edge safeguard
+/// * `no-classes` — disable `R_big`/`R_small` preprocessing
+fn tuned_config(base: RandConfig, spec: &AlgorithmSpec) -> Result<RandConfig, AcmrError> {
+    spec.reject_unknown_params(&[
+        "seed",
+        "threshold",
+        "prob",
+        "doubling",
+        "no-prune",
+        "no-classes",
+    ])?;
+    let mut cfg = base;
+    if let Some(t) = spec.get::<f64>("threshold")? {
+        cfg.threshold_const = t;
+    }
+    if let Some(p) = spec.get::<f64>("prob")? {
+        cfg.prob_const = p;
+    }
+    if let Some(d) = spec.get::<f64>("doubling")? {
+        cfg.frac.doubling_factor = d;
+    }
+    if spec.flag("no-prune")? {
+        cfg.prune_hot_edges = false;
+    }
+    if spec.flag("no-classes")? {
+        cfg.frac.cost_classes = false;
+    }
+    for (key, field) in [
+        ("threshold", cfg.threshold_const),
+        ("prob", cfg.prob_const),
+        ("doubling", cfg.frac.doubling_factor),
+    ] {
+        if !(field > 0.0 && field.is_finite()) {
+            return Err(AcmrError::BadParam {
+                key: key.to_string(),
+                value: field.to_string(),
+                reason: "must be positive and finite".to_string(),
+            });
+        }
+    }
+    Ok(cfg)
+}
+
+/// Register the paper's §3 algorithms: `aag-weighted` and
+/// `aag-unweighted`, both accepting the tuning parameters documented on
+/// [`tuned_config`].
+pub fn register_core(reg: &mut Registry) {
+    reg.register(
+        "aag-weighted",
+        "AAG §3 randomized preemptive admission, weighted constants (O(log²(mc))-competitive)",
+        Box::new(|spec, ctx| {
+            let cfg = tuned_config(RandConfig::weighted(), spec)?;
+            let seed = ctx.effective_seed(spec)?;
+            Ok(Box::new(RandomizedAdmission::new(
+                ctx.capacities,
+                cfg,
+                StdRng::seed_from_u64(seed),
+            )))
+        }),
+    );
+    reg.register(
+        "aag-unweighted",
+        "AAG §3 randomized preemptive admission, unweighted constants (O(log m log c)-competitive)",
+        Box::new(|spec, ctx| {
+            let cfg = tuned_config(RandConfig::unweighted(), spec)?;
+            let seed = ctx.effective_seed(spec)?;
+            Ok(Box::new(RandomizedAdmission::new(
+                ctx.capacities,
+                cfg,
+                StdRng::seed_from_u64(seed),
+            )))
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing_and_canonical_round_trip() {
+        let s = AlgorithmSpec::parse("aag-weighted?seed=7&no-prune&threshold=6.5").unwrap();
+        assert_eq!(s.name, "aag-weighted");
+        assert_eq!(s.seed().unwrap(), Some(7));
+        assert_eq!(s.raw("no-prune"), Some("true"));
+        assert!(s.flag("no-prune").unwrap());
+        assert!(!s.flag("no-classes").unwrap()); // absent → false
+        assert_eq!(s.get::<f64>("threshold").unwrap(), Some(6.5));
+        let again = AlgorithmSpec::parse(&s.canonical()).unwrap();
+        assert_eq!(again, s);
+
+        // Explicit =false disables a switch; garbage is an error.
+        let off = AlgorithmSpec::parse("aag-weighted?no-prune=false").unwrap();
+        assert!(!off.flag("no-prune").unwrap());
+        let bad = AlgorithmSpec::parse("aag-weighted?no-prune=maybe").unwrap();
+        assert!(bad.flag("no-prune").is_err());
+
+        let bare = AlgorithmSpec::parse("greedy").unwrap();
+        assert_eq!(bare.canonical(), "greedy");
+        assert_eq!(bare.seed().unwrap(), None);
+    }
+
+    #[test]
+    fn spec_parse_rejects_malformed_input() {
+        assert!(AlgorithmSpec::parse("").is_err());
+        assert!(AlgorithmSpec::parse("?seed=1").is_err());
+        assert!(AlgorithmSpec::parse("has space").is_err());
+        assert!(AlgorithmSpec::parse("x?=v").is_err());
+        let s = AlgorithmSpec::parse("x?seed=banana").unwrap();
+        assert!(s.seed().is_err());
+    }
+
+    #[test]
+    fn registry_builds_core_algorithms() {
+        let mut reg = Registry::new();
+        register_core(&mut reg);
+        assert_eq!(reg.names(), vec!["aag-unweighted", "aag-weighted"]);
+        assert!(reg.summary("aag-weighted").unwrap().contains("§3"));
+        let caps = vec![2u32, 2];
+        let ctx = BuildCtx::new(&caps).with_seed(3);
+        let alg = reg
+            .build("aag-weighted?threshold=6&no-prune", &ctx)
+            .unwrap();
+        assert_eq!(alg.name(), "aag-randomized-weighted");
+        match reg.build("nope", &ctx) {
+            Err(AcmrError::UnknownAlgorithm { name, known }) => {
+                assert_eq!(name, "nope");
+                assert_eq!(known.len(), 2);
+            }
+            Err(other) => panic!("expected UnknownAlgorithm, got {other:?}"),
+            Ok(_) => panic!("expected UnknownAlgorithm, got a built algorithm"),
+        }
+    }
+
+    #[test]
+    fn unknown_and_invalid_params_are_rejected() {
+        let mut reg = Registry::new();
+        register_core(&mut reg);
+        let caps = vec![1u32];
+        let ctx = BuildCtx::new(&caps);
+        assert!(matches!(
+            reg.build("aag-weighted?typo=1", &ctx),
+            Err(AcmrError::BadParam { .. })
+        ));
+        assert!(matches!(
+            reg.build("aag-weighted?threshold=-2", &ctx),
+            Err(AcmrError::BadParam { .. })
+        ));
+        assert!(matches!(
+            reg.build("aag-weighted?threshold=zero", &ctx),
+            Err(AcmrError::BadParam { .. })
+        ));
+    }
+
+    #[test]
+    fn seed_param_overrides_ctx_seed() {
+        let caps = vec![1u32];
+        let ctx = BuildCtx::new(&caps).with_seed(5);
+        let spec = AlgorithmSpec::parse("aag-weighted?seed=9").unwrap();
+        assert_eq!(ctx.effective_seed(&spec).unwrap(), 9);
+        let spec = AlgorithmSpec::parse("aag-weighted").unwrap();
+        assert_eq!(ctx.effective_seed(&spec).unwrap(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_panics() {
+        let mut reg = Registry::new();
+        register_core(&mut reg);
+        register_core(&mut reg);
+    }
+}

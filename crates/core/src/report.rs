@@ -1,0 +1,153 @@
+//! Structured run reports: the one schema the CLI, the experiment
+//! harness, and the benches all consume.
+//!
+//! A [`RunReport`] is produced by [`crate::Session::report`] and
+//! optionally enriched with an offline-optimum bound
+//! ([`OptSummary`], filled in by `acmr-harness`). It is serde-backed,
+//! so `acmr run --format json` emits it verbatim and
+//! `serde_json::from_str` round-trips it.
+
+use serde::{Deserialize, Serialize};
+
+/// Offline-optimum context attached to a run by the harness.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OptSummary {
+    /// The bound's value (a lower bound on OPT unless `kind` is
+    /// `"exact"`).
+    pub value: f64,
+    /// Provenance: `exact`, `lp-lower-bound`, `greedy-over-H`, or
+    /// `trivial(Q)`.
+    pub kind: String,
+    /// Conservative competitive ratio of the run against this bound
+    /// (`None` when the bound is 0 and the run rejected nothing —
+    /// a perfect run with no finite ratio to report).
+    pub ratio: Option<f64>,
+}
+
+/// Everything one audited run produced.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Canonical spec the algorithm was built from (e.g.
+    /// `aag-weighted?seed=7`), or the algorithm's name for sessions
+    /// constructed directly from a value.
+    pub algorithm: String,
+    /// The algorithm's own stable `name()`.
+    pub algorithm_name: String,
+    /// RNG seed actually used, when the algorithm was registry-built.
+    /// Always echoed so any printed report reproduces the run.
+    pub seed: Option<u64>,
+    /// Number of edges `m`.
+    pub edges: usize,
+    /// The paper's `c = max_e c_e`.
+    pub max_capacity: u32,
+    /// Arrivals processed.
+    pub requests: usize,
+    /// Requests still accepted at the end.
+    pub accepted_count: usize,
+    /// Requests rejected (immediately or by preemption).
+    pub rejected_count: usize,
+    /// Total rejected cost — the paper's objective.
+    pub rejected_cost: f64,
+    /// Preemptions performed.
+    pub preemptions: usize,
+    /// Total cost of all arrivals.
+    pub offered_cost: f64,
+    /// Offline-optimum context, when the harness computed one.
+    pub opt: Option<OptSummary>,
+}
+
+impl RunReport {
+    /// Conservative competitive ratio against the attached bound, if
+    /// both exist and are meaningful.
+    pub fn ratio(&self) -> Option<f64> {
+        self.opt.as_ref().and_then(|o| o.ratio)
+    }
+
+    /// Render the human-readable text form the CLI prints (`--format
+    /// text`). Keys are stable: scripts may grep them.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("algorithm      : {}\n", self.algorithm));
+        if let Some(seed) = self.seed {
+            out.push_str(&format!("seed           : {seed}\n"));
+        }
+        out.push_str(&format!("requests       : {}\n", self.requests));
+        out.push_str(&format!("rejected cost  : {:.2}\n", self.rejected_cost));
+        out.push_str(&format!("rejected count : {}\n", self.rejected_count));
+        out.push_str(&format!("preemptions    : {}\n", self.preemptions));
+        if let Some(opt) = &self.opt {
+            out.push_str(&format!(
+                "opt bound      : {:.2} ({})\n",
+                opt.value, opt.kind
+            ));
+            match opt.ratio {
+                Some(r) => out.push_str(&format!("ratio          : {r:.3}\n")),
+                None => out.push_str("ratio          : n/a (OPT = 0, nothing rejected)\n"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            algorithm: "aag-weighted?seed=7".into(),
+            algorithm_name: "aag-randomized-weighted".into(),
+            seed: Some(7),
+            edges: 16,
+            max_capacity: 4,
+            requests: 100,
+            accepted_count: 90,
+            rejected_count: 10,
+            rejected_cost: 12.5,
+            preemptions: 3,
+            offered_cost: 250.0,
+            opt: Some(OptSummary {
+                value: 6.25,
+                kind: "exact".into(),
+                ratio: Some(2.0),
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        // And the pretty form too.
+        let pretty = serde_json::to_string_pretty(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&pretty).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn text_form_reports_seed_and_ratio() {
+        let text = sample().to_text();
+        assert!(text.contains("seed           : 7"));
+        assert!(text.contains("ratio          : 2.000"));
+        assert!(text.contains("opt bound      : 6.25 (exact)"));
+
+        let mut no_opt = sample();
+        no_opt.opt = None;
+        no_opt.seed = None;
+        let text = no_opt.to_text();
+        assert!(!text.contains("seed           :"));
+        assert!(!text.contains("ratio          :"));
+    }
+
+    #[test]
+    fn ratio_accessor() {
+        assert_eq!(sample().ratio(), Some(2.0));
+        let mut r = sample();
+        r.opt.as_mut().unwrap().ratio = None;
+        assert_eq!(r.ratio(), None);
+        r.opt = None;
+        assert_eq!(r.ratio(), None);
+    }
+}

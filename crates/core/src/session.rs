@@ -1,0 +1,441 @@
+//! The streaming `Session` driver: one incremental entry point for
+//! every consumer of an online admission algorithm.
+//!
+//! The seed tree drove algorithms through a batch-only free function
+//! (`harness::run_admission`) that needed the whole
+//! [`AdmissionInstance`] up front and panicked on contract violations.
+//! A [`Session`] instead owns the algorithm, the
+//! [`acmr_graph::LoadTracker`] audit, and running statistics, and
+//! exposes [`Session::push`]: feed one arrival, get one audited
+//! [`ArrivalEvent`] back. That is the shape batched arrivals, async
+//! sharding, and live serving all build on — and the batch runners are
+//! now thin wrappers over it.
+//!
+//! Contract violations (capacity overflow, phantom preemption,
+//! accept-after-reject) surface as
+//! [`AcmrError::ContractViolation`] with the same wording the harness
+//! panics always used; after one violation the session is *poisoned*
+//! and every further push fails fast.
+
+use crate::error::AcmrError;
+use crate::instance::{AdmissionInstance, Request, RequestId};
+use crate::online::OnlineAdmission;
+use crate::registry::{AlgorithmSpec, BuildCtx, Registry};
+use crate::report::RunReport;
+use acmr_graph::LoadTracker;
+use serde::{Deserialize, Serialize};
+
+/// What one arrival did to the stream — the audited, serializable
+/// superset of the algorithm-facing [`crate::Outcome`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalEvent {
+    /// Dense id assigned to the arriving request.
+    pub id: RequestId,
+    /// Was the newcomer accepted (and still accepted once this
+    /// arrival's preemptions settled)?
+    pub accepted: bool,
+    /// Previously accepted requests preempted by this arrival.
+    pub preempted: Vec<RequestId>,
+    /// Cost of the arriving request.
+    pub cost: f64,
+    /// Rejection cost newly incurred by this arrival: the newcomer's
+    /// cost if rejected, plus the costs of everything preempted.
+    pub rejected_cost_delta: f64,
+    /// Running total of rejected cost after this arrival.
+    pub total_rejected_cost: f64,
+}
+
+/// Running statistics a session maintains incrementally.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Arrivals processed.
+    pub arrivals: usize,
+    /// Requests currently accepted.
+    pub currently_accepted: usize,
+    /// Requests rejected or preempted so far.
+    pub rejected_count: usize,
+    /// Total cost of rejected/preempted requests (the paper's
+    /// objective).
+    pub rejected_cost: f64,
+    /// Preemptions so far (every preemption is also a rejection).
+    pub preemptions: usize,
+    /// Total cost of all arrivals seen.
+    pub offered_cost: f64,
+}
+
+/// A streaming run of one online admission algorithm over one arrival
+/// sequence, with the harness's referee audit applied per arrival.
+pub struct Session<A: OnlineAdmission = Box<dyn OnlineAdmission>> {
+    alg: A,
+    /// Owns the capacity vector; edge counts and capacities are always
+    /// read back from here so there is one source of truth.
+    audit: LoadTracker,
+    /// Per-request live state: footprint retained while accepted.
+    accepted: Vec<Option<Request>>,
+    ever_rejected: Vec<bool>,
+    stats: RunStats,
+    poisoned: bool,
+    /// Spec string the algorithm was built from, when registry-built.
+    spec: Option<String>,
+    /// Seed the algorithm was built with, when registry-built.
+    seed: Option<u64>,
+}
+
+impl Session<Box<dyn OnlineAdmission>> {
+    /// Build the algorithm named by `spec` from `registry` and open a
+    /// session over `capacities`. `base_seed` feeds randomized
+    /// algorithms unless the spec carries its own `seed=`.
+    pub fn from_registry(
+        registry: &Registry,
+        spec: &AlgorithmSpec,
+        capacities: &[u32],
+        base_seed: u64,
+    ) -> Result<Self, AcmrError> {
+        let ctx = BuildCtx::new(capacities).with_seed(base_seed);
+        let alg = registry.build_spec(spec, &ctx)?;
+        let mut session = Session::new(alg, capacities);
+        session.spec = Some(spec.canonical());
+        session.seed = Some(ctx.effective_seed(spec)?);
+        Ok(session)
+    }
+}
+
+impl<A: OnlineAdmission> Session<A> {
+    /// Open a session driving `alg` over edges with the given
+    /// capacities.
+    pub fn new(alg: A, capacities: &[u32]) -> Self {
+        Session {
+            alg,
+            audit: LoadTracker::from_capacities(capacities.to_vec()),
+            accepted: Vec::new(),
+            ever_rejected: Vec::new(),
+            stats: RunStats::default(),
+            poisoned: false,
+            spec: None,
+            seed: None,
+        }
+    }
+
+    /// The driven algorithm's stable name.
+    pub fn algorithm_name(&self) -> &'static str {
+        self.alg.name()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Final acceptance state per arrival so far.
+    pub fn accepted_mask(&self) -> Vec<bool> {
+        self.accepted.iter().map(Option::is_some).collect()
+    }
+
+    /// Has a contract violation poisoned this session?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn violation(&mut self, detail: String) -> AcmrError {
+        self.poisoned = true;
+        AcmrError::ContractViolation {
+            algorithm: self.alg.name().to_string(),
+            detail,
+        }
+    }
+
+    /// Feed one arrival; audit and apply the algorithm's decision.
+    ///
+    /// Errors with [`AcmrError::InvalidRequest`] if the footprint
+    /// references an edge outside the capacity vector (the request is
+    /// not shown to the algorithm), and with
+    /// [`AcmrError::ContractViolation`] if the algorithm breaks the
+    /// online contract (the session is then poisoned).
+    pub fn push(&mut self, request: &Request) -> Result<ArrivalEvent, AcmrError> {
+        if self.poisoned {
+            return Err(AcmrError::SessionPoisoned);
+        }
+        let num_edges = self.audit.num_edges();
+        if let Some(e) = request.footprint.iter().find(|e| e.index() >= num_edges) {
+            return Err(AcmrError::InvalidRequest {
+                reason: format!("footprint edge {e:?} out of range for {num_edges} edges"),
+            });
+        }
+        let id = RequestId(self.accepted.len() as u32);
+        let out = self.alg.on_request(id, request);
+
+        // Referee phase 1: preemptions must name currently-accepted
+        // requests.
+        let mut rejected_cost_delta = 0.0;
+        for p in &out.preempted {
+            let slot = self.accepted.get_mut(p.index()).and_then(Option::take);
+            let Some(victim) = slot else {
+                return Err(
+                    self.violation(format!("preempted request {p:?} is not currently accepted"))
+                );
+            };
+            self.audit.release(&victim.footprint);
+            self.ever_rejected[p.index()] = true;
+            self.stats.currently_accepted -= 1;
+            self.stats.rejected_count += 1;
+            self.stats.rejected_cost += victim.cost;
+            self.stats.preemptions += 1;
+            rejected_cost_delta += victim.cost;
+        }
+
+        // Referee phase 2: acceptance must be fresh and feasible.
+        self.accepted.push(None);
+        self.ever_rejected.push(false);
+        if out.accepted {
+            if self.ever_rejected[id.index()] {
+                return Err(self.violation("accepted a previously rejected request".to_string()));
+            }
+            if !self.audit.fits(&request.footprint) {
+                return Err(self.violation(format!(
+                    "accepting request {} violates a capacity",
+                    id.index()
+                )));
+            }
+            self.audit.admit(&request.footprint);
+            self.accepted[id.index()] = Some(request.clone());
+            self.stats.currently_accepted += 1;
+        } else {
+            self.ever_rejected[id.index()] = true;
+            self.stats.rejected_count += 1;
+            self.stats.rejected_cost += request.cost;
+            rejected_cost_delta += request.cost;
+        }
+        self.stats.arrivals += 1;
+        self.stats.offered_cost += request.cost;
+        debug_assert!(self.audit.is_feasible());
+
+        Ok(ArrivalEvent {
+            id,
+            accepted: out.accepted,
+            preempted: out.preempted,
+            cost: request.cost,
+            rejected_cost_delta,
+            total_rejected_cost: self.stats.rejected_cost,
+        })
+    }
+
+    /// Drive a whole instance through [`Session::push`] and summarize.
+    ///
+    /// Requires a **fresh** session (no arrivals pushed yet) whose
+    /// capacities match the instance's exactly; its arrival order is
+    /// replayed verbatim. This is the convenience the batch runners
+    /// and the CLI use.
+    pub fn run_trace(&mut self, inst: &AdmissionInstance) -> Result<RunReport, AcmrError> {
+        if self.stats.arrivals > 0 {
+            return Err(AcmrError::InvalidRequest {
+                reason: format!(
+                    "run_trace requires a fresh session, but {} arrivals were already pushed",
+                    self.stats.arrivals
+                ),
+            });
+        }
+        let same_capacities = inst.capacities.len() == self.audit.num_edges()
+            && inst
+                .capacities
+                .iter()
+                .enumerate()
+                .all(|(i, &c)| self.audit.capacity(acmr_graph::EdgeId(i as u32)) == c);
+        if !same_capacities {
+            return Err(AcmrError::InvalidRequest {
+                reason: "instance capacities do not match the session's".to_string(),
+            });
+        }
+        for request in &inst.requests {
+            self.push(request)?;
+        }
+        Ok(self.report())
+    }
+
+    /// Snapshot the session as a structured [`RunReport`].
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            algorithm: self
+                .spec
+                .clone()
+                .unwrap_or_else(|| self.alg.name().to_string()),
+            algorithm_name: self.alg.name().to_string(),
+            seed: self.seed,
+            edges: self.audit.num_edges(),
+            max_capacity: (0..self.audit.num_edges())
+                .map(|i| self.audit.capacity(acmr_graph::EdgeId(i as u32)))
+                .max()
+                .unwrap_or(0),
+            requests: self.stats.arrivals,
+            accepted_count: self.stats.currently_accepted,
+            rejected_count: self.stats.rejected_count,
+            rejected_cost: self.stats.rejected_cost,
+            preemptions: self.stats.preemptions,
+            offered_cost: self.stats.offered_cost,
+            opt: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::Outcome;
+    use crate::registry::{register_core, Registry};
+    use acmr_graph::{EdgeId, EdgeSet};
+
+    fn fp(ids: &[u32]) -> EdgeSet {
+        EdgeSet::new(ids.iter().map(|&i| EdgeId(i)).collect())
+    }
+
+    /// Accepts everything, capacity be damned.
+    struct AcceptAll;
+    impl OnlineAdmission for AcceptAll {
+        fn name(&self) -> &'static str {
+            "accept-all"
+        }
+        fn on_request(&mut self, _id: RequestId, _r: &Request) -> Outcome {
+            Outcome::accept()
+        }
+    }
+
+    /// Preempts a request that was never accepted.
+    struct PhantomPreempt;
+    impl OnlineAdmission for PhantomPreempt {
+        fn name(&self) -> &'static str {
+            "phantom"
+        }
+        fn on_request(&mut self, id: RequestId, _r: &Request) -> Outcome {
+            if id.0 == 0 {
+                Outcome::reject()
+            } else {
+                Outcome {
+                    accepted: false,
+                    preempted: vec![RequestId(0)],
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_stats_accumulate() {
+        let mut reg = Registry::new();
+        register_core(&mut reg);
+        let caps = vec![1u32];
+        let spec = AlgorithmSpec::parse("aag-weighted?seed=4").unwrap();
+        let mut session = Session::from_registry(&reg, &spec, &caps, 0).unwrap();
+        assert_eq!(session.stats().arrivals, 0);
+        for _ in 0..5 {
+            let ev = session.push(&Request::new(fp(&[0]), 2.0)).unwrap();
+            assert_eq!(ev.cost, 2.0);
+            assert!(ev.total_rejected_cost <= session.stats().rejected_cost + 1e-12);
+        }
+        let stats = session.stats().clone();
+        assert_eq!(stats.arrivals, 5);
+        assert_eq!(stats.offered_cost, 10.0);
+        // Capacity 1: at most one live acceptance.
+        assert!(stats.currently_accepted <= 1);
+        // Every arrival is either still accepted or was rejected
+        // (immediately or by preemption) exactly once.
+        assert_eq!(stats.rejected_count + stats.currently_accepted, 5);
+        let report = session.report();
+        assert_eq!(report.algorithm, "aag-weighted?seed=4");
+        assert_eq!(report.seed, Some(4));
+        assert_eq!(report.requests, 5);
+    }
+
+    #[test]
+    fn capacity_violation_poisons_session() {
+        let caps = vec![1u32];
+        let mut session = Session::new(AcceptAll, &caps);
+        assert!(session.push(&Request::unit(fp(&[0]))).unwrap().accepted);
+        let err = session.push(&Request::unit(fp(&[0]))).unwrap_err();
+        assert!(err.to_string().contains("violates a capacity"), "{err}");
+        assert!(session.is_poisoned());
+        assert_eq!(
+            session.push(&Request::unit(fp(&[0]))),
+            Err(AcmrError::SessionPoisoned)
+        );
+    }
+
+    #[test]
+    fn phantom_preemption_is_reported() {
+        let caps = vec![1u32];
+        let mut session = Session::new(PhantomPreempt, &caps);
+        session.push(&Request::unit(fp(&[0]))).unwrap();
+        let err = session.push(&Request::unit(fp(&[0]))).unwrap_err();
+        assert!(err.to_string().contains("not currently accepted"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_footprint_is_rejected_without_poisoning() {
+        let caps = vec![1u32];
+        let mut session = Session::new(AcceptAll, &caps);
+        let err = session.push(&Request::unit(fp(&[7]))).unwrap_err();
+        assert!(matches!(err, AcmrError::InvalidRequest { .. }));
+        assert!(!session.is_poisoned());
+        assert!(session.push(&Request::unit(fp(&[0]))).unwrap().accepted);
+    }
+
+    #[test]
+    fn run_trace_matches_incremental_pushes() {
+        let mut inst = AdmissionInstance::from_capacities(vec![1, 1]);
+        inst.push(Request::new(fp(&[0]), 1.0));
+        inst.push(Request::new(fp(&[0, 1]), 5.0));
+        inst.push(Request::new(fp(&[1]), 2.0));
+
+        let mut reg = Registry::new();
+        register_core(&mut reg);
+        let spec = AlgorithmSpec::parse("aag-weighted?seed=11").unwrap();
+        let report = Session::from_registry(&reg, &spec, &inst.capacities, 0)
+            .unwrap()
+            .run_trace(&inst)
+            .unwrap();
+
+        let mut session = Session::from_registry(&reg, &spec, &inst.capacities, 0).unwrap();
+        for r in &inst.requests {
+            session.push(r).unwrap();
+        }
+        assert_eq!(session.report(), report);
+        assert_eq!(report.requests, 3);
+    }
+
+    #[test]
+    fn run_trace_validates_capacity_match() {
+        let mut reg = Registry::new();
+        register_core(&mut reg);
+        let spec = AlgorithmSpec::bare("aag-weighted");
+        let caps = vec![1u32];
+        let mut session = Session::from_registry(&reg, &spec, &caps, 0).unwrap();
+        let other = AdmissionInstance::from_capacities(vec![1, 1]);
+        assert!(matches!(
+            session.run_trace(&other),
+            Err(AcmrError::InvalidRequest { .. })
+        ));
+        // Same length, different values: also rejected — the audit
+        // would otherwise silently use the session's capacities.
+        let mut session = Session::from_registry(&reg, &spec, &[2], 0).unwrap();
+        let other = AdmissionInstance::from_capacities(vec![1]);
+        assert!(matches!(
+            session.run_trace(&other),
+            Err(AcmrError::InvalidRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn run_trace_requires_a_fresh_session() {
+        let mut reg = Registry::new();
+        register_core(&mut reg);
+        let spec = AlgorithmSpec::bare("aag-weighted");
+        let mut inst = AdmissionInstance::from_capacities(vec![2]);
+        inst.push(Request::unit(fp(&[0])));
+        let mut session = Session::from_registry(&reg, &spec, &inst.capacities, 0).unwrap();
+        session.run_trace(&inst).unwrap();
+        // A second replay would silently merge two streams; rejected.
+        let err = session.run_trace(&inst).unwrap_err();
+        assert!(err.to_string().contains("fresh session"), "{err}");
+        // Likewise after any manual push.
+        let mut session = Session::from_registry(&reg, &spec, &inst.capacities, 0).unwrap();
+        session.push(&Request::unit(fp(&[0]))).unwrap();
+        assert!(session.run_trace(&inst).is_err());
+    }
+}

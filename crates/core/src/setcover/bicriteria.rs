@@ -224,9 +224,17 @@ impl BicriteriaCover {
                 .max_by(|a, b| {
                     // Weighted: potential removed per unit cost.
                     let ma = self.contribution_mass(*a)
-                        / if self.cost_aware { self.system.cost(*a) } else { 1.0 };
+                        / if self.cost_aware {
+                            self.system.cost(*a)
+                        } else {
+                            1.0
+                        };
                     let mb = self.contribution_mass(*b)
-                        / if self.cost_aware { self.system.cost(*b) } else { 1.0 };
+                        / if self.cost_aware {
+                            self.system.cost(*b)
+                        } else {
+                            1.0
+                        };
                     ma.partial_cmp(&mb).unwrap()
                 });
             let Some(s) = best else {
@@ -415,11 +423,7 @@ mod tests {
     fn weighted_variant_prefers_cheap_sets() {
         // Element 0 coverable by a cheap singleton (cost 1) or an
         // expensive big set (cost 50).
-        let system = SetSystem::new(
-            2,
-            vec![vec![0], vec![0, 1], vec![1]],
-            vec![1.0, 50.0, 1.0],
-        );
+        let system = SetSystem::new(2, vec![vec![0], vec![0, 1], vec![1]], vec![1.0, 50.0, 1.0]);
         let mut alg = BicriteriaCover::new_weighted(system, 0.25);
         alg.on_arrival(0);
         alg.on_arrival(1);
@@ -438,7 +442,13 @@ mod tests {
     fn weighted_variant_keeps_coverage_invariant() {
         let system = SetSystem::new(
             4,
-            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3], vec![0, 1, 2, 3]],
+            vec![
+                vec![0, 1],
+                vec![1, 2],
+                vec![2, 3],
+                vec![0, 3],
+                vec![0, 1, 2, 3],
+            ],
             vec![3.0, 1.0, 4.0, 1.0, 9.0],
         );
         let eps = 0.3;

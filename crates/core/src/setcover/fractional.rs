@@ -102,10 +102,7 @@ impl FractionalCover {
             }
             // Saturation makes progress even for huge costs; the guard
             // is a defensive backstop (cannot fire for finite costs).
-            assert!(
-                guard < 1_000_000,
-                "fractional set cover failed to converge"
-            );
+            assert!(guard < 1_000_000, "fractional set cover failed to converge");
         }
     }
 }
@@ -117,7 +114,13 @@ mod tests {
     fn sys() -> SetSystem {
         SetSystem::new(
             4,
-            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3], vec![0, 1, 2, 3]],
+            vec![
+                vec![0, 1],
+                vec![1, 2],
+                vec![2, 3],
+                vec![0, 3],
+                vec![0, 1, 2, 3],
+            ],
             vec![1.0, 1.0, 1.0, 1.0, 2.0],
         )
     }
@@ -179,13 +182,13 @@ mod tests {
     #[test]
     fn monotone_fractions() {
         let mut f = FractionalCover::new(sys());
-        let mut prev = vec![0.0; 5];
+        let mut prev = [0.0; 5];
         for &j in &[0u32, 1, 2, 3, 0, 1] {
             f.on_arrival(j);
-            for i in 0..5 {
+            for (i, p) in prev.iter_mut().enumerate() {
                 let cur = f.x[i];
-                assert!(cur >= prev[i] - 1e-12);
-                prev[i] = cur;
+                assert!(cur >= *p - 1e-12);
+                *p = cur;
             }
         }
     }

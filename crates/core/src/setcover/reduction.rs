@@ -228,16 +228,18 @@ mod tests {
         // 4 elements; 5 sets.
         SetSystem::unit(
             4,
-            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3], vec![0, 1, 2, 3]],
+            vec![
+                vec![0, 1],
+                vec![1, 2],
+                vec![2, 3],
+                vec![0, 3],
+                vec![0, 1, 2, 3],
+            ],
         )
     }
 
     fn reduction(seed: u64) -> ReductionCover<RandomizedAdmission<StdRng>> {
-        ReductionCover::randomized(
-            sys(),
-            RandConfig::unweighted(),
-            StdRng::seed_from_u64(seed),
-        )
+        ReductionCover::randomized(sys(), RandConfig::unweighted(), StdRng::seed_from_u64(seed))
     }
 
     #[test]
@@ -262,7 +264,11 @@ mod tests {
         red.on_arrival(0);
         red.on_arrival(0);
         red.on_arrival(0);
-        assert_eq!(red.coverage(0), 3, "three arrivals need three distinct sets");
+        assert_eq!(
+            red.coverage(0),
+            3,
+            "three arrivals need three distinct sets"
+        );
     }
 
     #[test]
@@ -327,11 +333,8 @@ mod tests {
     #[should_panic(expected = "more times than its degree")]
     fn infeasible_arrivals_panic() {
         let system = SetSystem::unit(1, vec![vec![0]]);
-        let mut red = ReductionCover::randomized(
-            system,
-            RandConfig::unweighted(),
-            StdRng::seed_from_u64(0),
-        );
+        let mut red =
+            ReductionCover::randomized(system, RandConfig::unweighted(), StdRng::seed_from_u64(0));
         red.on_arrival(0);
         red.on_arrival(0);
     }

@@ -104,7 +104,7 @@ proptest! {
     ) {
         // Random system: set i contains element j iff hash-ish predicate.
         let sets: Vec<Vec<u32>> = (0..m)
-            .map(|i| (0..n as u32).filter(|&j| (i as u32 * 7 + j * 13 + 3) % 3 != 0).collect())
+            .map(|i| (0..n as u32).filter(|&j| !(i as u32 * 7 + j * 13 + 3).is_multiple_of(3)).collect())
             .collect();
         let system = SetSystem::unit(n, sets);
         let mut red = ReductionCover::randomized(
@@ -142,7 +142,7 @@ proptest! {
     ) {
         let eps = eps_pct as f64 / 100.0;
         let sets: Vec<Vec<u32>> = (0..m)
-            .map(|i| (0..n as u32).filter(|&j| (i as u32 * 5 + j * 11 + 1) % 3 != 0).collect())
+            .map(|i| (0..n as u32).filter(|&j| !(i as u32 * 5 + j * 11 + 1).is_multiple_of(3)).collect())
             .collect();
         if sets.iter().any(|s| s.is_empty()) {
             return Ok(());

@@ -31,10 +31,7 @@ fn theorem2_unweighted_envelope_on_hot_edge() {
         let opt = (total - c) as f64;
         let ratio = eng.online_cost() / opt;
         let bound = 4.0 * (c as f64).ln().max(1.0) + 4.0;
-        assert!(
-            ratio <= bound,
-            "c={c}: fractional ratio {ratio} > {bound}"
-        );
+        assert!(ratio <= bound, "c={c}: fractional ratio {ratio} > {bound}");
     }
 }
 
@@ -221,5 +218,8 @@ fn theorem3_order_insensitivity() {
     }
     let worst = ratios.iter().cloned().fold(0.0, f64::max);
     let envelope = 20.0 * (8.0f64 * 2.0).ln().powi(2);
-    assert!(worst <= envelope, "worst shuffled ratio {worst} > {envelope}");
+    assert!(
+        worst <= envelope,
+        "worst shuffled ratio {worst} > {envelope}"
+    );
 }

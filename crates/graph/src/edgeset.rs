@@ -30,7 +30,10 @@ impl EdgeSet {
     /// # Panics
     /// In debug builds, if the invariant does not hold.
     pub fn from_sorted(edges: Vec<EdgeId>) -> Self {
-        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "must be strictly sorted");
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "must be strictly sorted"
+        );
         EdgeSet {
             edges: edges.into_boxed_slice(),
         }

@@ -138,23 +138,19 @@ impl CapGraphBuilder {
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, capacity: u32) -> EdgeId {
         assert!(from.0 < self.num_nodes, "node {from} out of range");
         assert!(to.0 < self.num_nodes, "node {to} out of range");
-        assert!(capacity > 0, "edge capacity must be positive (paper: c_e > 0)");
+        assert!(
+            capacity > 0,
+            "edge capacity must be positive (paper: c_e > 0)"
+        );
         let id = EdgeId(self.edges.len() as u32);
-        self.edges.push(EdgeInfo {
-            from,
-            to,
-            capacity,
-        });
+        self.edges.push(EdgeInfo { from, to, capacity });
         id
     }
 
     /// Add both `a → b` and `b → a` with the same capacity; returns the
     /// pair of ids. Convenience for "undirected" topologies.
     pub fn add_bidirectional(&mut self, a: NodeId, b: NodeId, capacity: u32) -> (EdgeId, EdgeId) {
-        (
-            self.add_edge(a, b, capacity),
-            self.add_edge(b, a, capacity),
-        )
+        (self.add_edge(a, b, capacity), self.add_edge(b, a, capacity))
     }
 
     /// Number of edges added so far.

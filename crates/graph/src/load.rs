@@ -63,7 +63,8 @@ impl LoadTracker {
     /// Would adding one unit on every edge of `fp` keep all loads within
     /// capacity?
     pub fn fits(&self, fp: &EdgeSet) -> bool {
-        fp.iter().all(|e| self.load[e.index()] < self.capacities[e.index()])
+        fp.iter()
+            .all(|e| self.load[e.index()] < self.capacities[e.index()])
     }
 
     /// Add one unit of load on every edge of `fp`.

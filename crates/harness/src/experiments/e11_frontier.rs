@@ -98,7 +98,14 @@ pub fn run(quick: bool) -> Vec<Cell> {
 pub fn table(cells: &[Cell]) -> Table {
     let mut t = Table::new(
         "E11 — fractional frontier: cost of each pipeline layer (mean over seeds)",
-        &["n", "m", "OPT bound", "online fractional", "reduction (rand.)", "bicriteria ε=0.25"],
+        &[
+            "n",
+            "m",
+            "OPT bound",
+            "online fractional",
+            "reduction (rand.)",
+            "bicriteria ε=0.25",
+        ],
     );
     for cell in cells {
         t.push_row(vec![

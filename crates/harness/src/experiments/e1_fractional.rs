@@ -72,11 +72,15 @@ pub fn run(quick: bool) -> Vec<Cell> {
         let mut ratios = Vec::new();
         let mut bound = "exact";
         for rep in 0..reps {
-            let cell_id = (m as u64) << 32 | (c as u64) << 8 | (weighting == Weighting::Weighted) as u64;
+            let cell_id =
+                (m as u64) << 32 | (c as u64) << 8 | (weighting == Weighting::Weighted) as u64;
             let seed = seed_for(EXP_ID, cell_id, rep);
             let costs = match weighting {
                 Weighting::Unweighted => CostModel::Unit,
-                Weighting::Weighted => CostModel::Zipf { n_values: 64, s: 1.1 },
+                Weighting::Weighted => CostModel::Zipf {
+                    n_values: 64,
+                    s: 1.1,
+                },
             };
             let spec = PathWorkloadSpec {
                 topology: Topology::Line { m },
@@ -95,7 +99,10 @@ pub fn run(quick: bool) -> Vec<Cell> {
             for r in &inst.requests {
                 eng.on_request(&r.footprint, r.cost);
             }
-            assert!(eng.covering_invariant_holds(), "covering invariant violated");
+            assert!(
+                eng.covering_invariant_holds(),
+                "covering invariant violated"
+            );
             // The fractional optimum = LP bound (no B&B needed: Thm 2 is
             // vs fractional OPT).
             let problem = admission_covering_problem(&inst);
@@ -127,7 +134,15 @@ pub fn run(quick: bool) -> Vec<Cell> {
 pub fn table(cells: &[Cell]) -> Table {
     let mut t = Table::new(
         "E1 — fractional competitiveness vs fractional OPT (Theorem 2)",
-        &["m", "c", "case", "ratio (mean ± std)", "ratio / log", "log", "opt bound"],
+        &[
+            "m",
+            "c",
+            "case",
+            "ratio (mean ± std)",
+            "ratio / log",
+            "log",
+            "opt bound",
+        ],
     );
     for cell in cells {
         let (case, log) = match cell.weighting {

@@ -9,10 +9,11 @@ use crate::experiments::e1_fractional::kind_label;
 use crate::experiments::seed_for;
 use crate::opt::{admission_opt, BoundBudget};
 use crate::parallel::{default_threads, parallel_map};
-use crate::runner::run_admission;
+use crate::registry::default_registry;
+use crate::runner::run_registered;
 use crate::stats::Summary;
 use crate::table::Table;
-use acmr_core::{RandConfig, RandomizedAdmission};
+use acmr_core::DEFAULT_ALGORITHM;
 use acmr_workloads::{random_path_workload, CostModel, PathWorkloadSpec, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,7 +48,9 @@ pub fn run(quick: bool) -> Vec<Cell> {
             cells.push((m, c));
         }
     }
-    parallel_map(cells, default_threads(), |&(m, c)| {
+    let registry = default_registry();
+    let registry = &registry;
+    parallel_map(cells, default_threads(), move |&(m, c)| {
         let mut ratios = Vec::new();
         let mut bound = "exact";
         for rep in 0..reps {
@@ -56,20 +59,19 @@ pub fn run(quick: bool) -> Vec<Cell> {
                 topology: Topology::Line { m },
                 capacity: c,
                 overload: 2.0,
-                costs: CostModel::Zipf { n_values: 64, s: 1.1 },
+                costs: CostModel::Zipf {
+                    n_values: 64,
+                    s: 1.1,
+                },
                 max_hops: 8,
             };
             let mut rng = StdRng::seed_from_u64(seed);
             let (_, inst) = random_path_workload(&spec, &mut rng);
-            let mut alg = RandomizedAdmission::new(
-                &inst.capacities,
-                RandConfig::weighted(),
-                StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF),
-            );
-            let run = run_admission(&mut alg, &inst);
+            let report = run_registered(registry, DEFAULT_ALGORITHM, &inst, seed ^ 0xDEAD_BEEF)
+                .expect("registry run");
             let opt = admission_opt(&inst, BoundBudget::default());
             bound = kind_label(opt.kind);
-            let ratio = opt.ratio(run.rejected_cost);
+            let ratio = opt.ratio(report.rejected_cost);
             if ratio.is_finite() {
                 ratios.push(ratio);
             }
@@ -90,7 +92,14 @@ pub fn run(quick: bool) -> Vec<Cell> {
 pub fn table(cells: &[Cell]) -> Table {
     let mut t = Table::new(
         "E3 — randomized weighted competitiveness vs O(log²(mc)) (Theorem 3)",
-        &["m", "c", "ratio (mean ± std)", "ratio / ln²(mc)", "ln²(mc)", "opt bound"],
+        &[
+            "m",
+            "c",
+            "ratio (mean ± std)",
+            "ratio / ln²(mc)",
+            "ln²(mc)",
+            "opt bound",
+        ],
     );
     for cell in cells {
         let log2 = (cell.m as f64 * cell.c as f64).ln().max(1.0).powi(2);

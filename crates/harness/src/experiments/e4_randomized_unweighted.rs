@@ -9,10 +9,10 @@ use crate::experiments::e1_fractional::kind_label;
 use crate::experiments::seed_for;
 use crate::opt::{admission_opt, BoundBudget};
 use crate::parallel::{default_threads, parallel_map};
-use crate::runner::run_admission;
+use crate::registry::default_registry;
+use crate::runner::run_registered;
 use crate::stats::Summary;
 use crate::table::Table;
-use acmr_core::{RandConfig, RandomizedAdmission};
 use acmr_workloads::{random_path_workload, CostModel, PathWorkloadSpec, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -61,7 +61,9 @@ pub fn run(quick: bool) -> Vec<Cell> {
     for &c in &c_axis {
         cells.push((Axis::C, fixed_m, c));
     }
-    parallel_map(cells, default_threads(), |&(axis, m, c)| {
+    let registry = default_registry();
+    let registry = &registry;
+    parallel_map(cells, default_threads(), move |&(axis, m, c)| {
         let mut ratios = Vec::new();
         let mut bound = "exact";
         for rep in 0..reps {
@@ -76,15 +78,11 @@ pub fn run(quick: bool) -> Vec<Cell> {
             };
             let mut rng = StdRng::seed_from_u64(seed);
             let (_, inst) = random_path_workload(&spec, &mut rng);
-            let mut alg = RandomizedAdmission::new(
-                &inst.capacities,
-                RandConfig::unweighted(),
-                StdRng::seed_from_u64(seed ^ 0xBEEF_CAFE),
-            );
-            let run = run_admission(&mut alg, &inst);
+            let report = run_registered(registry, "aag-unweighted", &inst, seed ^ 0xBEEF_CAFE)
+                .expect("registry run");
             let opt = admission_opt(&inst, BoundBudget::default());
             bound = kind_label(opt.kind);
-            let ratio = opt.ratio(run.rejected_cost);
+            let ratio = opt.ratio(report.rejected_cost);
             if ratio.is_finite() {
                 ratios.push(ratio);
             }
@@ -106,7 +104,14 @@ pub fn run(quick: bool) -> Vec<Cell> {
 pub fn table(cells: &[Cell]) -> Table {
     let mut t = Table::new(
         "E4 — unweighted randomized competitiveness vs O(log m · log c) (Theorem 4)",
-        &["axis", "m", "c", "ratio (mean ± std)", "ratio/(ln m·ln c)", "opt bound"],
+        &[
+            "axis",
+            "m",
+            "c",
+            "ratio (mean ± std)",
+            "ratio/(ln m·ln c)",
+            "opt bound",
+        ],
     );
     for cell in cells {
         t.push_row(vec![

@@ -20,8 +20,7 @@ use acmr_baselines::NaiveOnlineCover;
 use acmr_core::setcover::ReductionCover;
 use acmr_core::RandConfig;
 use acmr_workloads::{
-    random_arrivals, random_set_system, structured_partition_system, ArrivalPattern,
-    SetSystemSpec,
+    random_arrivals, random_set_system, structured_partition_system, ArrivalPattern, SetSystemSpec,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -80,10 +79,8 @@ pub fn run(quick: bool) -> Vec<Cell> {
     } else {
         (vec![(8, 12), (16, 24), (32, 48), (64, 96), (128, 192)], 8)
     };
-    let mut cells: Vec<(Family, usize, usize)> = grid
-        .iter()
-        .map(|&(n, m)| (Family::Random, n, m))
-        .collect();
+    let mut cells: Vec<(Family, usize, usize)> =
+        grid.iter().map(|&(n, m)| (Family::Random, n, m)).collect();
     // Gap instances: groups = n/4, 2 copies each + global ⇒ m = n/2 + 1.
     for &(n, _) in &grid {
         cells.push((Family::PartitionGap, n, n + 1));
@@ -99,7 +96,11 @@ pub fn run(quick: bool) -> Vec<Cell> {
         let mut repairs = 0u64;
         let mut bound = "exact";
         for rep in 0..seeds {
-            let seed = seed_for(EXP_ID, (family as u64) << 48 | (n as u64) << 24 | m as u64, rep);
+            let seed = seed_for(
+                EXP_ID,
+                (family as u64) << 48 | (n as u64) << 24 | m as u64,
+                rep,
+            );
             let mut rng = StdRng::seed_from_u64(seed);
             let system = match family {
                 Family::Random => {

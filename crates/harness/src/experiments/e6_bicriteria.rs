@@ -148,8 +148,7 @@ mod tests {
                 cell.worst_coverage
             );
             assert_eq!(cell.fallbacks, 0);
-            let log_product =
-                (cell.m as f64).ln().max(1.0) * (cell.n as f64).ln().max(1.0);
+            let log_product = (cell.m as f64).ln().max(1.0) * (cell.n as f64).ln().max(1.0);
             assert!(
                 cell.ratio.mean <= 25.0 * log_product,
                 "ε={} n={} m={}: ratio {}",

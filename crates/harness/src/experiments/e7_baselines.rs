@@ -11,11 +11,11 @@ use crate::experiments::e1_fractional::kind_label;
 use crate::experiments::seed_for;
 use crate::opt::{admission_opt, BoundBudget};
 use crate::parallel::{default_threads, parallel_map};
-use crate::runner::run_admission;
+use crate::registry::default_registry;
+use crate::runner::run_registered;
 use crate::stats::Summary;
 use crate::table::Table;
-use acmr_baselines::{CreditSqrtM, GreedyNonPreemptive, PreemptCheapest, RandomPreempt};
-use acmr_core::{AdmissionInstance, RandConfig, RandomizedAdmission};
+use acmr_core::{AdmissionInstance, DEFAULT_ALGORITHM};
 use acmr_workloads::adversarial::{nested_intervals, two_phase_squeeze};
 use acmr_workloads::{random_path_workload, CostModel, PathWorkloadSpec, Topology};
 use rand::rngs::StdRng;
@@ -57,10 +57,12 @@ pub struct Cell {
     pub bound: &'static str,
 }
 
-/// Algorithm column order for [`Cell::ratios`].
+/// Algorithm column order for [`Cell::ratios`]: registry spec strings,
+/// resolved through [`default_registry`] — E7 carries no constructor
+/// table of its own.
 pub const ALGS: [&str; 5] = [
-    "aag-randomized",
-    "greedy-nonpreemptive",
+    DEFAULT_ALGORITHM,
+    "greedy",
     "credit-sqrt-m",
     "preempt-cheapest",
     "random-preempt",
@@ -96,7 +98,9 @@ pub fn run(quick: bool) -> Vec<Cell> {
             cells.push((family, m));
         }
     }
-    parallel_map(cells, default_threads(), |&(family, m)| {
+    let registry = default_registry();
+    let registry = &registry;
+    parallel_map(cells, default_threads(), move |&(family, m)| {
         let mut per_alg: Vec<Vec<f64>> = vec![Vec::new(); ALGS.len()];
         let mut bound = "exact";
         for rep in 0..seeds {
@@ -104,37 +108,12 @@ pub fn run(quick: bool) -> Vec<Cell> {
             let inst = instance_for(family, m, seed);
             let opt = admission_opt(&inst, BoundBudget::default());
             bound = kind_label(opt.kind);
-            let caps = inst.capacities.clone();
 
-            let runs: Vec<f64> = vec![
-                {
-                    let mut alg = RandomizedAdmission::new(
-                        &caps,
-                        RandConfig::weighted(),
-                        StdRng::seed_from_u64(seed ^ 0xF00D),
-                    );
-                    run_admission(&mut alg, &inst).rejected_cost
-                },
-                {
-                    let mut alg = GreedyNonPreemptive::new(&caps);
-                    run_admission(&mut alg, &inst).rejected_cost
-                },
-                {
-                    let mut alg = CreditSqrtM::new(&caps);
-                    run_admission(&mut alg, &inst).rejected_cost
-                },
-                {
-                    let mut alg = PreemptCheapest::new(&caps);
-                    run_admission(&mut alg, &inst).rejected_cost
-                },
-                {
-                    let mut alg =
-                        RandomPreempt::new(&caps, StdRng::seed_from_u64(seed ^ 0xFACE));
-                    run_admission(&mut alg, &inst).rejected_cost
-                },
-            ];
-            for (k, cost) in runs.into_iter().enumerate() {
-                let r = opt.ratio(cost);
+            for (k, spec) in ALGS.iter().enumerate() {
+                let report =
+                    run_registered(registry, spec, &inst, seed ^ 0xF00D ^ (k as u64) << 16)
+                        .expect("registry run");
+                let r = opt.ratio(report.rejected_cost);
                 if r.is_finite() {
                     per_alg[k].push(r);
                 }

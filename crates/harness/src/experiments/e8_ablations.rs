@@ -8,10 +8,11 @@ use crate::experiments::e1_fractional::kind_label;
 use crate::experiments::seed_for;
 use crate::opt::{admission_opt, BoundBudget};
 use crate::parallel::{default_threads, parallel_map};
-use crate::runner::run_admission;
+use crate::registry::default_registry;
+use crate::runner::run_registered;
 use crate::stats::Summary;
 use crate::table::Table;
-use acmr_core::{RandConfig, RandomizedAdmission};
+use acmr_core::{RandConfig, DEFAULT_ALGORITHM};
 use acmr_workloads::{random_path_workload, CostModel, PathWorkloadSpec, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -66,7 +67,9 @@ pub fn run(quick: bool) -> Vec<Cell> {
     }
     cells.push((Knob::Prune, 0.0));
     cells.push((Knob::Prune, 1.0));
-    parallel_map(cells, default_threads(), |&(knob, mult)| {
+    let registry = default_registry();
+    let registry = &registry;
+    parallel_map(cells, default_threads(), move |&(knob, mult)| {
         let mut ratios = Vec::new();
         let mut preempt = Vec::new();
         let mut bound = "exact";
@@ -79,34 +82,32 @@ pub fn run(quick: bool) -> Vec<Cell> {
                 costs: CostModel::Uniform { lo: 1.0, hi: 8.0 },
                 max_hops: 8,
             };
-            let (_, inst) =
-                random_path_workload(&spec, &mut StdRng::seed_from_u64(seed));
-            let mut cfg = RandConfig::weighted();
-            match knob {
-                Knob::RoundingConsts => {
-                    cfg.threshold_const *= mult;
-                    cfg.prob_const *= mult;
-                }
-                Knob::DoublingFactor => {
-                    cfg.frac.doubling_factor *= mult;
-                }
-                Knob::Prune => {
-                    cfg.prune_hot_edges = mult > 0.5;
-                }
-            }
-            let mut alg = RandomizedAdmission::new(
-                &inst.capacities,
-                cfg,
-                StdRng::seed_from_u64(seed ^ 0xAB1E),
-            );
-            let run = run_admission(&mut alg, &inst);
+            let (_, inst) = random_path_workload(&spec, &mut StdRng::seed_from_u64(seed));
+            // The knobs are plain spec parameters now — the ablation IS
+            // the registry's tuning surface.
+            let base = RandConfig::weighted();
+            let alg_spec = match knob {
+                Knob::RoundingConsts => format!(
+                    "{DEFAULT_ALGORITHM}?threshold={}&prob={}",
+                    base.threshold_const * mult,
+                    base.prob_const * mult
+                ),
+                Knob::DoublingFactor => format!(
+                    "{DEFAULT_ALGORITHM}?doubling={}",
+                    base.frac.doubling_factor * mult
+                ),
+                Knob::Prune if mult > 0.5 => DEFAULT_ALGORITHM.to_string(),
+                Knob::Prune => format!("{DEFAULT_ALGORITHM}?no-prune"),
+            };
+            let report =
+                run_registered(registry, &alg_spec, &inst, seed ^ 0xAB1E).expect("registry run");
             let opt = admission_opt(&inst, BoundBudget::default());
             bound = kind_label(opt.kind);
-            let r = opt.ratio(run.rejected_cost);
+            let r = opt.ratio(report.rejected_cost);
             if r.is_finite() {
                 ratios.push(r);
             }
-            preempt.push(run.preemptions as f64);
+            preempt.push(report.preemptions as f64);
         }
         Cell {
             knob,
@@ -122,7 +123,13 @@ pub fn run(quick: bool) -> Vec<Cell> {
 pub fn table(cells: &[Cell]) -> Table {
     let mut t = Table::new(
         "E8 — ablations of the paper's constants (weighted algorithm, 64-edge line, 2× overload)",
-        &["knob", "multiplier", "ratio (mean ± std)", "preemptions/run", "opt bound"],
+        &[
+            "knob",
+            "multiplier",
+            "ratio (mean ± std)",
+            "preemptions/run",
+            "opt bound",
+        ],
     );
     for cell in cells {
         t.push_row(vec![

@@ -24,6 +24,7 @@
 pub mod experiments;
 pub mod opt;
 pub mod parallel;
+pub mod registry;
 pub mod runner;
 pub mod stats;
 pub mod table;
@@ -33,6 +34,10 @@ pub use opt::{
     OptBound, OptBoundKind,
 };
 pub use parallel::parallel_map;
-pub use runner::{run_admission, run_set_cover, AdmissionRun, SetCoverRun};
+pub use registry::default_registry;
+pub use runner::{
+    opt_summary, run_admission, run_registered, run_report, run_set_cover, AdmissionRun,
+    SetCoverRun,
+};
 pub use stats::Summary;
 pub use table::Table;

@@ -33,6 +33,20 @@ pub enum OptBoundKind {
     Trivial,
 }
 
+impl OptBoundKind {
+    /// Stable provenance label used in tables and [`RunReport`]s.
+    ///
+    /// [`RunReport`]: acmr_core::RunReport
+    pub fn label(self) -> &'static str {
+        match self {
+            OptBoundKind::Exact => "exact",
+            OptBoundKind::LpLowerBound => "lp-lower-bound",
+            OptBoundKind::GreedyOverH => "greedy-over-H",
+            OptBoundKind::Trivial => "trivial(Q)",
+        }
+    }
+}
+
 /// Size budgets controlling which bound is attempted.
 #[derive(Clone, Copy, Debug)]
 pub struct BoundBudget {
@@ -191,7 +205,11 @@ pub fn admission_opt(inst: &AdmissionInstance, budget: BoundBudget) -> OptBound 
         .map(|r| r.cost)
         .fold(f64::INFINITY, f64::min);
     // OPT must reject at least Q requests, each costing ≥ the cheapest.
-    let trivial = if cheapest.is_finite() { q * cheapest } else { 0.0 };
+    let trivial = if cheapest.is_finite() {
+        q * cheapest
+    } else {
+        0.0
+    };
     OptBound::compute(&problem, budget, trivial)
 }
 
@@ -261,7 +279,13 @@ mod tests {
         for _ in 0..10 {
             inst.push(Request::unit(fp(&[0])));
         }
-        let b = admission_opt(&inst, BoundBudget { max_exact_items: 4, ..Default::default() }); // too many items for exact
+        let b = admission_opt(
+            &inst,
+            BoundBudget {
+                max_exact_items: 4,
+                ..Default::default()
+            },
+        ); // too many items for exact
         assert_eq!(b.kind, OptBoundKind::LpLowerBound);
         assert!((b.value - 9.0).abs() < 1e-6); // LP is tight here
     }
@@ -269,7 +293,10 @@ mod tests {
     #[test]
     fn setcover_opt_on_partition_gap() {
         // Universal set: OPT = 1 for one round.
-        let system = SetSystem::unit(4, vec![vec![0], vec![1], vec![2], vec![3], vec![0, 1, 2, 3]]);
+        let system = SetSystem::unit(
+            4,
+            vec![vec![0], vec![1], vec![2], vec![3], vec![0, 1, 2, 3]],
+        );
         let b = setcover_opt(&system, &[0, 1, 2, 3], BoundBudget::default());
         assert_eq!(b.kind, OptBoundKind::Exact);
         assert!((b.value - 1.0).abs() < 1e-9);

@@ -3,12 +3,12 @@
 //! Experiment sweeps are grids of independent cells (each with its own
 //! derived seed), so parallelism is a pure wall-clock optimization that
 //! must never change results. [`parallel_map`] fans work out over
-//! `crossbeam::scope`d threads pulling indices from an atomic counter
+//! `std::thread::scope`d threads pulling indices from an atomic counter
 //! (work-stealing-lite) and writes results into pre-allocated slots
-//! under a `parking_lot::Mutex`, preserving input order.
+//! under a `std::sync::Mutex`, preserving input order.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Apply `f` to every input on up to `threads` worker threads,
 /// returning outputs in input order. `f` must be deterministic per
@@ -25,7 +25,7 @@ where
     }
     let threads = threads.clamp(1, n);
     if threads == 1 {
-        return inputs.iter().map(|t| f(t)).collect();
+        return inputs.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -33,22 +33,25 @@ where
     let f_ref = &f;
     let next_ref = &next;
     let slots_ref = &slots;
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next_ref.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let out = f_ref(&inputs_ref[i]);
-                *slots_ref[i].lock() = Some(out);
+                *slots_ref[i].lock().expect("slot lock poisoned") = Some(out);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     slots
         .into_iter()
-        .map(|s| s.into_inner().expect("slot filled"))
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock poisoned")
+                .expect("slot filled")
+        })
         .collect()
 }
 
@@ -97,7 +100,9 @@ mod tests {
         let work = |&x: &u64| {
             let mut v = x;
             for _ in 0..1000 {
-                v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                v = v
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
             }
             v
         };

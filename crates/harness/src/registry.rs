@@ -1,0 +1,43 @@
+//! The fully-assembled default registry.
+//!
+//! `acmr-core` and `acmr-baselines` each register their own algorithms;
+//! this crate sits above both, so it is where the complete table is
+//! assembled. Every consumer — the CLI, the experiment suite, the
+//! benches — calls [`default_registry`] instead of keeping its own
+//! name→constructor `match`.
+
+use acmr_baselines::register_baselines;
+use acmr_core::{register_core, Registry};
+
+/// Registry containing every algorithm in the workspace: the paper's
+/// `aag-*` pair plus the four baselines.
+pub fn default_registry() -> Registry {
+    let mut reg = Registry::new();
+    register_core(&mut reg);
+    register_baselines(&mut reg);
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_registry_has_all_six_algorithms() {
+        let reg = default_registry();
+        assert_eq!(
+            reg.names(),
+            vec![
+                "aag-unweighted",
+                "aag-weighted",
+                "credit-sqrt-m",
+                "greedy",
+                "preempt-cheapest",
+                "random-preempt"
+            ]
+        );
+        for name in reg.names() {
+            assert!(reg.summary(name).is_some(), "{name} lacks a summary");
+        }
+    }
+}

@@ -1,8 +1,18 @@
 //! Audited drivers for online algorithms.
+//!
+//! The admission-control path is built on [`acmr_core::Session`] — the
+//! streaming driver owns the audit and the statistics. The batch
+//! helpers here add what only this crate can: the panic-on-violation
+//! referee behavior experiments rely on ([`run_admission`]) and
+//! offline-optimum context attached to [`RunReport`]s
+//! ([`run_report`] / [`run_registered`]).
 
+use crate::opt::{admission_opt, BoundBudget, OptBound};
 use acmr_core::setcover::{OnlineSetCover, SetSystem};
-use acmr_core::{AdmissionInstance, OnlineAdmission, RequestId};
-use acmr_graph::LoadTracker;
+use acmr_core::{
+    AcmrError, AdmissionInstance, AlgorithmSpec, OnlineAdmission, OptSummary, Registry, RunReport,
+    Session,
+};
 
 /// Result of replaying an admission-control algorithm over an instance.
 #[derive(Clone, Debug)]
@@ -17,62 +27,74 @@ pub struct AdmissionRun {
     pub preemptions: usize,
 }
 
-/// Drive `alg` over `inst`, auditing feasibility after every arrival.
+/// Drive `alg` over `inst` through a [`Session`], auditing feasibility
+/// after every arrival.
 ///
 /// # Panics
 /// If the algorithm violates a capacity, preempts a request that is not
 /// currently accepted, or otherwise breaks the online contract — the
-/// harness treats those as algorithm bugs, not data.
+/// harness treats those as algorithm bugs, not data. (Services that
+/// must survive a misbehaving algorithm use [`Session::push`] directly
+/// and handle the typed [`AcmrError`] instead.)
 pub fn run_admission<A: OnlineAdmission>(alg: &mut A, inst: &AdmissionInstance) -> AdmissionRun {
-    let mut audit = LoadTracker::from_capacities(inst.capacities.clone());
-    let mut accepted = vec![false; inst.requests.len()];
-    let mut ever_rejected = vec![false; inst.requests.len()];
-    let mut preemptions = 0usize;
-    for (i, req) in inst.requests.iter().enumerate() {
-        let out = alg.on_request(RequestId(i as u32), req);
-        for p in &out.preempted {
-            assert!(
-                accepted[p.index()],
-                "{}: preempted request {p:?} is not currently accepted",
-                alg.name()
-            );
-            accepted[p.index()] = false;
-            ever_rejected[p.index()] = true;
-            preemptions += 1;
-            audit.release(&inst.requests[p.index()].footprint);
+    let mut session = Session::new(alg, &inst.capacities);
+    for req in &inst.requests {
+        if let Err(e) = session.push(req) {
+            panic!("{e}");
         }
-        if out.accepted {
-            assert!(
-                !ever_rejected[i],
-                "{}: accepted a previously rejected request",
-                alg.name()
-            );
-            assert!(
-                audit.fits(&req.footprint),
-                "{}: accepting request {i} violates a capacity",
-                alg.name()
-            );
-            audit.admit(&req.footprint);
-            accepted[i] = true;
-        } else {
-            ever_rejected[i] = true;
-        }
-        debug_assert!(audit.is_feasible());
     }
-    let rejected_cost = inst
-        .requests
-        .iter()
-        .zip(&accepted)
-        .filter(|(_, &a)| !a)
-        .map(|(r, _)| r.cost)
-        .sum();
-    let rejected_count = accepted.iter().filter(|&&a| !a).count();
+    let accepted = session.accepted_mask();
+    let stats = session.stats();
     AdmissionRun {
+        rejected_cost: stats.rejected_cost,
+        rejected_count: stats.rejected_count,
+        preemptions: stats.preemptions,
         accepted,
-        rejected_cost,
-        rejected_count,
-        preemptions,
     }
+}
+
+/// Run a registry-addressed algorithm over an instance, returning its
+/// [`RunReport`] (without offline-optimum context).
+///
+/// `base_seed` feeds randomized algorithms unless the spec string
+/// carries its own `seed=`; the seed actually used is echoed in the
+/// report.
+pub fn run_registered(
+    registry: &Registry,
+    spec: &str,
+    inst: &AdmissionInstance,
+    base_seed: u64,
+) -> Result<RunReport, AcmrError> {
+    let spec = AlgorithmSpec::parse(spec)?;
+    let mut session = Session::from_registry(registry, &spec, &inst.capacities, base_seed)?;
+    session.run_trace(inst)
+}
+
+/// Summarize an [`OptBound`] against a run's rejected cost. The ratio
+/// is `None` when unbounded (OPT bound 0 but a positive online cost).
+pub fn opt_summary(bound: &OptBound, rejected_cost: f64) -> OptSummary {
+    let ratio = bound.ratio(rejected_cost);
+    OptSummary {
+        value: bound.value,
+        kind: bound.kind.label().to_string(),
+        ratio: ratio.is_finite().then_some(ratio),
+    }
+}
+
+/// [`run_registered`] plus offline-optimum context: the one-call path
+/// from `(registry, spec, instance)` to a complete [`RunReport`] —
+/// what the CLI's `acmr run` and the experiment tables consume.
+pub fn run_report(
+    registry: &Registry,
+    spec: &str,
+    inst: &AdmissionInstance,
+    base_seed: u64,
+    budget: BoundBudget,
+) -> Result<RunReport, AcmrError> {
+    let mut report = run_registered(registry, spec, inst, base_seed)?;
+    let bound = admission_opt(inst, budget);
+    report.opt = Some(opt_summary(&bound, report.rejected_cost));
+    Ok(report)
 }
 
 /// Result of replaying an online set-cover algorithm.
@@ -185,5 +207,63 @@ mod tests {
         let system = SetSystem::unit(1, vec![vec![0]]);
         let mut alg = NaiveOnlineCover::new(system.clone());
         run_set_cover(&mut alg, &system, &[0, 0]);
+    }
+
+    #[test]
+    fn run_registered_echoes_seed_and_matches_run_admission() {
+        let reg = crate::registry::default_registry();
+        let mut inst = AdmissionInstance::from_capacities(vec![1, 1]);
+        inst.push(Request::new(fp(&[0]), 2.0));
+        inst.push(Request::new(fp(&[0, 1]), 3.0));
+        inst.push(Request::new(fp(&[1]), 4.0));
+
+        let report = run_registered(&reg, "greedy", &inst, 0).unwrap();
+        assert_eq!(report.algorithm, "greedy");
+        assert_eq!(report.seed, Some(0));
+        let mut alg = GreedyNonPreemptive::new(&inst.capacities);
+        let run = run_admission(&mut alg, &inst);
+        assert_eq!(report.rejected_cost, run.rejected_cost);
+        assert_eq!(report.rejected_count, run.rejected_count);
+        assert_eq!(report.preemptions, run.preemptions);
+    }
+
+    #[test]
+    fn run_report_attaches_opt_and_ratio() {
+        let reg = crate::registry::default_registry();
+        let mut inst = AdmissionInstance::from_capacities(vec![1]);
+        inst.push(Request::new(fp(&[0]), 2.0));
+        inst.push(Request::new(fp(&[0]), 3.0));
+        let report = run_report(&reg, "greedy", &inst, 0, BoundBudget::default()).unwrap();
+        let opt = report.opt.as_ref().expect("opt attached");
+        assert_eq!(opt.kind, "exact");
+        assert!((opt.value - 2.0).abs() < 1e-9);
+        assert!(opt.ratio.unwrap() >= 1.0);
+        assert!(report.ratio().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn run_report_rejects_unknown_algorithms_with_typed_error() {
+        let reg = crate::registry::default_registry();
+        let inst = AdmissionInstance::from_capacities(vec![1]);
+        let err = run_report(&reg, "nope", &inst, 0, BoundBudget::default()).unwrap_err();
+        assert!(matches!(err, AcmrError::UnknownAlgorithm { .. }));
+        let err = run_registered(&reg, "bad spec!", &inst, 0).unwrap_err();
+        assert!(matches!(err, AcmrError::SpecParse { .. }));
+    }
+
+    #[test]
+    fn opt_summary_ratio_is_none_only_when_unbounded() {
+        let bound = OptBound {
+            value: 0.0,
+            kind: crate::opt::OptBoundKind::Exact,
+        };
+        assert_eq!(opt_summary(&bound, 0.0).ratio, Some(1.0));
+        assert_eq!(opt_summary(&bound, 5.0).ratio, None);
+        let bound = OptBound {
+            value: 2.0,
+            kind: crate::opt::OptBoundKind::LpLowerBound,
+        };
+        assert_eq!(opt_summary(&bound, 5.0).ratio, Some(2.5));
+        assert_eq!(opt_summary(&bound, 5.0).kind, "lp-lower-bound");
     }
 }

@@ -3,10 +3,10 @@
 
 use acmr_baselines::GreedyNonPreemptive;
 use acmr_core::{RandConfig, RandomizedAdmission, Request};
+use acmr_graph::{EdgeId, EdgeSet};
 use acmr_harness::{
     admission_covering_problem, admission_opt, run_admission, BoundBudget, OptBoundKind,
 };
-use acmr_graph::{EdgeId, EdgeSet};
 use acmr_workloads::adversarial::nested_intervals;
 use proptest::prelude::*;
 use rand::rngs::StdRng;

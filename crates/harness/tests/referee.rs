@@ -5,8 +5,8 @@
 
 use acmr_core::setcover::{OnlineSetCover, SetId, SetSystem};
 use acmr_core::{AdmissionInstance, OnlineAdmission, Outcome, Request, RequestId};
-use acmr_harness::{run_admission, run_set_cover};
 use acmr_graph::{EdgeId, EdgeSet};
+use acmr_harness::{run_admission, run_set_cover};
 
 fn fp(ids: &[u32]) -> EdgeSet {
     EdgeSet::new(ids.iter().map(|&i| EdgeId(i)).collect())
@@ -106,21 +106,13 @@ fn referee_catches_under_coverage() {
 }
 
 /// Buys the same set on every arrival.
-struct BuysSameSetTwice {
-    bought: bool,
-}
+struct BuysSameSetTwice;
 impl OnlineSetCover for BuysSameSetTwice {
     fn name(&self) -> &'static str {
         "double-buyer"
     }
     fn on_arrival(&mut self, _element: u32) -> Vec<SetId> {
-        let first = !self.bought;
-        self.bought = true;
-        if first {
-            vec![SetId(2)]
-        } else {
-            vec![SetId(2)] // illegal: already bought
-        }
+        vec![SetId(2)] // second arrival: illegal, already bought
     }
 }
 
@@ -128,7 +120,7 @@ impl OnlineSetCover for BuysSameSetTwice {
 #[should_panic(expected = "bought twice")]
 fn referee_catches_double_buying() {
     let system = tiny_system();
-    run_set_cover(&mut BuysSameSetTwice { bought: false }, &system, &[0, 1]);
+    run_set_cover(&mut BuysSameSetTwice, &system, &[0, 1]);
 }
 
 /// A bicriteria impostor claiming slack it does not honour.

@@ -113,11 +113,11 @@ pub fn branch_and_bound(p: &CoveringProblem, limits: BnbLimits) -> Option<BnbRes
         };
         // Find most fractional free variable.
         let mut branch_var: Option<(usize, f64)> = None;
-        for i in 0..n {
+        for (i, &xi) in x.iter().enumerate().take(n) {
             if node.fixed[i].is_some() {
                 continue;
             }
-            let frac = (x[i] - 0.5).abs();
+            let frac = (xi - 0.5).abs();
             match branch_var {
                 None => branch_var = Some((i, frac)),
                 Some((_, bf)) if frac < bf => branch_var = Some((i, frac)),
@@ -127,8 +127,7 @@ pub fn branch_and_bound(p: &CoveringProblem, limits: BnbLimits) -> Option<BnbRes
         match branch_var {
             None => {
                 // All variables fixed: evaluate leaf.
-                let chosen: Vec<bool> =
-                    node.fixed.iter().map(|f| f.unwrap_or(false)).collect();
+                let chosen: Vec<bool> = node.fixed.iter().map(|f| f.unwrap_or(false)).collect();
                 if p.satisfies(&chosen) {
                     let cost = p.cost_of(&chosen);
                     if cost < best_cost {

@@ -43,10 +43,7 @@ pub fn greedy_cover(p: &CoveringProblem) -> Option<GreedyResult> {
             if chosen[i] {
                 continue;
             }
-            let coverage = rows_of_item[i]
-                .iter()
-                .filter(|&&r| residual[r] > 0)
-                .count() as f64;
+            let coverage = rows_of_item[i].iter().filter(|&&r| residual[r] > 0).count() as f64;
             if coverage == 0.0 {
                 continue;
             }

@@ -286,8 +286,7 @@ impl Tableau {
         for r in 0..self.rows {
             if self.basis[r] >= self.real_cols {
                 // Find any real column with a nonzero pivot entry.
-                let pivot_col = (0..self.real_cols)
-                    .find(|&c| self.a[self.idx(r, c)].abs() > 1e-7);
+                let pivot_col = (0..self.real_cols).find(|&c| self.a[self.idx(r, c)].abs() > 1e-7);
                 if let Some(c) = pivot_col {
                     self.pivot(r, c);
                 }
@@ -326,8 +325,7 @@ impl Tableau {
                         None => leave = Some((r, ratio)),
                         Some((lr, lratio)) => {
                             if ratio < lratio - TOL
-                                || ((ratio - lratio).abs() <= TOL
-                                    && self.basis[r] < self.basis[lr])
+                                || ((ratio - lratio).abs() <= TOL && self.basis[r] < self.basis[lr])
                             {
                                 leave = Some((r, ratio));
                             }
@@ -419,7 +417,11 @@ mod tests {
     #[test]
     fn simple_covering() {
         let s = solve(&lp1()).unwrap();
-        assert!((s.objective - 1.0).abs() < 1e-7, "objective = {}", s.objective);
+        assert!(
+            (s.objective - 1.0).abs() < 1e-7,
+            "objective = {}",
+            s.objective
+        );
     }
 
     #[test]

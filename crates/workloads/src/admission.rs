@@ -135,11 +135,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let (g, inst) = random_path_workload(&spec, &mut rng);
         assert_eq!(g.num_edges(), 32);
-        let demand: f64 = inst
-            .requests
-            .iter()
-            .map(|r| r.footprint.len() as f64)
-            .sum();
+        let demand: f64 = inst.requests.iter().map(|r| r.footprint.len() as f64).sum();
         let capacity_mass = 32.0 * 4.0;
         assert!(demand >= 2.0 * capacity_mass, "demand {demand}");
         assert!(demand <= 2.0 * capacity_mass + spec.max_hops as f64);

@@ -101,7 +101,10 @@ mod tests {
     #[test]
     fn zipf_is_heavy_on_small_values() {
         let mut rng = StdRng::seed_from_u64(2);
-        let m = CostModel::Zipf { n_values: 100, s: 1.2 };
+        let m = CostModel::Zipf {
+            n_values: 100,
+            s: 1.2,
+        };
         let mut ones = 0;
         let mut total = 0.0;
         for _ in 0..2000 {
@@ -119,14 +122,21 @@ mod tests {
     #[test]
     fn bimodal_frequencies() {
         let mut rng = StdRng::seed_from_u64(3);
-        let m = CostModel::Bimodal { lo: 1.0, hi: 50.0, p_hi: 0.2 };
+        let m = CostModel::Bimodal {
+            lo: 1.0,
+            hi: 50.0,
+            p_hi: 0.2,
+        };
         let hits = (0..2000).filter(|_| m.sample(&mut rng) == 50.0).count();
         assert!((200..=600).contains(&hits), "p_hi≈0.2 got {hits}/2000");
     }
 
     #[test]
     fn sampling_is_seed_deterministic() {
-        let m = CostModel::Zipf { n_values: 50, s: 1.0 };
+        let m = CostModel::Zipf {
+            n_values: 50,
+            s: 1.0,
+        };
         let a: Vec<f64> = {
             let mut rng = StdRng::seed_from_u64(9);
             (0..50).map(|_| m.sample(&mut rng)).collect()

@@ -26,6 +26,5 @@ pub use admission::{random_path_workload, PathWorkloadSpec, Topology};
 pub use adversarial::{nested_intervals, repeated_hot_edge, two_phase_squeeze};
 pub use cost::CostModel;
 pub use setcover::{
-    random_arrivals, random_set_system, structured_partition_system, ArrivalPattern,
-    SetSystemSpec,
+    random_arrivals, random_set_system, structured_partition_system, ArrivalPattern, SetSystemSpec,
 };

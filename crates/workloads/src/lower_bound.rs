@@ -99,12 +99,8 @@ mod tests {
     fn adversary_respects_feasibility() {
         let sys = dyadic_system(3);
         let mut alg = BicriteriaCover::new(sys.clone(), 0.25);
-        let played = adaptive_least_covered_schedule(
-            &sys,
-            &mut alg,
-            |a, j| a.coverage(j) as usize,
-            2,
-        );
+        let played =
+            adaptive_least_covered_schedule(&sys, &mut alg, |a, j| a.coverage(j) as usize, 2);
         assert!(!played.is_empty());
         assert!(sys.arrivals_feasible(&played));
     }
@@ -117,8 +113,7 @@ mod tests {
             RandConfig::unweighted(),
             StdRng::seed_from_u64(17),
         );
-        let played =
-            adaptive_least_covered_schedule(&sys, &mut alg, |a, j| a.coverage(j), 2);
+        let played = adaptive_least_covered_schedule(&sys, &mut alg, |a, j| a.coverage(j), 2);
         // Coverage contract after the whole adaptive schedule.
         let mut demand = vec![0usize; sys.num_elements()];
         for &j in &played {
@@ -147,6 +142,9 @@ mod tests {
             }
             alg.total_cost()
         };
-        assert!(adaptive_cost + 1e-9 >= rr_cost * 0.5, "adaptive {adaptive_cost} rr {rr_cost}");
+        assert!(
+            adaptive_cost + 1e-9 >= rr_cost * 0.5,
+            "adaptive {adaptive_cost} rr {rr_cost}"
+        );
     }
 }

@@ -56,6 +56,7 @@ pub fn random_set_system<R: Rng>(spec: &SetSystemSpec, rng: &mut R) -> SetSystem
     }
     // Patch low-degree elements into random extra sets.
     let mut order: Vec<usize> = (0..spec.num_sets).collect();
+    #[allow(clippy::needless_range_loop)] // `j` also indexes `members` below
     for j in 0..spec.num_elements {
         while degree[j] < spec.min_degree {
             order.shuffle(rng);
@@ -85,11 +86,7 @@ pub fn random_set_system<R: Rng>(spec: &SetSystemSpec, rng: &mut R) -> SetSystem
 /// set covering everything. OPT for one round of all elements is 1
 /// (the global set) while per-block buying costs `groups` — a clean
 /// gap instance for E5/E7.
-pub fn structured_partition_system(
-    num_elements: usize,
-    groups: usize,
-    copies: usize,
-) -> SetSystem {
+pub fn structured_partition_system(num_elements: usize, groups: usize, copies: usize) -> SetSystem {
     assert!(groups >= 1 && copies >= 1 && num_elements >= groups);
     let mut members: Vec<Vec<u32>> = Vec::new();
     for g in 0..groups {
@@ -155,7 +152,7 @@ pub fn random_arrivals<R: Rng>(
         ArrivalPattern::UniformRandom => {
             // Multiset of all (element, rep) pairs, shuffled.
             let mut out: Vec<u32> = (0..n as u32)
-                .flat_map(|j| std::iter::repeat(j).take(quota[j as usize] as usize))
+                .flat_map(|j| std::iter::repeat_n(j, quota[j as usize] as usize))
                 .collect();
             out.shuffle(rng);
             out
@@ -225,7 +222,12 @@ mod tests {
     #[test]
     fn round_robin_counts() {
         let sys = structured_partition_system(6, 2, 2);
-        let arr = random_arrivals(&sys, ArrivalPattern::RoundRobin, 2, &mut StdRng::seed_from_u64(4));
+        let arr = random_arrivals(
+            &sys,
+            ArrivalPattern::RoundRobin,
+            2,
+            &mut StdRng::seed_from_u64(4),
+        );
         assert_eq!(arr.len(), 12);
         assert!(sys.arrivals_feasible(&arr));
     }
@@ -233,7 +235,12 @@ mod tests {
     #[test]
     fn bursty_is_feasible_and_grouped() {
         let sys = structured_partition_system(6, 2, 3);
-        let arr = random_arrivals(&sys, ArrivalPattern::Bursty, 2, &mut StdRng::seed_from_u64(5));
+        let arr = random_arrivals(
+            &sys,
+            ArrivalPattern::Bursty,
+            2,
+            &mut StdRng::seed_from_u64(5),
+        );
         assert!(sys.arrivals_feasible(&arr));
         // Consecutive duplicates: each element's arrivals are adjacent.
         let mut seen = std::collections::HashSet::new();
@@ -250,7 +257,12 @@ mod tests {
     fn uniform_random_is_feasible() {
         let spec = SetSystemSpec::unit(10, 8);
         let sys = random_set_system(&spec, &mut StdRng::seed_from_u64(6));
-        let arr = random_arrivals(&sys, ArrivalPattern::UniformRandom, 3, &mut StdRng::seed_from_u64(7));
+        let arr = random_arrivals(
+            &sys,
+            ArrivalPattern::UniformRandom,
+            3,
+            &mut StdRng::seed_from_u64(7),
+        );
         assert!(sys.arrivals_feasible(&arr));
     }
 
@@ -258,7 +270,12 @@ mod tests {
     fn quota_truncated_at_degree() {
         // Element degree can be < reps; quota must clamp.
         let sys = SetSystem::unit(2, vec![vec![0], vec![0], vec![1]]);
-        let arr = random_arrivals(&sys, ArrivalPattern::RoundRobin, 5, &mut StdRng::seed_from_u64(8));
+        let arr = random_arrivals(
+            &sys,
+            ArrivalPattern::RoundRobin,
+            5,
+            &mut StdRng::seed_from_u64(8),
+        );
         let count1 = arr.iter().filter(|&&j| j == 1).count();
         assert_eq!(count1, 1); // deg(1) = 1
         assert!(sys.arrivals_feasible(&arr));

@@ -31,7 +31,11 @@ pub struct TraceError {
 
 impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -87,12 +91,17 @@ pub fn read_trace(text: &str) -> Result<AdmissionInstance, TraceError> {
         .collect::<Result<_, _>>()
         .map_err(|e| err(ln, format!("bad capacity: {e}")))?;
     if capacities.len() != m {
-        return Err(err(ln, format!("expected {m} capacities, got {}", capacities.len())));
+        return Err(err(
+            ln,
+            format!("expected {m} capacities, got {}", capacities.len()),
+        ));
     }
-    if capacities.iter().any(|&c| c == 0) {
+    if capacities.contains(&0) {
         return Err(err(ln, "capacities must be positive"));
     }
-    let (ln, reqs_line) = lines.next().ok_or_else(|| err(ln, "missing requests line"))?;
+    let (ln, reqs_line) = lines
+        .next()
+        .ok_or_else(|| err(ln, "missing requests line"))?;
     let k: usize = reqs_line
         .strip_prefix("requests ")
         .and_then(|s| s.parse().ok())

@@ -3,8 +3,92 @@
 
 use acmr_core::{AdmissionInstance, Request};
 use acmr_graph::{EdgeId, EdgeSet};
-use acmr_workloads::trace::{read_trace, write_trace};
+use acmr_workloads::trace::{read_trace, write_trace, TraceError};
 use proptest::prelude::*;
+
+/// A canonical valid trace the malformed-input tests mutate.
+const VALID: &str = "ACMR-TRACE v1\nedges 2\ncaps 2 1\nrequests 2\n1 0 1\n2.5 1\n";
+
+#[test]
+fn malformed_inputs_yield_typed_errors_not_panics() {
+    // Baseline: the canonical trace parses.
+    assert!(read_trace(VALID).is_ok());
+
+    // (input, what the typed error must mention)
+    let cases: &[(&str, &str)] = &[
+        // Truncated header / truncated sections.
+        ("", "empty trace"),
+        ("ACMR-TRACE", "bad header"),
+        ("ACMR-TRACE v1", "missing edges line"),
+        ("ACMR-TRACE v1\nedges 2", "missing caps line"),
+        ("ACMR-TRACE v1\nedges 2\ncaps 2 1", "missing requests line"),
+        (
+            "ACMR-TRACE v1\nedges 2\ncaps 2 1\nrequests 2\n1 0 1\n",
+            "truncated requests",
+        ),
+        // Non-numeric fields.
+        (
+            "ACMR-TRACE v1\nedges two\ncaps 2 1\nrequests 0\n",
+            "expected `edges <m>`",
+        ),
+        (
+            "ACMR-TRACE v1\nedges 2\ncaps 2 one\nrequests 0\n",
+            "bad capacity",
+        ),
+        (
+            "ACMR-TRACE v1\nedges 2\ncaps 2 1\nrequests 1\nfree 0\n",
+            "missing cost",
+        ),
+        (
+            "ACMR-TRACE v1\nedges 2\ncaps 2 1\nrequests 1\nnan 0\n",
+            "bad cost",
+        ),
+        (
+            "ACMR-TRACE v1\nedges 2\ncaps 2 1\nrequests 1\n-1 0\n",
+            "bad cost",
+        ),
+        (
+            "ACMR-TRACE v1\nedges 2\ncaps 2 1\nrequests 1\n1 x\n",
+            "bad edge id",
+        ),
+        // Structurally invalid values.
+        (
+            "ACMR-TRACE v1\nedges 2\ncaps 2 1\nrequests 1\n1 5\n",
+            "out of range",
+        ),
+        (
+            "ACMR-TRACE v1\nedges 2\ncaps 2\nrequests 0\n",
+            "expected 2 capacities",
+        ),
+        (
+            "ACMR-TRACE v1\nedges 1\ncaps 0\nrequests 0\n",
+            "must be positive",
+        ),
+        (
+            "ACMR-TRACE v1\nedges 1\ncaps 2\nrequests 1\n1\n",
+            "no edges",
+        ),
+        (
+            "ACMR-TRACE v1\nedges 1\ncaps 2\nrequests 0\nextra\n",
+            "trailing content",
+        ),
+    ];
+    for (input, needle) in cases {
+        let err: TraceError = read_trace(input).expect_err(&format!("accepted {input:?}"));
+        assert!(
+            err.message.contains(needle),
+            "input {input:?}: error {:?} does not mention {needle:?}",
+            err.message
+        );
+        assert!(
+            err.line <= input.lines().count() + 1,
+            "line {} absurd",
+            err.line
+        );
+        // Display form carries the line number for operators.
+        assert!(err.to_string().contains("trace parse error at line"));
+    }
+}
 
 proptest! {
     /// Arbitrary bytes: the parser returns Ok or Err, never panics.

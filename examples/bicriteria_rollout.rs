@@ -36,7 +36,10 @@ fn main() {
         arrivals.len(),
         opt.value,
     );
-    println!("{:<8} {:>8} {:>10} {:>16} {:>12} {:>10}", "ε", "bundles", "ratio", "worst coverage", "max Φ/n²", "fallbacks");
+    println!(
+        "{:<8} {:>8} {:>10} {:>16} {:>12} {:>10}",
+        "ε", "bundles", "ratio", "worst coverage", "max Φ/n²", "fallbacks"
+    );
     for &eps in &[0.05, 0.1, 0.25, 0.5] {
         let mut alg = BicriteriaCover::new(system.clone(), eps);
         let n2 = (system.num_elements() as f64).powi(2);

@@ -12,9 +12,8 @@
 //! cargo run --example isp_admission
 //! ```
 
-use acmr::baselines::GreedyNonPreemptive;
-use acmr::core::{RandConfig, RandomizedAdmission};
-use acmr::harness::{admission_opt, run_admission, BoundBudget};
+use acmr::core::{AlgorithmSpec, Session, DEFAULT_ALGORITHM};
+use acmr::harness::{admission_opt, default_registry, BoundBudget};
 use acmr::workloads::{random_path_workload, CostModel, PathWorkloadSpec, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,39 +45,34 @@ fn main() {
     let opt = admission_opt(&instance, BoundBudget::default());
     println!("offline OPT rejection cost ≥ {:.1}\n", opt.value);
 
-    // The paper's algorithm.
-    let mut aag = RandomizedAdmission::new(
-        &instance.capacities,
-        RandConfig::weighted(),
-        StdRng::seed_from_u64(1),
-    );
-    let aag_run = run_admission(&mut aag, &instance);
-    report("AAG randomized (paper)", &instance, &aag_run, &opt);
-
-    // FCFS baseline.
-    let mut fcfs = GreedyNonPreemptive::new(&instance.capacities);
-    let fcfs_run = run_admission(&mut fcfs, &instance);
-    report("FCFS greedy (baseline)", &instance, &fcfs_run, &opt);
-}
-
-fn report(
-    name: &str,
-    instance: &acmr::core::AdmissionInstance,
-    run: &acmr::harness::AdmissionRun,
-    opt: &acmr::harness::OptBound,
-) {
-    let premium_lost = instance
-        .requests
-        .iter()
-        .zip(&run.accepted)
-        .filter(|(r, &a)| r.cost > 1.0 && !a)
-        .count();
-    println!(
-        "{name}:\n  rejected cost {:.1} (ratio {:.2}), {} rejections, {} preemptions, premium lost: {}\n",
-        run.rejected_cost,
-        opt.ratio(run.rejected_cost),
-        run.rejected_count,
-        run.preemptions,
-        premium_lost,
-    );
+    // Both contenders run through the same registry + Session pipeline;
+    // only the spec string differs.
+    let registry = default_registry();
+    let specs = [
+        (
+            "AAG randomized (paper)",
+            format!("{DEFAULT_ALGORITHM}?seed=1"),
+        ),
+        ("FCFS greedy (baseline)", "greedy".to_string()),
+    ];
+    for (label, alg_spec) in &specs {
+        let parsed = AlgorithmSpec::parse(alg_spec).expect("valid spec");
+        let mut session = Session::from_registry(&registry, &parsed, &instance.capacities, 0)
+            .expect("registry build");
+        let run = session.run_trace(&instance).expect("audited run");
+        let premium_lost = instance
+            .requests
+            .iter()
+            .zip(session.accepted_mask())
+            .filter(|(r, a)| r.cost > 1.0 && !a)
+            .count();
+        println!(
+            "{label}:\n  rejected cost {:.1} (ratio {:.2}), {} rejections, {} preemptions, premium lost: {}\n",
+            run.rejected_cost,
+            opt.ratio(run.rejected_cost),
+            run.rejected_count,
+            run.preemptions,
+            premium_lost,
+        );
+    }
 }

@@ -1,13 +1,13 @@
-//! Quickstart: run the paper's randomized admission-control algorithm
-//! on a small overloaded network and compare against the exact offline
-//! optimum.
+//! Quickstart: drive the paper's randomized admission-control algorithm
+//! through the streaming `Session` API on a small overloaded network,
+//! then compare against the exact offline optimum.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use acmr::core::{RandConfig, RandomizedAdmission};
-use acmr::harness::{admission_opt, run_admission, BoundBudget};
+use acmr::core::{AlgorithmSpec, Session, DEFAULT_ALGORITHM};
+use acmr::harness::{admission_opt, default_registry, opt_summary, BoundBudget};
 use acmr::workloads::{random_path_workload, CostModel, PathWorkloadSpec, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,30 +32,39 @@ fn main() {
         instance.total_cost(),
     );
 
-    // The paper's O(log²(mc))-competitive randomized algorithm.
-    let mut alg = RandomizedAdmission::new(
-        &instance.capacities,
-        RandConfig::weighted(),
-        StdRng::seed_from_u64(42),
-    );
-    let run = run_admission(&mut alg, &instance);
+    // Algorithms are addressed by spec string through the registry; the
+    // Session owns the algorithm, the feasibility audit, and running
+    // statistics, one arrival at a time.
+    let registry = default_registry();
+    let alg = AlgorithmSpec::parse(&format!("{DEFAULT_ALGORITHM}?seed=42")).expect("valid spec");
+    let mut session =
+        Session::from_registry(&registry, &alg, &instance.capacities, 0).expect("registry build");
+    for request in &instance.requests {
+        let event = session.push(request).expect("audited arrival");
+        if !event.preempted.is_empty() {
+            println!(
+                "  arrival {:>3}: preempted {} cheaper request(s) to make room",
+                event.id.0,
+                event.preempted.len(),
+            );
+        }
+    }
+    let mut report = session.report();
     println!(
         "online : rejected {} requests (cost {:.1}), {} preemptions",
-        run.rejected_count, run.rejected_cost, run.preemptions,
+        report.rejected_count, report.rejected_cost, report.preemptions,
     );
 
-    // Offline optimum (exact if small enough, LP bound otherwise).
+    // Offline optimum (exact if small enough, LP bound otherwise),
+    // attached to the same RunReport schema the CLI prints as JSON.
     let opt = admission_opt(&instance, BoundBudget::default());
-    println!("offline: OPT {} {:.1}", bound_label(opt.kind), opt.value);
-    println!("ratio  : {:.2}  (theory: O(log²(mc)) = O({:.1}))",
-        opt.ratio(run.rejected_cost),
-        (graph.num_edges() as f64 * graph.max_capacity() as f64).ln().powi(2),
+    report.opt = Some(opt_summary(&opt, report.rejected_cost));
+    println!("offline: OPT ({}) {:.1}", opt.kind.label(), opt.value);
+    println!(
+        "ratio  : {:.2}  (theory: O(log²(mc)) = O({:.1}))",
+        report.ratio().unwrap_or(1.0),
+        (graph.num_edges() as f64 * graph.max_capacity() as f64)
+            .ln()
+            .powi(2),
     );
-}
-
-fn bound_label(kind: acmr::harness::OptBoundKind) -> &'static str {
-    match kind {
-        acmr::harness::OptBoundKind::Exact => "=",
-        _ => "≥",
-    }
 }

@@ -11,11 +11,9 @@ fn main() -> ExitCode {
         Some("stats") | Some("opt") | Some("run")
     );
     let mut stdin = String::new();
-    if needs_stdin {
-        if std::io::stdin().read_to_string(&mut stdin).is_err() {
-            eprintln!("error: could not read trace from stdin");
-            return ExitCode::FAILURE;
-        }
+    if needs_stdin && std::io::stdin().read_to_string(&mut stdin).is_err() {
+        eprintln!("error: could not read trace from stdin");
+        return ExitCode::FAILURE;
     }
     match acmr::cli::dispatch(&argv, &stdin) {
         Ok(out) => {

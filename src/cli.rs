@@ -5,15 +5,20 @@
 //! acmr gen  --m 64 --cap 4 --overload 2 --seed 1 [--weighted] > t.trace
 //! acmr stats < t.trace
 //! acmr opt   < t.trace
-//! acmr run --alg aag-weighted --seed 7 < t.trace
+//! acmr algs                            # list registered algorithms
+//! acmr run --alg 'aag-unweighted?seed=7' --format json < t.trace
 //! ```
+//!
+//! `run` dispatches through [`crate::harness::default_registry`] — any
+//! algorithm registered anywhere in the workspace is runnable by spec
+//! string, and the report (text or JSON) is the workspace-wide
+//! [`crate::core::RunReport`] schema, RNG seed included.
 //!
 //! All subcommand logic lives here (unit-tested); `src/bin/acmr.rs` is
 //! a thin stdin/stdout shim.
 
-use crate::baselines::{CreditSqrtM, GreedyNonPreemptive, PreemptCheapest};
-use crate::core::{AdmissionInstance, RandConfig, RandomizedAdmission};
-use crate::harness::{admission_opt, run_admission, BoundBudget, OptBoundKind};
+use crate::core::DEFAULT_ALGORITHM;
+use crate::harness::{default_registry, run_report, BoundBudget};
 use crate::workloads::trace::{read_trace, write_trace};
 use crate::workloads::{random_path_workload, CostModel, PathWorkloadSpec, Topology};
 use rand::rngs::StdRng;
@@ -128,66 +133,49 @@ pub fn cmd_stats(trace: &str) -> Result<String, CliError> {
 /// `acmr opt` — best offline bound for a trace.
 pub fn cmd_opt(trace: &str) -> Result<String, CliError> {
     let inst = read_trace(trace).map_err(|e| err(e.to_string()))?;
-    let bound = admission_opt(&inst, BoundBudget::default());
-    let kind = match bound.kind {
-        OptBoundKind::Exact => "exact",
-        OptBoundKind::LpLowerBound => "lp-lower-bound",
-        OptBoundKind::GreedyOverH => "greedy-over-H",
-        OptBoundKind::Trivial => "trivial(Q)",
-    };
+    let bound = crate::harness::admission_opt(&inst, BoundBudget::default());
+    let kind: &str = bound.kind.label();
     Ok(format!("opt {kind} {:.4}\n", bound.value))
 }
 
-/// `acmr run` — run an algorithm over a trace; returns the report.
+/// `acmr algs` — list every algorithm in the default registry.
+pub fn cmd_algs() -> Result<String, CliError> {
+    let reg = default_registry();
+    let mut out = String::new();
+    for name in reg.names() {
+        out.push_str(&format!(
+            "{name:<18} {}\n",
+            reg.summary(name).unwrap_or_default()
+        ));
+    }
+    out.push_str(
+        "\nSpecs take options after `?`: every algorithm accepts seed=S;\n\
+         the aag-* pair additionally accepts threshold=T, prob=P,\n\
+         doubling=D, no-prune, and no-classes.\n",
+    );
+    Ok(out)
+}
+
+/// `acmr run` — run a registry algorithm over a trace; returns the
+/// report in the requested `--format` (`text` or `json`).
 pub fn cmd_run(args: &[String], trace: &str) -> Result<String, CliError> {
     let flags = parse_flags(args)?;
     let inst = read_trace(trace).map_err(|e| err(e.to_string()))?;
     let seed: u64 = get(&flags, "seed", 0)?;
-    let alg_name = flags
+    let alg_spec = flags
         .get("alg")
         .map(String::as_str)
-        .unwrap_or("aag-weighted");
-    let run = run_named(alg_name, &inst, seed)?;
-    let opt = admission_opt(&inst, BoundBudget::default());
-    Ok(format!(
-        "algorithm      : {alg_name}\nrejected cost  : {:.2}\nrejected count : {}\npreemptions    : {}\nopt bound      : {:.2}\nratio          : {:.3}\n",
-        run.rejected_cost,
-        run.rejected_count,
-        run.preemptions,
-        opt.value,
-        opt.ratio(run.rejected_cost),
-    ))
-}
-
-fn run_named(
-    name: &str,
-    inst: &AdmissionInstance,
-    seed: u64,
-) -> Result<crate::harness::AdmissionRun, CliError> {
-    let caps = &inst.capacities;
-    Ok(match name {
-        "aag-weighted" => {
-            let mut alg =
-                RandomizedAdmission::new(caps, RandConfig::weighted(), StdRng::seed_from_u64(seed));
-            run_admission(&mut alg, inst)
-        }
-        "aag-unweighted" => {
-            let mut alg = RandomizedAdmission::new(
-                caps,
-                RandConfig::unweighted(),
-                StdRng::seed_from_u64(seed),
-            );
-            run_admission(&mut alg, inst)
-        }
-        "greedy" => run_admission(&mut GreedyNonPreemptive::new(caps), inst),
-        "preempt-cheapest" => run_admission(&mut PreemptCheapest::new(caps), inst),
-        "credit-sqrt-m" => run_admission(&mut CreditSqrtM::new(caps), inst),
-        other => {
-            return Err(err(format!(
-                "unknown --alg {other:?} (try aag-weighted, aag-unweighted, greedy, preempt-cheapest, credit-sqrt-m)"
-            )))
-        }
-    })
+        .unwrap_or(DEFAULT_ALGORITHM);
+    let registry = default_registry();
+    let report = run_report(&registry, alg_spec, &inst, seed, BoundBudget::default())
+        .map_err(|e| err(e.to_string()))?;
+    match flags.get("format").map(String::as_str) {
+        None | Some("text") => Ok(report.to_text()),
+        Some("json") => serde_json::to_string_pretty(&report)
+            .map(|j| j + "\n")
+            .map_err(|e| err(e.to_string())),
+        Some(other) => Err(err(format!("unknown --format {other:?} (text or json)"))),
+    }
 }
 
 /// Top-level dispatch; `stdin` supplies the trace for the commands
@@ -197,6 +185,7 @@ pub fn dispatch(argv: &[String], stdin: &str) -> Result<String, CliError> {
         Some("gen") => cmd_gen(&argv[1..]),
         Some("stats") => cmd_stats(stdin),
         Some("opt") => cmd_opt(stdin),
+        Some("algs") => cmd_algs(),
         Some("run") => cmd_run(&argv[1..], stdin),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(err(format!("unknown command {other:?}\n{USAGE}"))),
@@ -204,21 +193,25 @@ pub fn dispatch(argv: &[String], stdin: &str) -> Result<String, CliError> {
 }
 
 /// CLI usage text.
-pub const USAGE: &str = "acmr — admission control to minimize rejections (Alon–Azar–Gutner, SPAA 2005)
+pub const USAGE: &str =
+    "acmr — admission control to minimize rejections (Alon–Azar–Gutner, SPAA 2005)
 
 USAGE:
   acmr gen  [--topology line|grid|tree] [--m N] [--cap C] [--overload F]
             [--seed S] [--weighted] [--max-hops H]     # trace to stdout
   acmr stats                                           # trace from stdin
   acmr opt                                             # trace from stdin
-  acmr run  [--alg NAME] [--seed S]                    # trace from stdin
-            NAME: aag-weighted | aag-unweighted | greedy
-                | preempt-cheapest | credit-sqrt-m
+  acmr algs                                            # list algorithms
+  acmr run  [--alg SPEC] [--seed S] [--format text|json]   # trace from stdin
+            SPEC: a registry name with optional options, e.g.
+            'aag-unweighted?seed=7&no-prune' — see `acmr algs`
 ";
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::core::{AlgorithmSpec, RunReport};
+    use proptest::prelude::*;
 
     fn argv(s: &[&str]) -> Vec<String> {
         s.iter().map(|x| x.to_string()).collect()
@@ -234,6 +227,9 @@ mod tests {
         assert!(opt.starts_with("opt "));
         let run = cmd_run(&argv(&["--alg", "aag-unweighted", "--seed", "1"]), &trace).unwrap();
         assert!(run.contains("ratio"));
+        // The seed actually used is echoed, making the report
+        // reproducible from its own text.
+        assert!(run.contains("seed           : 1"), "{run}");
     }
 
     #[test]
@@ -244,17 +240,78 @@ mod tests {
     }
 
     #[test]
-    fn all_algorithms_run() {
+    fn json_report_round_trips() {
         let trace = cmd_gen(&argv(&["--m", "12", "--cap", "2", "--seed", "9"])).unwrap();
-        for alg in [
-            "aag-weighted",
-            "aag-unweighted",
-            "greedy",
-            "preempt-cheapest",
-            "credit-sqrt-m",
-        ] {
-            let out = cmd_run(&argv(&["--alg", alg]), &trace).unwrap();
-            assert!(out.contains(alg), "missing name in {out}");
+        let json = cmd_run(
+            &argv(&["--alg", "greedy", "--seed", "3", "--format", "json"]),
+            &trace,
+        )
+        .unwrap();
+        let report: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report.algorithm, "greedy");
+        assert_eq!(report.seed, Some(3));
+        assert!(report.opt.is_some());
+        // And back again, identically.
+        let again = serde_json::to_string_pretty(&report).unwrap() + "\n";
+        assert_eq!(again, json);
+    }
+
+    #[test]
+    fn spec_seed_overrides_flag_seed() {
+        let trace = cmd_gen(&argv(&["--m", "10", "--cap", "2", "--seed", "2"])).unwrap();
+        let out = cmd_run(
+            &argv(&["--alg", "aag-unweighted?seed=9", "--seed", "1"]),
+            &trace,
+        )
+        .unwrap();
+        assert!(out.contains("seed           : 9"), "{out}");
+    }
+
+    #[test]
+    fn algs_lists_every_registered_name() {
+        let listing = cmd_algs().unwrap();
+        for name in default_registry().names() {
+            assert!(listing.contains(name), "{name} missing from listing");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Every registered algorithm (no hard-coded list: the registry
+        /// itself is enumerated) round-trips through `AlgorithmSpec`
+        /// parsing and runs feasibly on a smoke trace from every
+        /// topology × weighting combination.
+        #[test]
+        fn registry_round_trips_and_runs_on_smoke_traces(
+            topology in prop_oneof![Just("line"), Just("grid"), Just("tree")],
+            weighted in prop_oneof![Just(true), Just(false)],
+            seed in 0u64..1000,
+        ) {
+            let mut gen_args = vec![
+                "--m".to_string(), "12".to_string(),
+                "--cap".to_string(), "2".to_string(),
+                "--seed".to_string(), seed.to_string(),
+                "--topology".to_string(), topology.to_string(),
+            ];
+            if weighted {
+                gen_args.push("--weighted".to_string());
+            }
+            let trace = cmd_gen(&gen_args).unwrap();
+            for name in default_registry().names() {
+                // Spec round-trip: name parses, canonicalizes, reparses.
+                let spec = AlgorithmSpec::parse(name).unwrap();
+                prop_assert_eq!(&AlgorithmSpec::parse(&spec.canonical()).unwrap(), &spec);
+                let with_seed = AlgorithmSpec::parse(&format!("{name}?seed={seed}")).unwrap();
+                prop_assert_eq!(with_seed.seed().unwrap(), Some(seed));
+                // And the algorithm actually runs (feasibility audited
+                // inside the Session; any violation would error here).
+                let out = cmd_run(
+                    &argv(&["--alg", name, "--seed", &seed.to_string()]),
+                    &trace,
+                ).unwrap();
+                prop_assert!(out.contains(name), "missing name in {}", out);
+            }
         }
     }
 
@@ -262,6 +319,11 @@ mod tests {
     fn bad_inputs_are_reported() {
         assert!(cmd_stats("garbage").is_err());
         assert!(cmd_run(&argv(&["--alg", "nope"]), "x").is_err());
+        let trace = cmd_gen(&argv(&["--m", "8", "--cap", "2"])).unwrap();
+        let e = cmd_run(&argv(&["--alg", "nope"]), &trace).unwrap_err();
+        assert!(e.to_string().contains("unknown algorithm"), "{e}");
+        assert!(cmd_run(&argv(&["--alg", "greedy?bogus=1"]), &trace).is_err());
+        assert!(cmd_run(&argv(&["--format", "yaml"]), &trace).is_err());
         assert!(cmd_gen(&argv(&["--m", "NaN"])).is_err());
         assert!(cmd_gen(&argv(&["--topology", "torus"])).is_err());
         assert!(parse_flags(&argv(&["oops"])).is_err());
@@ -272,6 +334,7 @@ mod tests {
         assert!(dispatch(&argv(&["help"]), "").unwrap().contains("USAGE"));
         assert!(dispatch(&[], "").unwrap().contains("USAGE"));
         assert!(dispatch(&argv(&["wat"]), "").is_err());
+        assert!(dispatch(&argv(&["algs"]), "").unwrap().contains("greedy"));
         let trace = dispatch(&argv(&["gen", "--m", "8", "--cap", "2"]), "").unwrap();
         assert!(dispatch(&argv(&["stats"]), &trace).is_ok());
     }

@@ -12,28 +12,36 @@
 //!
 //! * [`graph`] — capacitated graphs, paths, generators, load auditing
 //! * [`lp`] — simplex LP, branch-and-bound ILP, greedy covering
-//! * [`core`] — the paper's algorithms (start here)
+//! * [`core`] — the paper's algorithms, the algorithm registry, and the
+//!   streaming `Session` driver (start here)
 //! * [`baselines`] — BKK-style and greedy baselines
 //! * [`workloads`] — instance generators and traces
-//! * [`harness`] — audited runners, OPT bounds, experiments E1–E9, E11
+//! * [`harness`] — the assembled registry, report-producing runners,
+//!   OPT bounds, experiments E1–E9, E11
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use acmr::core::{RandConfig, RandomizedAdmission, Request, RequestId, OnlineAdmission};
-//! use acmr::graph::{EdgeId, EdgeSet};
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! Algorithms are addressed by spec string through the registry and
+//! driven one arrival at a time through a [`core::Session`], which
+//! audits feasibility and accumulates statistics as it goes:
 //!
-//! // Two-edge network, capacity 1 each.
-//! let mut alg = RandomizedAdmission::new(
-//!     &[1, 1],
-//!     RandConfig::weighted(),
-//!     StdRng::seed_from_u64(42),
-//! );
+//! ```
+//! use acmr::core::{AlgorithmSpec, Request, Session};
+//! use acmr::graph::{EdgeId, EdgeSet};
+//! use acmr::harness::default_registry;
+//!
+//! // Two-edge network, capacity 1 each; the paper's weighted algorithm.
+//! let registry = default_registry();
+//! let spec = AlgorithmSpec::parse("aag-weighted?seed=42").unwrap();
+//! let mut session = Session::from_registry(&registry, &spec, &[1, 1], 0).unwrap();
+//!
 //! let r0 = Request::new(EdgeSet::new(vec![EdgeId(0), EdgeId(1)]), 5.0);
-//! let out = alg.on_request(RequestId(0), &r0);
-//! assert!(out.accepted); // plenty of room: the paper's base case
+//! let event = session.push(&r0).unwrap();
+//! assert!(event.accepted); // plenty of room: the paper's base case
+//!
+//! let report = session.report(); // serde-backed, CLI-identical schema
+//! assert_eq!(report.seed, Some(42));
+//! assert_eq!(report.rejected_count, 0);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -253,3 +253,55 @@ fn zero_rejection_regime_stays_zero() {
         );
     }
 }
+
+#[test]
+fn streaming_session_agrees_with_batch_runner() {
+    // The batch runner is now a wrapper over the streaming Session; an
+    // incremental push loop over the same trace must agree event by
+    // event with the batch result, and the final RunReport must
+    // round-trip through JSON unchanged.
+    use acmr::core::{AlgorithmSpec, Session};
+    use acmr::harness::default_registry;
+
+    let spec = PathWorkloadSpec {
+        topology: Topology::Grid { rows: 4, cols: 4 },
+        capacity: 3,
+        overload: 2.0,
+        costs: CostModel::Uniform { lo: 1.0, hi: 8.0 },
+        max_hops: 6,
+    };
+    let (_, inst) = random_path_workload(&spec, &mut StdRng::seed_from_u64(91));
+    let registry = default_registry();
+    let alg = AlgorithmSpec::parse("aag-weighted?seed=13").unwrap();
+
+    // Streaming: one push per arrival, cumulative cost must be monotone.
+    let mut session = Session::from_registry(&registry, &alg, &inst.capacities, 0).unwrap();
+    let mut last_total = 0.0;
+    for req in &inst.requests {
+        let event = session.push(req).unwrap();
+        assert!(event.total_rejected_cost >= last_total - 1e-9);
+        last_total = event.total_rejected_cost;
+    }
+    let streamed = session.report();
+
+    // Batch: same spec, same seed, one call.
+    let mut batch = Session::from_registry(&registry, &alg, &inst.capacities, 0).unwrap();
+    let batch_report = batch.run_trace(&inst).unwrap();
+    assert_eq!(streamed, batch_report);
+    assert_eq!(streamed.seed, Some(13));
+
+    // And the legacy panic-on-violation runner agrees on the numbers.
+    let mut direct = RandomizedAdmission::new(
+        &inst.capacities,
+        RandConfig::weighted(),
+        StdRng::seed_from_u64(13),
+    );
+    let run = run_admission(&mut direct, &inst);
+    assert_eq!(run.rejected_cost, streamed.rejected_cost);
+    assert_eq!(run.preemptions, streamed.preemptions);
+
+    // JSON round-trip of the shared report schema.
+    let json = serde_json::to_string(&streamed).unwrap();
+    let back: acmr::core::RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, streamed);
+}

@@ -1,0 +1,228 @@
+//! Workspace-local stand-in for `criterion`.
+//!
+//! The build has no network access, so benches link against this small
+//! wall-clock harness instead of real criterion. It keeps the API shape
+//! (`criterion_group!` / `criterion_main!` / `Criterion` /
+//! `benchmark_group` / `bench_with_input` / `Bencher::iter`) so bench
+//! files compile unchanged, measures median wall-clock time per
+//! iteration, and prints one line per benchmark:
+//!
+//! ```text
+//! bench group/name/param ... median 1.23 ms (37 iters, 8.13 Melem/s)
+//! ```
+//!
+//! No statistical analysis, outlier rejection, or HTML reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Throughput annotation for a group, mirroring `criterion::Throughput`.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The measured routine processes this many logical elements.
+    Elements(u64),
+    /// The measured routine processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes its sample
+    /// by a fixed time budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark over an input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            median: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher, input);
+        self.report(&id.label, &bencher);
+    }
+
+    /// Run one benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            median: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        self.report(&id.into(), &bencher);
+    }
+
+    fn report(&self, label: &str, bencher: &Bencher) {
+        let median = bencher.median.as_secs_f64();
+        let rate = match (self.throughput, median > 0.0) {
+            (Some(Throughput::Elements(n)), true) => {
+                format!(", {:.2} Melem/s", n as f64 / median / 1e6)
+            }
+            (Some(Throughput::Bytes(n)), true) => {
+                format!(", {:.2} MiB/s", n as f64 / median / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {}/{label} ... median {} ({} iters{rate})",
+            self.name,
+            fmt_duration(bencher.median),
+            bencher.iters,
+        );
+    }
+
+    /// Finish the group (prints nothing extra in the stand-in).
+    pub fn finish(self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Measures a closure, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    median: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly within a fixed budget and record the
+    /// median iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One warm-up.
+        black_box(routine());
+        let budget = Duration::from_millis(300);
+        let started = Instant::now();
+        let mut samples: Vec<Duration> = Vec::new();
+        while started.elapsed() < budget && samples.len() < 1000 {
+            let t0 = Instant::now();
+            black_box(routine());
+            samples.push(t0.elapsed());
+        }
+        samples.sort_unstable();
+        self.iters = samples.len() as u64;
+        self.median = samples[samples.len() / 2];
+    }
+}
+
+/// Bundle benchmark functions into one group runner, mirroring
+/// criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_bench(criterion: &mut Criterion) {
+        let mut group = criterion.benchmark_group("demo");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_measures() {
+        let mut criterion = Criterion::default();
+        demo_bench(&mut criterion);
+    }
+
+    criterion_group!(benches, demo_bench);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,525 @@
+//! Workspace-local stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `boxed`, range and string-pattern strategies, [`collection::vec`],
+//! `Just`, `prop_oneof!`, the `proptest!` macro with optional
+//! `#![proptest_config(...)]`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs and seed;
+//!   minimization is up to the reader.
+//! * **String "regex" strategies** only honor the `.{lo,hi}` shape
+//!   (arbitrary chars with length in `[lo, hi]`), which is the only
+//!   pattern used here; other patterns fall back to short arbitrary
+//!   strings.
+//! * Default case count is 64 (real proptest: 256) to keep `cargo
+//!   test` fast; override per-block with `ProptestConfig::with_cases`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic per-case RNG handed to strategies.
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    /// RNG for `(test identifier, case index)` — stable across runs.
+    pub fn for_case(test_id: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_id.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+        ))
+    }
+}
+
+/// A test-case failure raised by the `prop_assert*` macros.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+/// Result type of a property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-block configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy: Sized {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe view of [`Strategy`] used by [`BoxedStrategy`].
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Constant strategy: always yields a clone of the value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// `&str` "regex" strategy. Only `.{lo,hi}` is honored (arbitrary
+/// chars, length in `[lo, hi]`); anything else yields short arbitrary
+/// strings.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 32));
+        let len = rng.0.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| {
+                // Mostly printable ASCII, some whitespace/unicode to
+                // stress parsers.
+                match rng.0.gen_range(0u32..20) {
+                    0 => '\n',
+                    1 => '\t',
+                    2 => 'µ',
+                    3 => '€',
+                    _ => char::from(rng.0.gen_range(0x20u8..0x7f)),
+                }
+            })
+            .collect()
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specification for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategy produced by [`prop_oneof!`]: uniform choice among boxed
+/// alternatives.
+pub struct OneOf<V>(pub Vec<BoxedStrategy<V>>);
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let k = rng.0.gen_range(0..self.0.len());
+        self.0[k].generate(rng)
+    }
+}
+
+/// Uniformly choose among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Fail the property unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the property unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Fail the property unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Define property tests. Mirrors proptest's macro shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u32..10, ys in collection::vec(0u64..5, 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    $config,
+                    &($($strategy,)+),
+                    |__proptest_input| {
+                        let ($($pat,)+) = __proptest_input;
+                        (|| -> $crate::TestCaseResult {
+                            { $body }
+                            Ok(())
+                        })()
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Drive one property: generate `config.cases` inputs and run the body
+/// on each, panicking (with the offending input) on the first failure.
+/// Called by the `proptest!` macro; not part of the public proptest
+/// API surface.
+pub fn run_property<S, F>(test_id: &str, config: ProptestConfig, strategy: &S, body: F)
+where
+    S: Strategy,
+    S::Value: core::fmt::Debug + Clone,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    for case in 0..config.cases as u64 {
+        let mut rng = TestRng::for_case(test_id, case);
+        let input = strategy.generate(&mut rng);
+        if let Err(TestCaseError(msg)) = body(input.clone()) {
+            panic!(
+                "proptest failure in {test_id}, case {case}/{}:\n  {msg}\n  input: {input:?}\n  \
+                 (no shrinking in the workspace proptest stand-in)",
+                config.cases
+            );
+        }
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..10, y in 0.5f64..=1.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..=1.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in crate::collection::vec(0u8..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![Just(1.0f64), (1u32..10).prop_map(|c| c as f64)]) {
+            prop_assert!((1.0..10.0).contains(&x));
+        }
+
+        #[test]
+        fn flat_map_dependent(pair in (2usize..6).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(0usize..n, n..=n))
+        })) {
+            let (n, v) = pair;
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&x| x < n));
+        }
+
+        #[test]
+        fn string_pattern_lengths(s in ".{0,40}") {
+            prop_assert!(s.chars().count() <= 40);
+        }
+
+        #[test]
+        fn early_ok_return_works(x in 0u32..4) {
+            if x > 1 {
+                return Ok(());
+            }
+            prop_assert!(x <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = crate::collection::vec(0u64..100, 3..8);
+        let a = s.generate(&mut crate::TestRng::for_case("t", 5));
+        let b = s.generate(&mut crate::TestRng::for_case("t", 5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest failure")]
+    fn failures_panic_with_input() {
+        crate::run_property(
+            "demo",
+            ProptestConfig::with_cases(4),
+            &(0u32..10,),
+            |(x,)| {
+                (|| -> TestCaseResult {
+                    prop_assert!(x > 100, "x was {x}");
+                    Ok(())
+                })()
+            },
+        );
+    }
+}

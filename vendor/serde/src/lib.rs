@@ -1,0 +1,331 @@
+//! Workspace-local stand-in for `serde`.
+//!
+//! No network access means no crates.io serde, so the workspace vendors
+//! a compatible-in-spirit subset: [`Serialize`] / [`Deserialize`] traits
+//! over an explicit [`Value`] tree, and a `#[derive(Serialize,
+//! Deserialize)]` proc macro (in `serde_derive`) covering the shapes
+//! this workspace uses — named structs, tuple/newtype structs, and
+//! enums with unit, tuple, or struct variants (externally tagged, like
+//! real serde's default).
+//!
+//! `serde_json` (also vendored) renders a [`Value`] to JSON text and
+//! parses it back, so `#[derive]`d types round-trip through JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every serializable type maps through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` / Rust `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (covers every integer this workspace serializes).
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// IEEE double.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Key-ordered map (struct fields, enum tags).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: what was expected vs what was found.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an error noting a type mismatch.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {got:?}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parse from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    _ => return Err(DeError::expected(stringify!($t), v)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, i8, i16, i32, i64, usize, isize);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        if let Ok(i) = i64::try_from(*self) {
+            Value::Int(i)
+        } else {
+            Value::UInt(*self)
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Int(i) => u64::try_from(*i).map_err(|_| DeError(format!("{i} is negative"))),
+            Value::UInt(u) => Ok(*u),
+            _ => Err(DeError::expected("u64", v)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            _ => Err(DeError::expected("f64", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("sequence", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<[T]> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<[T]> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(Vec::into_boxed_slice)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            _ => Err(DeError::expected("2-tuple", v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2].to_value()),
+            Ok(vec![1, 2])
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_value(&Value::Int(3)), Ok(Some(3)));
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(u32::from_value(&Value::Str("x".into())).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+        assert!(bool::from_value(&Value::Int(1)).is_err());
+        assert!(Vec::<u32>::from_value(&Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn map_lookup() {
+        let v = Value::Map(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(v.get("a"), Some(&Value::Int(1)));
+        assert_eq!(v.get("b"), None);
+        assert_eq!(Value::Null.get("a"), None);
+    }
+}

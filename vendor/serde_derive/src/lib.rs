@@ -1,0 +1,431 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace-local serde
+//! stand-in.
+//!
+//! The build has no network access, hence no `syn`/`quote`; the item
+//! definition is parsed directly from the [`proc_macro::TokenStream`].
+//! Supported shapes (everything this workspace derives on):
+//!
+//! * named-field structs → `Value::Map`
+//! * newtype structs → the inner value, transparently
+//! * tuple structs (≥ 2 fields) → `Value::Seq`
+//! * enums: unit variants → `Value::Str(name)`; tuple/struct variants →
+//!   externally tagged `Value::Map([(name, payload)])`
+//!
+//! Generics and `#[serde(...)]` attributes are **not** supported and
+//! produce a compile error rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    /// `struct Name { fields }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name(T1, …, Tn);` — `arity` ≥ 1
+    Tuple { name: String, arity: usize },
+    /// `enum Name { variants }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skip `#[...]` attributes and `pub` / `pub(...)` visibility starting
+/// at `i`; returns the index of the first substantive token.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < tokens.len() && is_punct(&tokens[i], '#') {
+            // An attribute: `#` then a bracket group.
+            i += 2;
+            continue;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+                continue;
+            }
+        }
+        return i;
+    }
+}
+
+/// Split a field-list token stream on top-level commas, tracking angle
+/// bracket depth so `Map<K, V>` does not split. Groups are atomic
+/// tokens, so parens/brackets need no tracking.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tt.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field names of a named-field group (`{ a: T, b: U }`).
+fn named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(group_tokens)
+        .into_iter()
+        .filter_map(|field| {
+            let i = skip_attrs_and_vis(&field, 0);
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if tokens.get(i).is_some_and(|t| is_punct(t, '<')) {
+        return Err(format!(
+            "serde stand-in derive does not support generic type `{name}`"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::Struct {
+                    name,
+                    fields: named_fields(&body),
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::Tuple {
+                    name,
+                    arity: split_top_level_commas(&body).len(),
+                })
+            }
+            _ => Err(format!("unsupported struct shape for `{name}`")),
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                return Err(format!("expected enum body for `{name}`"));
+            };
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_attrs_and_vis(&body, j);
+                let Some(TokenTree::Ident(id)) = body.get(j) else {
+                    break;
+                };
+                let vname = id.to_string();
+                j += 1;
+                let shape = match body.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        j += 1;
+                        VariantShape::Struct(named_fields(&inner))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        j += 1;
+                        VariantShape::Tuple(split_top_level_commas(&inner).len())
+                    }
+                    _ => VariantShape::Unit,
+                };
+                // Skip an optional `= discriminant` and the trailing comma.
+                while j < body.len() && !is_punct(&body[j], ',') {
+                    j += 1;
+                }
+                j += 1;
+                variants.push(Variant { name: vname, shape });
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Value::Map(vec![{}])
+                    }}
+                }}",
+                entries.join(", ")
+            )
+        }
+        Item::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::Value {{
+                    ::serde::Serialize::to_value(&self.0)
+                }}
+            }}"
+        ),
+        Item::Tuple { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Value::Seq(vec![{}])
+                    }}
+                }}",
+                entries.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => {
+                            format!("Self::{vn} => ::serde::Value::Str({vn:?}.to_string()),")
+                        }
+                        VariantShape::Tuple(1) => format!(
+                            "Self::{vn}(f0) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "Self::{vn}({}) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vn} {{ {binds} }} => ::serde::Value::Map(vec![({vn:?}\
+                                 .to_string(), ::serde::Value::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        match self {{ {} }}
+                    }}
+                }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(
+                            v.get({f:?}).unwrap_or(&::serde::Value::Null))
+                            .map_err(|e| ::serde::DeError(
+                                format!(\"field `{f}` of {name}: {{}}\", e.0)))?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{
+                        match v {{
+                            ::serde::Value::Map(_) => Ok({name} {{ {} }}),
+                            other => Err(::serde::DeError::expected(
+                                \"map for struct {name}\", other)),
+                        }}
+                    }}
+                }}",
+                inits.join(", ")
+            )
+        }
+        Item::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{
+                    Ok({name}(::serde::Deserialize::from_value(v)?))
+                }}
+            }}"
+        ),
+        Item::Tuple { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{
+                        match v {{
+                            ::serde::Value::Seq(items) if items.len() == {arity} =>
+                                Ok({name}({})),
+                            other => Err(::serde::DeError::expected(
+                                \"{arity}-element sequence for {name}\", other)),
+                        }}
+                    }}
+                }}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("{:?} => Ok(Self::{}),", v.name, v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok(Self::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => match inner {{
+                                    ::serde::Value::Seq(items) if items.len() == {n} =>
+                                        Ok(Self::{vn}({})),
+                                    other => Err(::serde::DeError::expected(
+                                        \"{n}-element payload for {name}::{vn}\", other)),
+                                }},",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(
+                                            inner.get({f:?}).unwrap_or(&::serde::Value::Null))
+                                            .map_err(|e| ::serde::DeError(format!(
+                                                \"field `{f}` of {name}::{vn}: {{}}\", e.0)))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => Ok(Self::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{
+                        match v {{
+                            ::serde::Value::Str(s) => match s.as_str() {{
+                                {}
+                                other => Err(::serde::DeError(format!(
+                                    \"unknown variant `{{other}}` of {name}\"))),
+                            }},
+                            ::serde::Value::Map(entries) if entries.len() == 1 => {{
+                                let (tag, inner) = &entries[0];
+                                let _ = inner; // unused when every variant is a unit
+                                match tag.as_str() {{
+                                    {}
+                                    other => Err(::serde::DeError(format!(
+                                        \"unknown variant `{{other}}` of {name}\"))),
+                                }}
+                            }}
+                            other => Err(::serde::DeError::expected(
+                                \"variant of {name}\", other)),
+                        }}
+                    }}
+                }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
