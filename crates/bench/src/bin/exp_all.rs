@@ -1,5 +1,79 @@
 //! Regenerates every experiment table in sequence. `--quick` shrinks grids.
 use acmr_harness::experiments as ex;
+use acmr_harness::{cross_jobs, default_registry, BoundBudget, ShardedDriver, Table};
+use acmr_workloads::{
+    dyadic_admission_instance, nested_intervals, random_path_workload, two_phase_squeeze,
+    CostModel, PathWorkloadSpec, Topology,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// E12: every registered algorithm over the hostile families plus (in
+/// full mode) the 64-node grid workload, as one sharded sweep — the
+/// multi-trace driver is itself part of the experiment surface now.
+fn sweep_table(quick: bool) -> Table {
+    let registry = default_registry();
+    let mut traces = vec![
+        ("nested".to_string(), nested_intervals(16, 2, 2, 2)),
+        ("squeeze".to_string(), two_phase_squeeze(12, 3, 4, 3)),
+        ("dyadic".to_string(), dyadic_admission_instance(4, 3, 2)),
+    ];
+    if !quick {
+        let spec = PathWorkloadSpec {
+            topology: Topology::Grid { rows: 8, cols: 8 },
+            capacity: 8,
+            overload: 1.5,
+            costs: CostModel::Uniform { lo: 1.0, hi: 6.0 },
+            max_hops: 8,
+        };
+        let (_, inst) = random_path_workload(&spec, &mut StdRng::seed_from_u64(31));
+        traces.push(("grid64".to_string(), inst));
+    }
+    let trace_names: Vec<&str> = traces.iter().map(|(n, _)| n.as_str()).collect();
+    let specs: Vec<String> = registry.names().iter().map(|n| n.to_string()).collect();
+    let spec_refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+    let seeds: Vec<u64> = if quick { vec![0] } else { vec![0, 1, 2] };
+    let jobs = cross_jobs(&trace_names, &spec_refs, &seeds);
+    // Greedy-tier budget: the full-mode grid64 trace is too large for
+    // the LP, and one shared bound per trace is the point of the
+    // driver anyway.
+    let budget = BoundBudget {
+        max_exact_items: 60,
+        exact_nodes: 20_000,
+        max_lp_items: 0,
+    };
+    let sweep = ShardedDriver::new()
+        .batch(64)
+        .budget(budget)
+        .run(&registry, &traces, &jobs)
+        .expect("sweep runs");
+    acmr_bench::emit_bench_json("sweep", &sweep);
+    let mut table = Table::new(
+        "E12: sharded multi-trace sweep (batched sessions, shared per-trace OPT bounds)",
+        &[
+            "trace",
+            "algorithm",
+            "seed",
+            "rejected cost",
+            "preempt",
+            "ratio",
+        ],
+    );
+    for job in &sweep.jobs {
+        let r = &job.report;
+        table.push_row(vec![
+            job.trace.clone(),
+            r.algorithm.clone(),
+            r.seed.map(|s| s.to_string()).unwrap_or_default(),
+            format!("{:.2}", r.rejected_cost),
+            r.preemptions.to_string(),
+            r.ratio()
+                .map(|x| format!("{x:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
+        ]);
+    }
+    table
+}
 
 fn main() {
     let quick = !acmr_bench::full_grid_requested();
@@ -43,4 +117,5 @@ fn main() {
         &ex::e11_frontier::table(&ex::e11_frontier::run(quick)),
         "e11",
     );
+    acmr_bench::emit(&sweep_table(quick), "e12");
 }

@@ -38,3 +38,40 @@ pub fn emit(table: &acmr_harness::Table, name: &str) {
         }
     }
 }
+
+/// Serialize `value` to `BENCH_<name>.json` — in `ACMR_RESULTS_DIR`
+/// when set, the workspace root otherwise — and echo the path. The
+/// throughput bench and `exp_all` persist their machine-readable
+/// summaries through this.
+///
+/// The workspace root is found by walking up from the current
+/// directory to the nearest `Cargo.lock`: `cargo bench` starts bench
+/// binaries in the *package* directory while `cargo run` keeps the
+/// caller's, and the artifact must land in one predictable place for
+/// CI to upload.
+pub fn emit_bench_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = std::env::var("ACMR_RESULTS_DIR").unwrap_or_else(|_| {
+        let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
+        loop {
+            if dir.join("Cargo.lock").exists() {
+                break dir.display().to_string();
+            }
+            if !dir.pop() {
+                break ".".to_string();
+            }
+        }
+    });
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    let json = match serde_json::to_string_pretty(value) {
+        Ok(j) => j + "\n",
+        Err(e) => {
+            eprintln!("warning: could not serialize BENCH_{name}: {e}");
+            return;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, json)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -43,7 +43,9 @@
 //! * [`session::Session`] — owns the algorithm, the
 //!   [`acmr_graph::LoadTracker`] audit, and incremental statistics;
 //!   `push(request)` yields one audited [`session::ArrivalEvent`] per
-//!   arrival, and `run_trace` subsumes the old batch runners.
+//!   arrival, `push_batch` feeds a slice of arrivals with identical
+//!   per-arrival semantics but amortized bookkeeping, and
+//!   `run_trace` / `run_trace_batched` subsume the old batch runners.
 //! * [`report::RunReport`] — the serde-backed result schema shared by
 //!   the CLI (`acmr run --format json`), the experiment harness, and
 //!   the benches.

@@ -11,6 +11,22 @@
 //! sharding, and live serving all build on — and the batch runners are
 //! now thin wrappers over it.
 //!
+//! ## Batched arrivals
+//!
+//! [`Session::push_batch`] feeds a slice of arrivals at once. Its
+//! semantics are pinned to the streaming path — the event stream it
+//! returns is **identical, arrival for arrival**, to what the same
+//! requests would produce through [`Session::push`] (a property the
+//! harness's differential suite asserts for every registered
+//! algorithm) — while the batch shape lets the session amortize what
+//! per-push calls cannot: footprints are validated in one upfront pass
+//! before the algorithm sees anything, per-arrival bookkeeping vectors
+//! are grown once per batch, the load-audit coherence sweep runs once
+//! per batch instead of once per arrival, and
+//! [`Session::push_batch_into`] reuses a caller-owned event buffer so
+//! steady-state batch processing performs no per-event allocations in
+//! this layer.
+//!
 //! Contract violations (capacity overflow, phantom preemption,
 //! accept-after-reject) surface as
 //! [`AcmrError::ContractViolation`] with the same wording the harness
@@ -155,12 +171,28 @@ impl<A: OnlineAdmission> Session<A> {
         if self.poisoned {
             return Err(AcmrError::SessionPoisoned);
         }
+        self.validate(request)?;
+        let event = self.push_validated(request)?;
+        debug_assert!(self.audit.is_feasible());
+        Ok(event)
+    }
+
+    /// Range-check a footprint against the session's edge universe
+    /// without showing the request to the algorithm.
+    fn validate(&self, request: &Request) -> Result<(), AcmrError> {
         let num_edges = self.audit.num_edges();
         if let Some(e) = request.footprint.iter().find(|e| e.index() >= num_edges) {
             return Err(AcmrError::InvalidRequest {
                 reason: format!("footprint edge {e:?} out of range for {num_edges} edges"),
             });
         }
+        Ok(())
+    }
+
+    /// The arrival body shared by [`Session::push`] and the batch path:
+    /// assumes the footprint was already validated and the session is
+    /// not poisoned; can still fail with a contract violation.
+    fn push_validated(&mut self, request: &Request) -> Result<ArrivalEvent, AcmrError> {
         let id = RequestId(self.accepted.len() as u32);
         let out = self.alg.on_request(id, request);
 
@@ -207,7 +239,6 @@ impl<A: OnlineAdmission> Session<A> {
         }
         self.stats.arrivals += 1;
         self.stats.offered_cost += request.cost;
-        debug_assert!(self.audit.is_feasible());
 
         Ok(ArrivalEvent {
             id,
@@ -219,13 +250,61 @@ impl<A: OnlineAdmission> Session<A> {
         })
     }
 
-    /// Drive a whole instance through [`Session::push`] and summarize.
+    /// Feed a slice of arrivals at once; equivalent to pushing each
+    /// request through [`Session::push`] in order, and returns the same
+    /// events the per-push calls would have.
     ///
-    /// Requires a **fresh** session (no arrivals pushed yet) whose
-    /// capacities match the instance's exactly; its arrival order is
-    /// replayed verbatim. This is the convenience the batch runners
-    /// and the CLI use.
-    pub fn run_trace(&mut self, inst: &AdmissionInstance) -> Result<RunReport, AcmrError> {
+    /// The batch shape buys three amortizations over the per-push loop:
+    /// the whole batch is range-validated **upfront** (an invalid
+    /// footprint anywhere rejects the batch with
+    /// [`AcmrError::InvalidRequest`] before *any* arrival is shown to
+    /// the algorithm — no partial application on bad input), the
+    /// per-arrival bookkeeping vectors are reserved once, and the
+    /// load-audit coherence sweep runs once per batch.
+    ///
+    /// Contract violations keep streaming semantics: arrivals before
+    /// the violation are applied and counted, the violation poisons the
+    /// session, and the error is returned (use
+    /// [`Session::push_batch_into`] to also keep the events preceding
+    /// the violation).
+    pub fn push_batch(&mut self, batch: &[Request]) -> Result<Vec<ArrivalEvent>, AcmrError> {
+        let mut events = Vec::new();
+        self.push_batch_into(batch, &mut events)?;
+        Ok(events)
+    }
+
+    /// [`Session::push_batch`] writing into a caller-owned buffer so a
+    /// steady-state batch loop allocates no event storage per batch.
+    ///
+    /// `events` is cleared first; on success it holds one event per
+    /// request in `batch`, and on a mid-batch contract violation it
+    /// holds the events of the arrivals that were applied before the
+    /// violation (the session is poisoned either way).
+    pub fn push_batch_into(
+        &mut self,
+        batch: &[Request],
+        events: &mut Vec<ArrivalEvent>,
+    ) -> Result<(), AcmrError> {
+        events.clear();
+        if self.poisoned {
+            return Err(AcmrError::SessionPoisoned);
+        }
+        // Upfront validation: all-or-nothing, and the algorithm sees
+        // nothing unless the whole batch is well-formed.
+        for request in batch {
+            self.validate(request)?;
+        }
+        events.reserve(batch.len());
+        self.accepted.reserve(batch.len());
+        self.ever_rejected.reserve(batch.len());
+        for request in batch {
+            events.push(self.push_validated(request)?);
+        }
+        debug_assert!(self.audit.is_feasible());
+        Ok(())
+    }
+
+    fn check_fresh_for(&self, inst: &AdmissionInstance) -> Result<(), AcmrError> {
         if self.stats.arrivals > 0 {
             return Err(AcmrError::InvalidRequest {
                 reason: format!(
@@ -245,8 +324,42 @@ impl<A: OnlineAdmission> Session<A> {
                 reason: "instance capacities do not match the session's".to_string(),
             });
         }
+        Ok(())
+    }
+
+    /// Drive a whole instance through [`Session::push`] and summarize.
+    ///
+    /// Requires a **fresh** session (no arrivals pushed yet) whose
+    /// capacities match the instance's exactly; its arrival order is
+    /// replayed verbatim. This is the convenience the batch runners
+    /// and the CLI use.
+    pub fn run_trace(&mut self, inst: &AdmissionInstance) -> Result<RunReport, AcmrError> {
+        self.check_fresh_for(inst)?;
         for request in &inst.requests {
             self.push(request)?;
+        }
+        Ok(self.report())
+    }
+
+    /// [`Session::run_trace`] through the batch path: the arrival
+    /// sequence is cut into chunks of `batch` requests and fed through
+    /// [`Session::push_batch_into`] with one reused event buffer.
+    /// Produces the identical [`RunReport`] (the decision stream is the
+    /// same); `batch` must be at least 1.
+    pub fn run_trace_batched(
+        &mut self,
+        inst: &AdmissionInstance,
+        batch: usize,
+    ) -> Result<RunReport, AcmrError> {
+        if batch == 0 {
+            return Err(AcmrError::InvalidRequest {
+                reason: "batch size must be at least 1".to_string(),
+            });
+        }
+        self.check_fresh_for(inst)?;
+        let mut events = Vec::new();
+        for chunk in inst.requests.chunks(batch) {
+            self.push_batch_into(chunk, &mut events)?;
         }
         Ok(self.report())
     }
@@ -419,6 +532,117 @@ mod tests {
             session.run_trace(&other),
             Err(AcmrError::InvalidRequest { .. })
         ));
+    }
+
+    #[test]
+    fn push_batch_matches_streaming_pushes() {
+        let mut reg = Registry::new();
+        register_core(&mut reg);
+        let spec = AlgorithmSpec::parse("aag-weighted?seed=7").unwrap();
+        let caps = vec![2u32, 1, 2];
+        let requests: Vec<Request> = (0..12)
+            .map(|i| {
+                let fp = match i % 3 {
+                    0 => fp(&[0]),
+                    1 => fp(&[0, 1]),
+                    _ => fp(&[1, 2]),
+                };
+                Request::new(fp, 1.0 + (i % 4) as f64)
+            })
+            .collect();
+
+        let mut streaming = Session::from_registry(&reg, &spec, &caps, 0).unwrap();
+        let expected: Vec<ArrivalEvent> = requests
+            .iter()
+            .map(|r| streaming.push(r).unwrap())
+            .collect();
+
+        for batch_size in [1usize, 2, 5, 12, 100] {
+            let mut batched = Session::from_registry(&reg, &spec, &caps, 0).unwrap();
+            let mut events = Vec::new();
+            let mut buf = Vec::new();
+            for chunk in requests.chunks(batch_size) {
+                batched.push_batch_into(chunk, &mut buf).unwrap();
+                events.extend(buf.iter().cloned());
+            }
+            assert_eq!(events, expected, "batch size {batch_size}");
+            assert_eq!(batched.report(), streaming.report());
+        }
+    }
+
+    #[test]
+    fn push_batch_returns_owned_events() {
+        let caps = vec![4u32];
+        let mut session = Session::new(AcceptAll, &caps);
+        let batch = vec![Request::unit(fp(&[0])), Request::unit(fp(&[0]))];
+        let events = session.push_batch(&batch).unwrap();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.accepted));
+        assert_eq!(session.stats().arrivals, 2);
+        // Empty batch: no-op, no events.
+        assert!(session.push_batch(&[]).unwrap().is_empty());
+        assert_eq!(session.stats().arrivals, 2);
+    }
+
+    #[test]
+    fn push_batch_validates_upfront_without_partial_application() {
+        let caps = vec![2u32];
+        let mut session = Session::new(AcceptAll, &caps);
+        // Second request is out of range: the whole batch is rejected
+        // and the first request was never shown to the algorithm.
+        let batch = vec![Request::unit(fp(&[0])), Request::unit(fp(&[9]))];
+        let err = session.push_batch(&batch).unwrap_err();
+        assert!(matches!(err, AcmrError::InvalidRequest { .. }));
+        assert!(!session.is_poisoned());
+        assert_eq!(session.stats().arrivals, 0);
+        // The session is still usable.
+        assert_eq!(session.push_batch(&batch[..1]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn push_batch_keeps_prefix_events_on_mid_batch_violation() {
+        let caps = vec![1u32];
+        let mut session = Session::new(AcceptAll, &caps);
+        let batch = vec![Request::unit(fp(&[0])), Request::unit(fp(&[0]))];
+        let mut events = Vec::new();
+        let err = session.push_batch_into(&batch, &mut events).unwrap_err();
+        assert!(err.to_string().contains("violates a capacity"), "{err}");
+        // The first arrival was applied before the violation.
+        assert_eq!(events.len(), 1);
+        assert!(events[0].accepted);
+        assert_eq!(session.stats().arrivals, 1);
+        assert!(session.is_poisoned());
+        assert_eq!(session.push_batch(&batch), Err(AcmrError::SessionPoisoned));
+    }
+
+    #[test]
+    fn run_trace_batched_matches_run_trace() {
+        let mut inst = AdmissionInstance::from_capacities(vec![1, 1]);
+        inst.push(Request::new(fp(&[0]), 1.0));
+        inst.push(Request::new(fp(&[0, 1]), 5.0));
+        inst.push(Request::new(fp(&[1]), 2.0));
+        inst.push(Request::new(fp(&[0]), 3.0));
+
+        let mut reg = Registry::new();
+        register_core(&mut reg);
+        let spec = AlgorithmSpec::parse("aag-weighted?seed=3").unwrap();
+        let reference = Session::from_registry(&reg, &spec, &inst.capacities, 0)
+            .unwrap()
+            .run_trace(&inst)
+            .unwrap();
+        for batch in [1usize, 2, 3, 64] {
+            let report = Session::from_registry(&reg, &spec, &inst.capacities, 0)
+                .unwrap()
+                .run_trace_batched(&inst, batch)
+                .unwrap();
+            assert_eq!(report, reference, "batch {batch}");
+        }
+        // Batch 0 is a usage error, reported before any state changes.
+        let err = Session::from_registry(&reg, &spec, &inst.capacities, 0)
+            .unwrap()
+            .run_trace_batched(&inst, 0)
+            .unwrap_err();
+        assert!(err.to_string().contains("batch size"), "{err}");
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod opt;
 pub mod parallel;
 pub mod registry;
 pub mod runner;
+pub mod shard;
 pub mod stats;
 pub mod table;
 
@@ -36,8 +37,9 @@ pub use opt::{
 pub use parallel::parallel_map;
 pub use registry::default_registry;
 pub use runner::{
-    opt_summary, run_admission, run_registered, run_report, run_set_cover, AdmissionRun,
-    SetCoverRun,
+    opt_summary, run_admission, run_registered, run_registered_batched, run_report,
+    run_report_batched, run_set_cover, AdmissionRun, SetCoverRun,
 };
+pub use shard::{cross_jobs, JobReport, ShardedDriver, SweepJob, SweepReport, SweepTotals};
 pub use stats::Summary;
 pub use table::Table;

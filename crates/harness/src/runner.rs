@@ -70,6 +70,38 @@ pub fn run_registered(
     session.run_trace(inst)
 }
 
+/// [`run_registered`] through the session batch layer: arrivals are fed
+/// in chunks of `batch` via `Session::push_batch`, producing the
+/// identical report (the decision stream is pinned to the streaming
+/// path). `batch` must be at least 1.
+pub fn run_registered_batched(
+    registry: &Registry,
+    spec: &str,
+    inst: &AdmissionInstance,
+    base_seed: u64,
+    batch: usize,
+) -> Result<RunReport, AcmrError> {
+    let spec = AlgorithmSpec::parse(spec)?;
+    let mut session = Session::from_registry(registry, &spec, &inst.capacities, base_seed)?;
+    session.run_trace_batched(inst, batch)
+}
+
+/// [`run_report`] through the session batch layer — what `acmr run
+/// --batch N` dispatches to.
+pub fn run_report_batched(
+    registry: &Registry,
+    spec: &str,
+    inst: &AdmissionInstance,
+    base_seed: u64,
+    budget: BoundBudget,
+    batch: usize,
+) -> Result<RunReport, AcmrError> {
+    let mut report = run_registered_batched(registry, spec, inst, base_seed, batch)?;
+    let bound = admission_opt(inst, budget);
+    report.opt = Some(opt_summary(&bound, report.rejected_cost));
+    Ok(report)
+}
+
 /// Summarize an [`OptBound`] against a run's rejected cost. The ratio
 /// is `None` when unbounded (OPT bound 0 but a positive online cost).
 pub fn opt_summary(bound: &OptBound, rejected_cost: f64) -> OptSummary {
@@ -225,6 +257,29 @@ mod tests {
         assert_eq!(report.rejected_cost, run.rejected_cost);
         assert_eq!(report.rejected_count, run.rejected_count);
         assert_eq!(report.preemptions, run.preemptions);
+    }
+
+    #[test]
+    fn batched_runners_match_streaming_runners() {
+        let reg = crate::registry::default_registry();
+        let mut inst = AdmissionInstance::from_capacities(vec![2, 2]);
+        for i in 0..10u32 {
+            let fp = if i % 2 == 0 { fp(&[0]) } else { fp(&[0, 1]) };
+            inst.push(Request::new(fp, 1.0 + (i % 3) as f64));
+        }
+        for spec in ["greedy", "aag-weighted?seed=5", "random-preempt"] {
+            let streaming = run_registered(&reg, spec, &inst, 2).unwrap();
+            for batch in [1usize, 3, 64] {
+                let batched = run_registered_batched(&reg, spec, &inst, 2, batch).unwrap();
+                assert_eq!(batched, streaming, "{spec} batch {batch}");
+            }
+            let with_opt = run_report(&reg, spec, &inst, 2, BoundBudget::default()).unwrap();
+            let batched =
+                run_report_batched(&reg, spec, &inst, 2, BoundBudget::default(), 4).unwrap();
+            assert_eq!(batched, with_opt, "{spec} with opt");
+        }
+        let err = run_registered_batched(&reg, "greedy", &inst, 0, 0).unwrap_err();
+        assert!(err.to_string().contains("batch size"), "{err}");
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod trace;
 pub use admission::{random_path_workload, PathWorkloadSpec, Topology};
 pub use adversarial::{nested_intervals, repeated_hot_edge, two_phase_squeeze};
 pub use cost::CostModel;
+pub use lower_bound::{adaptive_least_covered_schedule, dyadic_admission_instance, dyadic_system};
 pub use setcover::{
     random_arrivals, random_set_system, structured_partition_system, ArrivalPattern, SetSystemSpec,
 };

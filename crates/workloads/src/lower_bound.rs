@@ -18,6 +18,8 @@
 //! algorithms' worst-case machinery, not to claim the lower bound.
 
 use acmr_core::setcover::{OnlineSetCover, SetSystem};
+use acmr_core::{AdmissionInstance, Request};
+use acmr_graph::{EdgeId, EdgeSet};
 
 /// The dyadic set system over `n = 2^levels` elements: one set per
 /// node of a complete binary tree whose leaves are elements; the set
@@ -73,6 +75,41 @@ where
     played
 }
 
+/// The dyadic structure as an **admission-control** trace: a line of
+/// `n = 2^levels` edges with uniform capacity `cap`, and requests whose
+/// footprints are the dyadic intervals of the complete binary tree over
+/// the edges (the same node set as [`dyadic_system`]), issued root to
+/// leaves, `rounds` times over.
+///
+/// Every round loads each edge once per level, so final per-edge load
+/// is `rounds · (levels + 1)` — overloaded whenever that exceeds `cap`
+/// — while the overload is *recursively structured*: at every scale an
+/// algorithm must decide between evicting one wide (cheap) interval or
+/// many narrow (pricey) ones, which is the shape the lower-bound
+/// arguments the paper cites hammer. Costs grow with depth (`1 + level`
+/// per request), mirroring [`crate::adversarial::nested_intervals`]'s
+/// narrower-is-pricier convention.
+pub fn dyadic_admission_instance(levels: u32, cap: u32, rounds: u32) -> AdmissionInstance {
+    assert!(
+        (1..=16).contains(&levels),
+        "levels must be in 1..=16 (got {levels})"
+    );
+    assert!(cap >= 1 && rounds >= 1);
+    let n = 1u32 << levels;
+    let mut inst = AdmissionInstance::from_capacities(vec![cap; n as usize]);
+    for _ in 0..rounds {
+        for level in 0..=levels {
+            let nodes = 1u32 << level;
+            let span = n >> level;
+            for b in 0..nodes {
+                let fp: EdgeSet = (b * span..(b + 1) * span).map(EdgeId).collect();
+                inst.push(Request::new(fp, 1.0 + level as f64));
+            }
+        }
+    }
+    inst
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +130,29 @@ mod tests {
         assert_eq!(sys.elements_of(acmr_core::setcover::SetId(0)).len(), 8);
         // Leaf sets are singletons.
         assert_eq!(sys.elements_of(acmr_core::setcover::SetId(14)).len(), 1);
+    }
+
+    #[test]
+    fn dyadic_admission_shape() {
+        let inst = dyadic_admission_instance(3, 2, 2); // n = 8 edges
+        assert_eq!(inst.num_edges(), 8);
+        // One request per tree node per round: (2^4 − 1) × 2.
+        assert_eq!(inst.requests.len(), 30);
+        // Per-edge load per round is levels + 1 = 4; two rounds = 8.
+        assert_eq!(inst.max_excess(), 2 * 4 - 2);
+        // The first request of a round is the root interval (all
+        // edges, cheapest); the last is a leaf singleton (priciest).
+        assert_eq!(inst.requests[0].footprint.len(), 8);
+        assert_eq!(inst.requests[0].cost, 1.0);
+        assert_eq!(inst.requests[14].footprint.len(), 1);
+        assert_eq!(inst.requests[14].cost, 4.0);
+        assert!(!inst.is_unweighted());
+    }
+
+    #[test]
+    #[should_panic(expected = "levels must be in 1..=16")]
+    fn dyadic_admission_rejects_zero_levels() {
+        dyadic_admission_instance(0, 1, 1);
     }
 
     #[test]

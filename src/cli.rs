@@ -18,9 +18,12 @@
 //! a thin stdin/stdout shim.
 
 use crate::core::DEFAULT_ALGORITHM;
-use crate::harness::{default_registry, run_report, BoundBudget};
+use crate::harness::{default_registry, run_report, run_report_batched, BoundBudget};
 use crate::workloads::trace::{read_trace, write_trace};
-use crate::workloads::{random_path_workload, CostModel, PathWorkloadSpec, Topology};
+use crate::workloads::{
+    dyadic_admission_instance, nested_intervals, random_path_workload, repeated_hot_edge,
+    two_phase_squeeze, CostModel, PathWorkloadSpec, Topology,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -73,16 +76,93 @@ fn get<T: std::str::FromStr>(
     }
 }
 
+/// The deterministic adversarial families of
+/// `acmr_workloads::adversarial`, addressed by `--family`.
+fn gen_adversarial(flags: &HashMap<String, String>, m: u32, cap: u32) -> Result<String, CliError> {
+    if m < 2 {
+        return Err(err("adversarial topologies need --m at least 2"));
+    }
+    let rounds: u32 = get(flags, "rounds", 2)?;
+    if rounds == 0 {
+        return Err(err("--rounds must be at least 1"));
+    }
+    let inst = match flags.get("family").map(String::as_str) {
+        None | Some("nested") => {
+            let shrink: u32 = get(flags, "shrink", 2)?;
+            if shrink == 0 {
+                return Err(err("--shrink must be at least 1"));
+            }
+            nested_intervals(m, cap, shrink, rounds)
+        }
+        Some("hot-edge") => {
+            let total: u32 = get(flags, "total", cap.saturating_mul(3))?;
+            repeated_hot_edge(m, cap, total)
+        }
+        Some("squeeze") => {
+            let width: u32 = get(flags, "width", (m / 4).max(1))?;
+            if !(1..=m).contains(&width) {
+                return Err(err(format!("--width must be in 1..={m}")));
+            }
+            let hits: u32 = get(flags, "hits", cap)?;
+            if hits > cap {
+                return Err(err(format!(
+                    "--hits {hits} exceeds --cap {cap}: phase 2 cannot exceed edge-0 capacity"
+                )));
+            }
+            two_phase_squeeze(m, cap, width, hits)
+        }
+        Some(other) => {
+            return Err(err(format!(
+                "unknown adversarial family {other:?} (nested, hot-edge, squeeze)"
+            )))
+        }
+    };
+    Ok(write_trace(&inst))
+}
+
+/// The dyadic lower-bound trace of `acmr_workloads::lower_bound`.
+fn gen_lower_bound(flags: &HashMap<String, String>, m: u32, cap: u32) -> Result<String, CliError> {
+    // Default levels: the largest dyadic line that fits in --m edges,
+    // clamped to the generator's ceiling (an explicit --levels beyond
+    // it still errors below).
+    let default_levels = (32 - m.leading_zeros()).saturating_sub(1).clamp(1, 16);
+    let levels: u32 = get(flags, "levels", default_levels)?;
+    if !(1..=16).contains(&levels) {
+        return Err(err(format!("--levels must be in 1..=16 (got {levels})")));
+    }
+    let rounds: u32 = get(flags, "rounds", 2)?;
+    if rounds == 0 {
+        return Err(err("--rounds must be at least 1"));
+    }
+    Ok(write_trace(&dyadic_admission_instance(levels, cap, rounds)))
+}
+
 /// `acmr gen` — emit a trace to the returned string.
 pub fn cmd_gen(args: &[String]) -> Result<String, CliError> {
     let flags = parse_flags(args)?;
     let m: u32 = get(&flags, "m", 64)?;
     let cap: u32 = get(&flags, "cap", 4)?;
+    if cap == 0 {
+        return Err(err("--cap must be at least 1"));
+    }
     let overload: f64 = get(&flags, "overload", 2.0)?;
     let seed: u64 = get(&flags, "seed", 0)?;
     let max_hops: u32 = get(&flags, "max-hops", 8)?;
     let weighted = flags.contains_key("weighted");
-    let topology = match flags.get("topology").map(String::as_str) {
+    let topology_name = flags.get("topology").map(String::as_str);
+    if flags.contains_key("family") && topology_name != Some("adversarial") {
+        return Err(err(
+            "--family only applies to --topology adversarial (nested, hot-edge, squeeze)",
+        ));
+    }
+    // The hostile families are deterministic constructions, not random
+    // path workloads; they branch off before the spec is built.
+    match topology_name {
+        Some("adversarial") => return gen_adversarial(&flags, m, cap),
+        Some("lower-bound") => return gen_lower_bound(&flags, m, cap),
+        _ => {}
+    }
+    let topology = match topology_name {
         None | Some("line") => Topology::Line { m },
         Some("grid") => {
             let side = ((m as f64).sqrt().ceil() as u32).max(2);
@@ -167,8 +247,24 @@ pub fn cmd_run(args: &[String], trace: &str) -> Result<String, CliError> {
         .map(String::as_str)
         .unwrap_or(DEFAULT_ALGORITHM);
     let registry = default_registry();
-    let report = run_report(&registry, alg_spec, &inst, seed, BoundBudget::default())
-        .map_err(|e| err(e.to_string()))?;
+    // --batch N routes arrivals through Session::push_batch in chunks
+    // of N; the report is identical to the streaming path (the
+    // differential suite pins that), the processing is amortized.
+    let report = match flags.get("batch") {
+        None => run_report(&registry, alg_spec, &inst, seed, BoundBudget::default()),
+        Some(_) => {
+            let batch: usize = get(&flags, "batch", 1)?;
+            run_report_batched(
+                &registry,
+                alg_spec,
+                &inst,
+                seed,
+                BoundBudget::default(),
+                batch,
+            )
+        }
+    }
+    .map_err(|e| err(e.to_string()))?;
     match flags.get("format").map(String::as_str) {
         None | Some("text") => Ok(report.to_text()),
         Some("json") => serde_json::to_string_pretty(&report)
@@ -197,14 +293,20 @@ pub const USAGE: &str =
     "acmr — admission control to minimize rejections (Alon–Azar–Gutner, SPAA 2005)
 
 USAGE:
-  acmr gen  [--topology line|grid|tree] [--m N] [--cap C] [--overload F]
-            [--seed S] [--weighted] [--max-hops H]     # trace to stdout
+  acmr gen  [--topology line|grid|tree|adversarial|lower-bound] [--m N]
+            [--cap C] [--overload F] [--seed S] [--weighted]
+            [--max-hops H]                             # trace to stdout
+            adversarial: [--family nested|hot-edge|squeeze] [--rounds R]
+            [--shrink K] [--total T] [--width W] [--hits H]
+            lower-bound: [--levels L] [--rounds R]     (dyadic intervals)
   acmr stats                                           # trace from stdin
   acmr opt                                             # trace from stdin
   acmr algs                                            # list algorithms
-  acmr run  [--alg SPEC] [--seed S] [--format text|json]   # trace from stdin
+  acmr run  [--alg SPEC] [--seed S] [--batch N] [--format text|json]
             SPEC: a registry name with optional options, e.g.
             'aag-unweighted?seed=7&no-prune' — see `acmr algs`
+            --batch N feeds arrivals through the batched session path
+            (identical report, amortized processing)  # trace from stdin
 ";
 
 #[cfg(test)]
@@ -313,6 +415,156 @@ mod tests {
                 prop_assert!(out.contains(name), "missing name in {}", out);
             }
         }
+    }
+
+    #[test]
+    fn adversarial_topologies_generate_and_run() {
+        // Every hostile family produces a parseable trace that every
+        // registered algorithm survives (audited inside the Session).
+        for gen_args in [
+            argv(&["--topology", "adversarial", "--m", "12", "--cap", "2"]),
+            argv(&[
+                "--topology",
+                "adversarial",
+                "--family",
+                "hot-edge",
+                "--m",
+                "6",
+                "--cap",
+                "2",
+                "--total",
+                "9",
+            ]),
+            argv(&[
+                "--topology",
+                "adversarial",
+                "--family",
+                "squeeze",
+                "--m",
+                "12",
+                "--cap",
+                "3",
+                "--width",
+                "4",
+                "--hits",
+                "2",
+            ]),
+            argv(&["--topology", "lower-bound", "--m", "16", "--cap", "3"]),
+            argv(&[
+                "--topology",
+                "lower-bound",
+                "--levels",
+                "3",
+                "--rounds",
+                "3",
+            ]),
+        ] {
+            let trace = cmd_gen(&gen_args).unwrap();
+            let stats = cmd_stats(&trace).unwrap();
+            assert!(stats.contains("max edge excess"), "{stats}");
+            for name in default_registry().names() {
+                cmd_run(&argv(&["--alg", name, "--seed", "2"]), &trace).unwrap();
+            }
+        }
+        // --m 16 defaults lower-bound to levels 4 (16 dyadic edges).
+        let trace = cmd_gen(&argv(&["--topology", "lower-bound", "--m", "16"])).unwrap();
+        assert!(cmd_stats(&trace).unwrap().contains("edges           : 16"));
+        // A huge --m clamps the default levels to the generator's
+        // ceiling instead of erroring about a flag the user never set.
+        let trace = cmd_gen(&argv(&[
+            "--topology",
+            "lower-bound",
+            "--m",
+            "200000",
+            "--rounds",
+            "1",
+        ]))
+        .unwrap();
+        assert!(cmd_stats(&trace)
+            .unwrap()
+            .contains("edges           : 65536"));
+    }
+
+    #[test]
+    fn adversarial_flag_errors_are_reported() {
+        let adv = |rest: &[&str]| {
+            let mut a = vec!["--topology".to_string(), "adversarial".to_string()];
+            a.extend(rest.iter().map(|s| s.to_string()));
+            cmd_gen(&a)
+        };
+        let e = adv(&["--family", "torus"]).unwrap_err();
+        assert!(e.to_string().contains("unknown adversarial family"), "{e}");
+        let e = adv(&["--family", "squeeze", "--cap", "2", "--hits", "5"]).unwrap_err();
+        assert!(e.to_string().contains("exceeds --cap"), "{e}");
+        let e = adv(&["--family", "squeeze", "--m", "8", "--width", "9"]).unwrap_err();
+        assert!(e.to_string().contains("--width"), "{e}");
+        assert!(adv(&["--m", "1"]).is_err());
+        assert!(adv(&["--rounds", "0"]).is_err());
+        assert!(adv(&["--shrink", "0"]).is_err());
+        // --family without the adversarial topology is a usage error —
+        // including with lower-bound, which would otherwise silently
+        // drop it.
+        let e = cmd_gen(&argv(&["--family", "nested"])).unwrap_err();
+        assert!(e.to_string().contains("--family only applies"), "{e}");
+        let e = cmd_gen(&argv(&["--topology", "lower-bound", "--family", "nested"])).unwrap_err();
+        assert!(e.to_string().contains("--family only applies"), "{e}");
+        // hot-edge's default --total saturates instead of overflowing.
+        assert!(adv(&[
+            "--family",
+            "hot-edge",
+            "--cap",
+            "4000000000",
+            "--total",
+            "2"
+        ])
+        .is_ok());
+        // lower-bound level bounds.
+        let e = cmd_gen(&argv(&["--topology", "lower-bound", "--levels", "17"])).unwrap_err();
+        assert!(e.to_string().contains("--levels"), "{e}");
+        assert!(cmd_gen(&argv(&["--topology", "lower-bound", "--levels", "0"])).is_err());
+        assert!(cmd_gen(&argv(&["--topology", "lower-bound", "--rounds", "0"])).is_err());
+        // --cap 0 is rejected up front for every topology (the trace
+        // format forbids zero capacities, and the deterministic
+        // generators would otherwise assert).
+        for topo in ["line", "grid", "tree", "adversarial", "lower-bound"] {
+            let e = cmd_gen(&argv(&["--topology", topo, "--cap", "0"])).unwrap_err();
+            assert!(e.to_string().contains("--cap"), "{topo}: {e}");
+        }
+    }
+
+    #[test]
+    fn batched_run_output_is_identical_to_streaming() {
+        let trace = cmd_gen(&argv(&[
+            "--m",
+            "16",
+            "--cap",
+            "2",
+            "--seed",
+            "8",
+            "--weighted",
+        ]))
+        .unwrap();
+        for alg in ["greedy", "aag-weighted"] {
+            let streaming = cmd_run(
+                &argv(&["--alg", alg, "--seed", "4", "--format", "json"]),
+                &trace,
+            )
+            .unwrap();
+            for batch in ["1", "7", "1000"] {
+                let batched = cmd_run(
+                    &argv(&[
+                        "--alg", alg, "--seed", "4", "--format", "json", "--batch", batch,
+                    ]),
+                    &trace,
+                )
+                .unwrap();
+                assert_eq!(batched, streaming, "{alg} batch {batch}");
+            }
+        }
+        // Batch 0 and non-numeric batch are usage errors.
+        let e = cmd_run(&argv(&["--batch", "0"]), &trace).unwrap_err();
+        assert!(e.to_string().contains("batch size"), "{e}");
+        assert!(cmd_run(&argv(&["--batch", "lots"]), &trace).is_err());
     }
 
     #[test]
