@@ -8,9 +8,9 @@
 //! by the paper — with two deterministic algorithms: one
 //! `(c+1)`-competitive and one `O(√m)`-competitive. Their internals are
 //! not reproduced in the SPAA 2005 text, so this crate provides
-//! *documented reconstructions* in the same spirit (see `DESIGN.md`
-//! §6): deterministic, natural, and provably **not** polylogarithmic —
-//! exactly what E7 needs to exhibit the paper's asymptotic win.
+//! *documented reconstructions* in the same spirit: deterministic,
+//! natural, and provably **not** polylogarithmic — exactly what E7
+//! needs to exhibit the paper's asymptotic win.
 //!
 //! * [`GreedyNonPreemptive`] — accept iff it fits; never preempt. On a
 //!   single edge this is `(c+1)`-competitive in the unweighted case

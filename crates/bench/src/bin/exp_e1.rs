@@ -1,4 +1,4 @@
-//! Regenerates the E1 table (see EXPERIMENTS.md). `--quick` shrinks the grid.
+//! Regenerates the E1 table. Writes CSV when `ACMR_RESULTS_DIR` is set. `--quick` shrinks the grid.
 use acmr_harness::experiments::e1_fractional as exp;
 
 fn main() {

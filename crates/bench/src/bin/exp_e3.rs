@@ -1,4 +1,4 @@
-//! Regenerates the E3 table (see EXPERIMENTS.md). `--quick` shrinks the grid.
+//! Regenerates the E3 table. Writes CSV when `ACMR_RESULTS_DIR` is set. `--quick` shrinks the grid.
 use acmr_harness::experiments::e3_randomized_weighted as exp;
 
 fn main() {

@@ -1,4 +1,4 @@
-//! Regenerates the E4 table (see EXPERIMENTS.md). `--quick` shrinks the grid.
+//! Regenerates the E4 table. Writes CSV when `ACMR_RESULTS_DIR` is set. `--quick` shrinks the grid.
 use acmr_harness::experiments::e4_randomized_unweighted as exp;
 
 fn main() {

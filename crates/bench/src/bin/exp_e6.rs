@@ -1,4 +1,4 @@
-//! Regenerates the E6 table (see EXPERIMENTS.md). `--quick` shrinks the grid.
+//! Regenerates the E6 table. Writes CSV when `ACMR_RESULTS_DIR` is set. `--quick` shrinks the grid.
 use acmr_harness::experiments::e6_bicriteria as exp;
 
 fn main() {

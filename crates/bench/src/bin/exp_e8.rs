@@ -1,4 +1,4 @@
-//! Regenerates the E8 table (see EXPERIMENTS.md). `--quick` shrinks the grid.
+//! Regenerates the E8 table. Writes CSV when `ACMR_RESULTS_DIR` is set. `--quick` shrinks the grid.
 use acmr_harness::experiments::e8_ablations as exp;
 
 fn main() {

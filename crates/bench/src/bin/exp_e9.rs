@@ -1,4 +1,4 @@
-//! Regenerates the E9 table (see EXPERIMENTS.md). `--quick` shrinks the grid.
+//! Regenerates the E9 table. Writes CSV when `ACMR_RESULTS_DIR` is set. `--quick` shrinks the grid.
 use acmr_harness::experiments::e9_potential as exp;
 
 fn main() {

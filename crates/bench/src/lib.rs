@@ -1,7 +1,8 @@
 //! # acmr-bench
 //!
 //! Criterion benchmarks and the `exp_*` experiment binaries that
-//! regenerate every table in `EXPERIMENTS.md`.
+//! regenerate the paper-validation tables (CSV via `ACMR_RESULTS_DIR`,
+//! machine-readable summaries via [`emit_bench_json`]).
 //!
 //! Binaries (all support `--quick` for a reduced grid):
 //!

@@ -56,6 +56,23 @@ pub enum AcmrError {
         /// What was wrong.
         reason: String,
     },
+    /// A trace stream failed to parse (see `docs/TRACE_FORMAT.md` for
+    /// the grammar). Produced by streaming trace readers; carries the
+    /// 1-based line number so a multi-gigabyte input is still
+    /// debuggable.
+    TraceParse {
+        /// 1-based line of the offending input.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// An underlying I/O operation failed while streaming a trace
+    /// (read error, unreadable file, failed spill). The `io::Error` is
+    /// carried as text so this type stays `Clone + PartialEq`.
+    Io {
+        /// Human-readable description including the OS error.
+        message: String,
+    },
 }
 
 impl fmt::Display for AcmrError {
@@ -83,6 +100,23 @@ impl fmt::Display for AcmrError {
             AcmrError::InvalidRequest { reason } => {
                 write!(f, "invalid request: {reason}")
             }
+            AcmrError::TraceParse { line, message } => {
+                write!(
+                    f,
+                    "trace parse error at line {line}: {message} (format spec: docs/TRACE_FORMAT.md)"
+                )
+            }
+            AcmrError::Io { message } => {
+                write!(f, "trace i/o error: {message}")
+            }
+        }
+    }
+}
+
+impl From<std::io::Error> for AcmrError {
+    fn from(e: std::io::Error) -> Self {
+        AcmrError::Io {
+            message: e.to_string(),
         }
     }
 }
@@ -106,5 +140,18 @@ mod tests {
         };
         assert!(e.to_string().contains("nope"));
         assert!(e.to_string().contains("a, b"));
+    }
+
+    #[test]
+    fn trace_errors_carry_line_and_format_pointer() {
+        let e = AcmrError::TraceParse {
+            line: 41,
+            message: "bad cost NaN".into(),
+        };
+        assert!(e.to_string().contains("line 41"));
+        assert!(e.to_string().contains("docs/TRACE_FORMAT.md"));
+        let e: AcmrError =
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "pipe closed").into();
+        assert!(matches!(&e, AcmrError::Io { message } if message.contains("pipe closed")));
     }
 }

@@ -333,8 +333,26 @@ fn tuned_config(base: RandConfig, spec: &AlgorithmSpec) -> Result<RandConfig, Ac
 }
 
 /// Register the paper's §3 algorithms: `aag-weighted` and
-/// `aag-unweighted`, both accepting the tuning parameters documented on
-/// [`tuned_config`].
+/// `aag-unweighted`. Both accept the shared tuning parameters
+/// (`threshold`, `prob`, `doubling`, `no-prune`, `no-classes`) on top
+/// of the universal `seed`; unknown keys are rejected with a typed
+/// error.
+///
+/// ```
+/// use acmr_core::{register_core, BuildCtx, Registry};
+///
+/// let mut registry = Registry::new();
+/// register_core(&mut registry);
+/// assert_eq!(registry.names(), vec!["aag-unweighted", "aag-weighted"]);
+///
+/// // Build by spec string; parameters are validated.
+/// let caps = vec![2u32, 2];
+/// let ctx = BuildCtx::new(&caps).with_seed(7);
+/// let alg = registry.build("aag-weighted?threshold=6", &ctx)?;
+/// assert_eq!(alg.name(), "aag-randomized-weighted");
+/// assert!(registry.build("aag-weighted?typo=1", &ctx).is_err());
+/// # Ok::<(), acmr_core::AcmrError>(())
+/// ```
 pub fn register_core(reg: &mut Registry) {
     reg.register(
         "aag-weighted",

@@ -27,6 +27,19 @@
 //! steady-state batch processing performs no per-event allocations in
 //! this layer.
 //!
+//! ## Streaming ingestion
+//!
+//! [`Session::run_stream`] / [`Session::run_stream_batched`] drive the
+//! session off a fallible request iterator — the shape a chunked trace
+//! parser (`acmr_workloads::trace::TraceReader`) yields — so a run
+//! never materializes its instance: this layer buffers at most one
+//! request (respectively one batch) of the stream. What remains is the
+//! referee's own audit state — footprints of *currently accepted*
+//! requests plus a few bytes of accept/reject bookkeeping per arrival
+//! — which is why `acmr run --stream`'s peak RSS is a small fraction
+//! of the materialized instance's (the streaming bench records both),
+//! not `O(1)`.
+//!
 //! Contract violations (capacity overflow, phantom preemption,
 //! accept-after-reject) surface as
 //! [`AcmrError::ContractViolation`] with the same wording the harness
@@ -167,6 +180,22 @@ impl<A: OnlineAdmission> Session<A> {
     /// not shown to the algorithm), and with
     /// [`AcmrError::ContractViolation`] if the algorithm breaks the
     /// online contract (the session is then poisoned).
+    ///
+    /// ```
+    /// use acmr_core::{register_core, AlgorithmSpec, Registry, Request, Session};
+    /// use acmr_graph::{EdgeId, EdgeSet};
+    ///
+    /// let mut registry = Registry::new();
+    /// register_core(&mut registry);
+    /// let spec = AlgorithmSpec::parse("aag-weighted?seed=42")?;
+    /// let mut session = Session::from_registry(&registry, &spec, &[1, 1], 0)?;
+    ///
+    /// let request = Request::new(EdgeSet::new(vec![EdgeId(0), EdgeId(1)]), 5.0);
+    /// let event = session.push(&request)?;   // one audited ArrivalEvent
+    /// assert!(event.accepted);               // plenty of room: base case
+    /// assert_eq!(session.stats().arrivals, 1);
+    /// # Ok::<(), acmr_core::AcmrError>(())
+    /// ```
     pub fn push(&mut self, request: &Request) -> Result<ArrivalEvent, AcmrError> {
         if self.poisoned {
             return Err(AcmrError::SessionPoisoned);
@@ -193,7 +222,18 @@ impl<A: OnlineAdmission> Session<A> {
     /// assumes the footprint was already validated and the session is
     /// not poisoned; can still fail with a contract violation.
     fn push_validated(&mut self, request: &Request) -> Result<ArrivalEvent, AcmrError> {
-        let id = RequestId(self.accepted.len() as u32);
+        // Dense u32 ids: refuse the 2^32-th arrival instead of silently
+        // wrapping and aliasing old slots — reachable in principle now
+        // that `run_stream` advertises unbounded input.
+        let Ok(raw_id) = u32::try_from(self.accepted.len()) else {
+            return Err(AcmrError::InvalidRequest {
+                reason: format!(
+                    "session reached the RequestId limit of {} arrivals",
+                    u32::MAX
+                ),
+            });
+        };
+        let id = RequestId(raw_id);
         let out = self.alg.on_request(id, request);
 
         // Referee phase 1: preemptions must name currently-accepted
@@ -267,6 +307,24 @@ impl<A: OnlineAdmission> Session<A> {
     /// session, and the error is returned (use
     /// [`Session::push_batch_into`] to also keep the events preceding
     /// the violation).
+    ///
+    /// ```
+    /// use acmr_core::{register_core, AlgorithmSpec, Registry, Request, Session};
+    /// use acmr_graph::{EdgeId, EdgeSet};
+    ///
+    /// let mut registry = Registry::new();
+    /// register_core(&mut registry);
+    /// let spec = AlgorithmSpec::parse("aag-unweighted?seed=7")?;
+    /// let mut session = Session::from_registry(&registry, &spec, &[2], 0)?;
+    ///
+    /// let batch: Vec<Request> = (0..3)
+    ///     .map(|_| Request::unit(EdgeSet::singleton(EdgeId(0))))
+    ///     .collect();
+    /// let events = session.push_batch(&batch)?;  // same events `push` yields
+    /// assert_eq!(events.len(), 3);
+    /// assert_eq!(session.stats().arrivals, 3);
+    /// # Ok::<(), acmr_core::AcmrError>(())
+    /// ```
     pub fn push_batch(&mut self, batch: &[Request]) -> Result<Vec<ArrivalEvent>, AcmrError> {
         let mut events = Vec::new();
         self.push_batch_into(batch, &mut events)?;
@@ -304,15 +362,20 @@ impl<A: OnlineAdmission> Session<A> {
         Ok(())
     }
 
-    fn check_fresh_for(&self, inst: &AdmissionInstance) -> Result<(), AcmrError> {
+    fn check_fresh(&self, caller: &str) -> Result<(), AcmrError> {
         if self.stats.arrivals > 0 {
             return Err(AcmrError::InvalidRequest {
                 reason: format!(
-                    "run_trace requires a fresh session, but {} arrivals were already pushed",
+                    "{caller} requires a fresh session, but {} arrivals were already pushed",
                     self.stats.arrivals
                 ),
             });
         }
+        Ok(())
+    }
+
+    fn check_fresh_for(&self, inst: &AdmissionInstance) -> Result<(), AcmrError> {
+        self.check_fresh("run_trace")?;
         let same_capacities = inst.capacities.len() == self.audit.num_edges()
             && inst
                 .capacities
@@ -360,6 +423,91 @@ impl<A: OnlineAdmission> Session<A> {
         let mut events = Vec::new();
         for chunk in inst.requests.chunks(batch) {
             self.push_batch_into(chunk, &mut events)?;
+        }
+        Ok(self.report())
+    }
+
+    /// Drive an arrival stream of unknown (unbounded) length through
+    /// [`Session::push`] and summarize — the streaming twin of
+    /// [`Session::run_trace`]: this layer buffers only the in-flight
+    /// request, never the instance. Memory is therefore dominated by
+    /// the referee's audit state (live footprints + per-arrival
+    /// bookkeeping bytes), a small fraction of a materialized
+    /// instance but still linear in very long streams.
+    ///
+    /// `arrivals` yields `Result<Request, AcmrError>` so a streaming
+    /// parser (e.g. `acmr_workloads::trace::TraceReader`, which
+    /// implements exactly this iterator shape) can surface I/O and
+    /// parse errors mid-stream; the first error aborts the run and is
+    /// returned as-is. Requires a fresh session whose capacities match
+    /// the stream's universe (the caller builds the session from the
+    /// stream's header — the session cannot see it).
+    ///
+    /// ```
+    /// use acmr_core::{register_core, AlgorithmSpec, Registry, Request, Session};
+    /// use acmr_graph::{EdgeId, EdgeSet};
+    ///
+    /// let mut registry = Registry::new();
+    /// register_core(&mut registry);
+    /// let spec = AlgorithmSpec::parse("aag-weighted?seed=3")?;
+    /// let mut session = Session::from_registry(&registry, &spec, &[1], 0)?;
+    ///
+    /// // Any fallible iterator of requests works — here an in-memory
+    /// // stand-in for a chunked trace reader.
+    /// let stream = (0..100).map(|_| Ok(Request::unit(EdgeSet::singleton(EdgeId(0)))));
+    /// let report = session.run_stream(stream)?;
+    /// assert_eq!(report.requests, 100);
+    /// assert!(report.rejected_count >= 99); // capacity 1: at most one held
+    /// # Ok::<(), acmr_core::AcmrError>(())
+    /// ```
+    pub fn run_stream<I>(&mut self, arrivals: I) -> Result<RunReport, AcmrError>
+    where
+        I: IntoIterator<Item = Result<Request, AcmrError>>,
+    {
+        self.check_fresh("run_stream")?;
+        for request in arrivals {
+            self.push(&request?)?;
+        }
+        Ok(self.report())
+    }
+
+    /// [`Session::run_stream`] through the batch path: arrivals are
+    /// buffered into chunks of `batch` requests and fed through
+    /// [`Session::push_batch_into`] with one reused request buffer and
+    /// one reused event buffer — this layer buffers `O(batch)` of the
+    /// stream, and the decision stream is identical (the differential
+    /// suite pins streamed ≡ batched for every registered algorithm).
+    /// `batch` must be at least 1.
+    ///
+    /// A source error (I/O, parse) aborts before the partially filled
+    /// chunk is shown to the algorithm — arrivals already fed in
+    /// complete chunks stay applied, exactly as if the stream had been
+    /// pushed arrival by arrival up to the last complete chunk.
+    pub fn run_stream_batched<I>(
+        &mut self,
+        arrivals: I,
+        batch: usize,
+    ) -> Result<RunReport, AcmrError>
+    where
+        I: IntoIterator<Item = Result<Request, AcmrError>>,
+    {
+        if batch == 0 {
+            return Err(AcmrError::InvalidRequest {
+                reason: "batch size must be at least 1".to_string(),
+            });
+        }
+        self.check_fresh("run_stream_batched")?;
+        let mut chunk: Vec<Request> = Vec::with_capacity(batch);
+        let mut events = Vec::new();
+        for request in arrivals {
+            chunk.push(request?);
+            if chunk.len() == batch {
+                self.push_batch_into(&chunk, &mut events)?;
+                chunk.clear();
+            }
+        }
+        if !chunk.is_empty() {
+            self.push_batch_into(&chunk, &mut events)?;
         }
         Ok(self.report())
     }
@@ -643,6 +791,84 @@ mod tests {
             .run_trace_batched(&inst, 0)
             .unwrap_err();
         assert!(err.to_string().contains("batch size"), "{err}");
+    }
+
+    #[test]
+    fn run_stream_matches_run_trace() {
+        let mut inst = AdmissionInstance::from_capacities(vec![1, 1]);
+        inst.push(Request::new(fp(&[0]), 1.0));
+        inst.push(Request::new(fp(&[0, 1]), 5.0));
+        inst.push(Request::new(fp(&[1]), 2.0));
+        inst.push(Request::new(fp(&[0]), 3.0));
+
+        let mut reg = Registry::new();
+        register_core(&mut reg);
+        let spec = AlgorithmSpec::parse("aag-weighted?seed=6").unwrap();
+        let reference = Session::from_registry(&reg, &spec, &inst.capacities, 0)
+            .unwrap()
+            .run_trace(&inst)
+            .unwrap();
+
+        let streamed = Session::from_registry(&reg, &spec, &inst.capacities, 0)
+            .unwrap()
+            .run_stream(inst.requests.iter().cloned().map(Ok))
+            .unwrap();
+        assert_eq!(streamed, reference);
+
+        for batch in [1usize, 2, 3, 64] {
+            let batched = Session::from_registry(&reg, &spec, &inst.capacities, 0)
+                .unwrap()
+                .run_stream_batched(inst.requests.iter().cloned().map(Ok), batch)
+                .unwrap();
+            assert_eq!(batched, reference, "batch {batch}");
+        }
+        let err = Session::from_registry(&reg, &spec, &inst.capacities, 0)
+            .unwrap()
+            .run_stream_batched(inst.requests.iter().cloned().map(Ok), 0)
+            .unwrap_err();
+        assert!(err.to_string().contains("batch size"), "{err}");
+    }
+
+    #[test]
+    fn run_stream_propagates_source_errors_after_applied_prefix() {
+        let caps = vec![4u32];
+        let boom = || AcmrError::TraceParse {
+            line: 9,
+            message: "bad cost".into(),
+        };
+        // Two good arrivals, then a source failure.
+        let stream = |n: usize| {
+            let boom = boom();
+            (0..n)
+                .map(|_| Ok(Request::unit(fp(&[0]))))
+                .chain(std::iter::once(Err(boom)))
+                .collect::<Vec<_>>()
+        };
+        let mut session = Session::new(AcceptAll, &caps);
+        let err = session.run_stream(stream(2)).unwrap_err();
+        assert_eq!(err, boom());
+        assert_eq!(session.stats().arrivals, 2, "prefix stays applied");
+        assert!(!session.is_poisoned(), "source error is not a violation");
+
+        // Batched: the error arrives mid-chunk; complete chunks stay
+        // applied, the partial chunk is never shown to the algorithm.
+        let mut session = Session::new(AcceptAll, &caps);
+        let err = session.run_stream_batched(stream(3), 2).unwrap_err();
+        assert_eq!(err, boom());
+        assert_eq!(session.stats().arrivals, 2, "only the complete chunk");
+    }
+
+    #[test]
+    fn run_stream_requires_a_fresh_session() {
+        let caps = vec![1u32];
+        let mut session = Session::new(AcceptAll, &caps);
+        session.push(&Request::unit(fp(&[0]))).unwrap();
+        let err = session.run_stream(std::iter::empty()).unwrap_err();
+        assert!(err.to_string().contains("fresh session"), "{err}");
+        let err = session
+            .run_stream_batched(std::iter::empty(), 8)
+            .unwrap_err();
+        assert!(err.to_string().contains("fresh session"), "{err}");
     }
 
     #[test]

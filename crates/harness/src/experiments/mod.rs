@@ -1,5 +1,4 @@
-//! The theorem-validation experiment suite (see `DESIGN.md` §5 and
-//! `EXPERIMENTS.md`).
+//! The theorem-validation experiment suite.
 //!
 //! The paper has no empirical tables — its evaluation is five theorems.
 //! Each experiment here measures the quantity one theorem bounds,

@@ -2,10 +2,24 @@
 //!
 //! The experiment harness: drives online algorithms over instances with
 //! full feasibility auditing, computes offline-optimum bounds, runs
-//! parameter sweeps in parallel, and renders the tables that
-//! `EXPERIMENTS.md` records.
+//! parameter sweeps in parallel (in memory or streamed from disk), and
+//! renders experiment tables.
 //!
-//! Design rules (see `DESIGN.md` §7):
+//! Entry points, roughly in order of ambition (see
+//! `docs/ARCHITECTURE.md` for the full data-flow picture):
+//!
+//! * [`run_report`] / [`run_report_batched`] — one `(registry spec,
+//!   instance)` pair to a complete [`acmr_core::RunReport`] with
+//!   offline-optimum context.
+//! * [`run_report_from_path`] / [`run_report_spooled`] — the same
+//!   report from a **streamed** trace (file or one-shot stdin) that is
+//!   never materialized in memory; the two-pass OPT bound lives in
+//!   [`stream`].
+//! * [`ShardedDriver`] — many `(spec, trace)` jobs fanned over scoped
+//!   worker threads into one [`SweepReport`], traces in memory
+//!   ([`TraceSource::InMemory`]) or on disk ([`TraceSource::Path`]).
+//!
+//! Design rules:
 //!
 //! * **The harness is the referee.** Every decision stream is replayed
 //!   against an external [`acmr_graph::LoadTracker`]; a capacity
@@ -28,6 +42,7 @@ pub mod registry;
 pub mod runner;
 pub mod shard;
 pub mod stats;
+pub mod stream;
 pub mod table;
 
 pub use opt::{
@@ -40,6 +55,12 @@ pub use runner::{
     opt_summary, run_admission, run_registered, run_registered_batched, run_report,
     run_report_batched, run_set_cover, AdmissionRun, SetCoverRun,
 };
-pub use shard::{cross_jobs, JobReport, ShardedDriver, SweepJob, SweepReport, SweepTotals};
+pub use shard::{
+    cross_jobs, JobReport, ShardedDriver, SweepJob, SweepReport, SweepTotals, TraceSource,
+};
 pub use stats::Summary;
+pub use stream::{
+    admission_opt_from_path, run_report_from_path, run_report_spooled, run_report_streamed,
+    run_stream_registered, scan_trace, streamed_admission_opt, StreamScan,
+};
 pub use table::Table;

@@ -16,11 +16,45 @@
 //! large honest speedup even on one core; on multicore machines thread
 //! sharding stacks on top.
 
-use crate::opt::{admission_opt, BoundBudget};
+use crate::opt::{admission_opt, BoundBudget, OptBound};
 use crate::parallel::{default_threads, parallel_map};
 use crate::runner::opt_summary;
+use crate::stream::admission_opt_from_path;
 use acmr_core::{AcmrError, AdmissionInstance, AlgorithmSpec, Registry, RunReport, Session};
+use acmr_workloads::trace::TraceReader;
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Where a sweep trace lives: fully materialized, or on disk to be
+/// **streamed** by every job that references it (the instance is never
+/// held in memory — arrivals flow straight from chunked file reads
+/// into the session, and the offline-optimum bound is computed by the
+/// two-pass scheme of [`crate::stream`]).
+#[derive(Clone, Debug)]
+pub enum TraceSource {
+    /// A materialized instance (the PR-2 shape).
+    InMemory(AdmissionInstance),
+    /// A trace file in the format of `docs/TRACE_FORMAT.md`.
+    Path(PathBuf),
+}
+
+impl From<AdmissionInstance> for TraceSource {
+    fn from(inst: AdmissionInstance) -> Self {
+        TraceSource::InMemory(inst)
+    }
+}
+
+impl From<PathBuf> for TraceSource {
+    fn from(path: PathBuf) -> Self {
+        TraceSource::Path(path)
+    }
+}
+
+/// Borrowed view shared by the in-memory and path-backed run paths.
+enum SourceRef<'a> {
+    Mem(&'a AdmissionInstance),
+    Path(&'a Path),
+}
 
 /// One unit of sweep work: run `spec` (seeded with `seed`) over the
 /// named trace.
@@ -160,7 +194,10 @@ impl ShardedDriver {
         self
     }
 
-    /// Run `jobs` over the named `traces` and aggregate.
+    /// Run `jobs` over the named in-memory `traces` and aggregate —
+    /// the PR-2 entry point, now a thin wrapper over
+    /// [`ShardedDriver::run_sources`] with every trace
+    /// [`TraceSource::InMemory`].
     ///
     /// Jobs are independent; results are returned in submission order
     /// and are identical for every thread count. Bad inputs (unknown
@@ -175,17 +212,56 @@ impl ShardedDriver {
         traces: &[(String, AdmissionInstance)],
         jobs: &[SweepJob],
     ) -> Result<SweepReport, AcmrError> {
-        for (i, (name, _)) in traces.iter().enumerate() {
-            if traces[..i].iter().any(|(n, _)| n == name) {
+        let names: Vec<&str> = traces.iter().map(|(n, _)| n.as_str()).collect();
+        let sources: Vec<SourceRef<'_>> = traces
+            .iter()
+            .map(|(_, inst)| SourceRef::Mem(inst))
+            .collect();
+        self.run_refs(registry, &names, &sources, jobs)
+    }
+
+    /// [`ShardedDriver::run`] over [`TraceSource`]s: jobs referencing a
+    /// [`TraceSource::Path`] trace **stream** it from disk — each job
+    /// drives its session straight off a chunked [`TraceReader`], and
+    /// the trace's offline-optimum bound (still computed once per
+    /// distinct trace) uses the two-pass streamed scheme — so a sweep
+    /// can fan out over trace files that never fit in memory. Reports
+    /// are identical to running the same trace in memory.
+    pub fn run_sources(
+        &self,
+        registry: &Registry,
+        traces: &[(String, TraceSource)],
+        jobs: &[SweepJob],
+    ) -> Result<SweepReport, AcmrError> {
+        let names: Vec<&str> = traces.iter().map(|(n, _)| n.as_str()).collect();
+        let sources: Vec<SourceRef<'_>> = traces
+            .iter()
+            .map(|(_, s)| match s {
+                TraceSource::InMemory(inst) => SourceRef::Mem(inst),
+                TraceSource::Path(path) => SourceRef::Path(path),
+            })
+            .collect();
+        self.run_refs(registry, &names, &sources, jobs)
+    }
+
+    fn run_refs(
+        &self,
+        registry: &Registry,
+        names: &[&str],
+        sources: &[SourceRef<'_>],
+        jobs: &[SweepJob],
+    ) -> Result<SweepReport, AcmrError> {
+        for (i, name) in names.iter().enumerate() {
+            if names[..i].contains(name) {
                 return Err(AcmrError::InvalidRequest {
                     reason: format!("duplicate trace name {name:?} in sweep"),
                 });
             }
         }
         let trace_index = |name: &str| -> Result<usize, AcmrError> {
-            traces
+            names
                 .iter()
-                .position(|(n, _)| n == name)
+                .position(|n| *n == name)
                 .ok_or_else(|| AcmrError::InvalidRequest {
                     reason: format!("job references unknown trace {name:?}"),
                 })
@@ -206,33 +282,50 @@ impl ShardedDriver {
         // Phase 1: one offline-optimum bound per distinct trace that
         // some job actually references, sharded. `None` entries mean
         // "no budget requested" or "no job runs on this trace".
-        let mut bounds: Vec<Option<crate::opt::OptBound>> = vec![None; traces.len()];
+        // Path-backed traces use the two-pass streamed bound, which
+        // equals the in-memory bound by construction.
+        let mut bounds: Vec<Option<OptBound>> = vec![None; sources.len()];
         if let Some(budget) = self.budget {
             let mut used: Vec<usize> = resolved.iter().map(|(idx, _, _)| *idx).collect();
             used.sort_unstable();
             used.dedup();
-            let inputs: Vec<(usize, &AdmissionInstance)> =
-                used.into_iter().map(|i| (i, &traces[i].1)).collect();
-            for (i, bound) in parallel_map(inputs, self.threads, |(i, inst)| {
-                (*i, admission_opt(inst, budget))
+            let inputs: Vec<(usize, &SourceRef<'_>)> =
+                used.into_iter().map(|i| (i, &sources[i])).collect();
+            for (i, bound) in parallel_map(inputs, self.threads, |(i, source)| {
+                let bound = match source {
+                    SourceRef::Mem(inst) => Ok(admission_opt(inst, budget)),
+                    SourceRef::Path(path) => admission_opt_from_path(path, budget),
+                };
+                (*i, bound)
             }) {
-                bounds[i] = Some(bound);
+                bounds[i] = Some(bound?);
             }
         }
 
         // Phase 2: the jobs themselves, sharded, each through the
-        // session batch layer with one reused event buffer.
+        // session batch layer — from a slice for in-memory traces, or
+        // chunk-buffered off a chunked trace reader for path traces.
         let batch = self.batch;
         let results: Vec<Result<RunReport, AcmrError>> =
             parallel_map(resolved, self.threads, |(trace_idx, spec, job)| {
-                let inst = &traces[*trace_idx].1;
-                let mut session =
-                    Session::from_registry(registry, spec, &inst.capacities, job.seed)?;
-                let mut events = Vec::new();
-                for chunk in inst.requests.chunks(batch) {
-                    session.push_batch_into(chunk, &mut events)?;
-                }
-                let mut report = session.report();
+                let mut report = match &sources[*trace_idx] {
+                    SourceRef::Mem(inst) => {
+                        let mut session =
+                            Session::from_registry(registry, spec, &inst.capacities, job.seed)?;
+                        let mut events = Vec::new();
+                        for chunk in inst.requests.chunks(batch) {
+                            session.push_batch_into(chunk, &mut events)?;
+                        }
+                        session.report()
+                    }
+                    SourceRef::Path(path) => {
+                        let reader = TraceReader::open(path)?;
+                        let capacities = reader.capacities().to_vec();
+                        let mut session =
+                            Session::from_registry(registry, spec, &capacities, job.seed)?;
+                        session.run_stream_batched(reader, batch)?
+                    }
+                };
                 if let Some(bound) = &bounds[*trace_idx] {
                     report.opt = Some(opt_summary(bound, report.rejected_cost));
                 }
@@ -409,6 +502,81 @@ mod tests {
             "unused trace's bound was computed ({}ms)",
             start.elapsed().as_millis()
         );
+    }
+
+    #[test]
+    fn path_backed_sweep_matches_in_memory_sweep() {
+        let registry = default_registry();
+        let in_memory = traces();
+        // Persist the same traces and reference them by path.
+        let dir = std::env::temp_dir();
+        let sources: Vec<(String, TraceSource)> = in_memory
+            .iter()
+            .map(|(name, inst)| {
+                let path = dir.join(format!(
+                    "acmr-shard-test-{}-{name}.trace",
+                    std::process::id()
+                ));
+                std::fs::write(&path, acmr_workloads::trace::write_trace(inst)).unwrap();
+                (name.clone(), TraceSource::Path(path))
+            })
+            .collect();
+
+        let jobs = cross_jobs(&["hot4", "hot8"], &["greedy", "aag-weighted"], &[0, 7]);
+        let reference = ShardedDriver::new()
+            .threads(2)
+            .batch(3)
+            .budget(BoundBudget::default())
+            .run(&registry, &in_memory, &jobs)
+            .unwrap();
+        let streamed = ShardedDriver::new()
+            .threads(2)
+            .batch(3)
+            .budget(BoundBudget::default())
+            .run_sources(&registry, &sources, &jobs)
+            .unwrap();
+        assert_eq!(streamed, reference, "path-backed sweep must be identical");
+        // And byte-identical once serialized (the golden-corpus bar).
+        assert_eq!(
+            serde_json::to_string_pretty(&streamed).unwrap(),
+            serde_json::to_string_pretty(&reference).unwrap()
+        );
+
+        // Mixed sources work too.
+        let mixed: Vec<(String, TraceSource)> = vec![
+            (
+                "hot4".to_string(),
+                TraceSource::InMemory(in_memory[0].1.clone()),
+            ),
+            ("hot8".to_string(), sources[1].1.clone()),
+        ];
+        let mixed_sweep = ShardedDriver::new()
+            .threads(2)
+            .batch(3)
+            .budget(BoundBudget::default())
+            .run_sources(&registry, &mixed, &jobs)
+            .unwrap();
+        assert_eq!(mixed_sweep, reference);
+
+        // A missing file fails the sweep with a typed I/O error.
+        let missing = vec![(
+            "hot4".to_string(),
+            TraceSource::Path(dir.join("acmr-shard-test-definitely-missing.trace")),
+        )];
+        let err = ShardedDriver::new()
+            .run_sources(
+                &registry,
+                &missing,
+                &cross_jobs(&["hot4"], &["greedy"], &[0]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, AcmrError::Io { .. }), "{err}");
+
+        for (_, source) in sources {
+            if let TraceSource::Path(path) = source {
+                let _ = std::fs::remove_file(path);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,541 @@
+//! Streamed trace runners: complete [`RunReport`]s for instances that
+//! are never materialized in memory.
+//!
+//! The streaming `Session` (`acmr_core::Session::run_stream`) needs no
+//! help from this crate — but a *complete* report also carries the
+//! offline-optimum bound, and the covering program behind that bound is
+//! an instance-level object. This module closes the gap with a
+//! **two-pass** scheme:
+//!
+//! 1. **Pass 1** drives the algorithm (per-push or batched) while a
+//!    [`StreamScan`] observes each arrival in `O(m)` memory: per-edge
+//!    arrival counts, the cheapest cost, and the request count.
+//! 2. **Pass 2** re-streams the trace and materializes only what the
+//!    covering program actually needs: every request's cost (`O(n)`
+//!    floats) plus membership lists **restricted to the edges pass 1
+//!    proved over-subscribed** — on typical workloads a small fraction
+//!    of the full footprint set an in-memory
+//!    [`acmr_core::AdmissionInstance`] would hold.
+//!
+//! The program pass 2 builds is *identical* (same items, same rows,
+//! same order) to what [`crate::admission_covering_problem`] builds
+//! from the materialized instance, so [`run_report_streamed`] produces
+//! bounds — and therefore reports — byte-identical to the in-memory
+//! [`crate::run_report`] path. The differential and CLI suites pin
+//! this.
+//!
+//! For non-seekable input (chunked stdin) [`run_report_spooled`] tees
+//! pass 1's bytes into a temp file and replays pass 2 from the spill,
+//! keeping memory — though not disk — bounded.
+
+use crate::opt::{BoundBudget, OptBound};
+use crate::runner::opt_summary;
+use acmr_core::{AcmrError, AlgorithmSpec, Registry, Request, RunReport, Session};
+use acmr_lp::CoveringProblem;
+use acmr_workloads::trace::TraceReader;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Pass-1 observation of an arrival stream: everything the two-pass
+/// OPT bound needs to know before deciding which footprints pass 2
+/// must keep. `O(m)` memory, independent of the stream length.
+#[derive(Clone, Debug)]
+pub struct StreamScan {
+    /// Arrivals touching each edge (the paper's `|REQ_e|`).
+    counts: Vec<u64>,
+    /// Cheapest request cost seen (`+∞` on an empty stream).
+    cheapest: f64,
+    /// Requests observed.
+    requests: usize,
+}
+
+impl StreamScan {
+    /// An empty scan over `num_edges` edges.
+    pub fn new(num_edges: usize) -> Self {
+        StreamScan {
+            counts: vec![0; num_edges],
+            cheapest: f64::INFINITY,
+            requests: 0,
+        }
+    }
+
+    /// Observe one arrival.
+    pub fn observe(&mut self, r: &Request) {
+        for e in r.footprint.iter() {
+            self.counts[e.index()] += 1;
+        }
+        self.cheapest = self.cheapest.min(r.cost);
+        self.requests += 1;
+    }
+
+    /// Requests observed so far.
+    pub fn requests(&self) -> usize {
+        self.requests
+    }
+
+    /// Final excess `Q = max_e (|REQ_e| − c_e)`, clamped at 0 — the
+    /// streaming equivalent of
+    /// [`acmr_core::AdmissionInstance::max_excess`].
+    pub fn max_excess(&self, capacities: &[u32]) -> u64 {
+        self.counts
+            .iter()
+            .zip(capacities)
+            .map(|(&l, &c)| l.saturating_sub(c as u64))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Drain `reader` into a fresh [`StreamScan`] without running any
+/// algorithm — the bound-only pass the sharded driver uses for
+/// path-backed traces.
+pub fn scan_trace<R: Read>(mut reader: TraceReader<R>) -> Result<StreamScan, AcmrError> {
+    let mut scan = StreamScan::new(reader.capacities().len());
+    while let Some(r) = reader.next_request()? {
+        scan.observe(&r);
+    }
+    Ok(scan)
+}
+
+/// Pass 2 of the two-pass OPT bound: re-stream the trace and compute
+/// the same [`OptBound`] that [`crate::admission_opt`] computes from a
+/// materialized instance, holding only every request's cost plus
+/// membership lists for the edges `scan` proved over-subscribed.
+///
+/// Errors with [`AcmrError::InvalidRequest`] if the stream does not
+/// match the scan (different edge universe or request count — i.e. the
+/// trace changed between passes).
+pub fn streamed_admission_opt<R: Read>(
+    mut reader: TraceReader<R>,
+    scan: &StreamScan,
+    budget: BoundBudget,
+) -> Result<OptBound, AcmrError> {
+    let capacities = reader.capacities().to_vec();
+    if capacities.len() != scan.counts.len() {
+        return Err(AcmrError::InvalidRequest {
+            reason: format!(
+                "trace changed between passes: {} edges on pass 2, {} on pass 1",
+                capacities.len(),
+                scan.counts.len()
+            ),
+        });
+    }
+    // Only edges the scan proved over-subscribed can produce a row;
+    // everything else's memberships are dropped at the door.
+    let mut row_of_edge: Vec<Option<usize>> = vec![None; capacities.len()];
+    let mut rows: Vec<Vec<usize>> = Vec::new();
+    for (e, (&count, &cap)) in scan.counts.iter().zip(&capacities).enumerate() {
+        if count > cap as u64 {
+            row_of_edge[e] = Some(rows.len());
+            rows.push(Vec::new());
+        }
+    }
+    let mut costs: Vec<f64> = Vec::new();
+    while let Some(r) = reader.next_request()? {
+        let idx = costs.len();
+        for e in r.footprint.iter() {
+            if let Some(slot) = row_of_edge[e.index()] {
+                rows[slot].push(idx);
+            }
+        }
+        costs.push(r.cost);
+    }
+    if costs.len() != scan.requests {
+        return Err(AcmrError::InvalidRequest {
+            reason: format!(
+                "trace changed between passes: {} requests on pass 2, {} on pass 1",
+                costs.len(),
+                scan.requests
+            ),
+        });
+    }
+    // Assemble in edge order, exactly like `admission_covering_problem`.
+    let mut problem = CoveringProblem::new(costs);
+    for (e, slot) in row_of_edge.iter().enumerate() {
+        if let Some(slot) = slot {
+            let members = std::mem::take(&mut rows[*slot]);
+            // Pass 1 proved this edge over-subscribed; if pass 2 no
+            // longer agrees, the footprints changed under us (the
+            // edge/request-count checks alone cannot catch this).
+            let Some(demand @ 1..) = members.len().checked_sub(capacities[e] as usize) else {
+                return Err(AcmrError::InvalidRequest {
+                    reason: format!(
+                        "trace changed between passes: edge {e} was over-subscribed on pass 1 \
+                         but has only {} requests for capacity {} on pass 2",
+                        members.len(),
+                        capacities[e]
+                    ),
+                });
+            };
+            problem.push_row(members, demand as u32);
+        }
+    }
+    let q = scan.max_excess(&capacities) as f64;
+    let trivial = if scan.cheapest.is_finite() {
+        q * scan.cheapest
+    } else {
+        0.0
+    };
+    Ok(OptBound::compute(&problem, budget, trivial))
+}
+
+/// The two-pass bound for a trace file: scan, then
+/// [`streamed_admission_opt`]. Opens the file twice; equals
+/// [`crate::admission_opt`] on the materialized instance.
+pub fn admission_opt_from_path(
+    path: impl AsRef<Path>,
+    budget: BoundBudget,
+) -> Result<OptBound, AcmrError> {
+    let path = path.as_ref();
+    let scan = scan_trace(TraceReader::open(path)?)?;
+    streamed_admission_opt(TraceReader::open(path)?, &scan, budget)
+}
+
+/// Drive `session` from `reader` (per-push, or batched in chunks of
+/// `batch`) while `scan` observes every arrival — pass 1 of a
+/// streamed run.
+fn run_observed<A: acmr_core::OnlineAdmission, R: Read>(
+    session: &mut Session<A>,
+    reader: TraceReader<R>,
+    scan: &mut StreamScan,
+    batch: Option<usize>,
+) -> Result<RunReport, AcmrError> {
+    let observed = reader.inspect(|item| {
+        if let Ok(r) = item {
+            scan.observe(r);
+        }
+    });
+    match batch {
+        None => session.run_stream(observed),
+        Some(b) => session.run_stream_batched(observed, b),
+    }
+}
+
+/// Run a registry-addressed algorithm over a streamed trace, without
+/// offline-optimum context — the streaming analogue of
+/// [`crate::run_registered`] / [`crate::run_registered_batched`]
+/// (`batch: None` is the per-push path). Memory is bounded: the
+/// instance behind `reader` is never materialized.
+pub fn run_stream_registered<R: Read>(
+    registry: &Registry,
+    spec: &str,
+    reader: TraceReader<R>,
+    base_seed: u64,
+    batch: Option<usize>,
+) -> Result<RunReport, AcmrError> {
+    let spec = AlgorithmSpec::parse(spec)?;
+    let capacities = reader.capacities().to_vec();
+    let mut session = Session::from_registry(registry, &spec, &capacities, base_seed)?;
+    let mut scan = StreamScan::new(capacities.len());
+    run_observed(&mut session, reader, &mut scan, batch)
+}
+
+/// The complete streamed path: two passes over a re-openable trace
+/// source, producing a [`RunReport`] **byte-identical** to what the
+/// in-memory [`crate::run_report`] / [`crate::run_report_batched`]
+/// path produces for the same trace — what `acmr run --stream <file>`
+/// dispatches to.
+///
+/// `open` is called twice (pass 1: run + scan; pass 2: OPT bound); for
+/// a one-shot source like stdin use [`run_report_spooled`].
+pub fn run_report_streamed<R, F>(
+    registry: &Registry,
+    spec: &str,
+    mut open: F,
+    base_seed: u64,
+    budget: BoundBudget,
+    batch: Option<usize>,
+) -> Result<RunReport, AcmrError>
+where
+    R: Read,
+    F: FnMut() -> Result<TraceReader<R>, AcmrError>,
+{
+    let reader = open()?;
+    let parsed = AlgorithmSpec::parse(spec)?;
+    let capacities = reader.capacities().to_vec();
+    let mut session = Session::from_registry(registry, &parsed, &capacities, base_seed)?;
+    let mut scan = StreamScan::new(capacities.len());
+    let mut report = run_observed(&mut session, reader, &mut scan, batch)?;
+    let bound = streamed_admission_opt(open()?, &scan, budget)?;
+    report.opt = Some(opt_summary(&bound, report.rejected_cost));
+    Ok(report)
+}
+
+/// [`run_report_streamed`] for a trace file path.
+pub fn run_report_from_path(
+    registry: &Registry,
+    spec: &str,
+    path: impl AsRef<Path>,
+    base_seed: u64,
+    budget: BoundBudget,
+    batch: Option<usize>,
+) -> Result<RunReport, AcmrError> {
+    let path = path.as_ref();
+    run_report_streamed(
+        registry,
+        spec,
+        || TraceReader::open(path),
+        base_seed,
+        budget,
+        batch,
+    )
+}
+
+/// Deletes the spill file when the spooled run ends, success or error.
+struct SpoolGuard {
+    path: PathBuf,
+}
+
+impl Drop for SpoolGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Copies every byte read from `inner` into the spill file, so pass 2
+/// can replay a one-shot stream.
+struct TeeReader<R: Read> {
+    inner: R,
+    spool: std::fs::File,
+}
+
+impl<R: Read> Read for TeeReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.spool.write_all(&buf[..n])?;
+        Ok(n)
+    }
+}
+
+/// [`run_report_streamed`] for a source that can only be read once
+/// (chunked stdin): pass 1 tees the bytes into a spill file under the
+/// OS temp directory, pass 2 replays the spill, and the spill is
+/// removed before returning — memory stays bounded; disk holds one
+/// copy of the trace. This is what `acmr run --stream -` dispatches
+/// to.
+pub fn run_report_spooled<R: Read>(
+    registry: &Registry,
+    spec: &str,
+    input: R,
+    base_seed: u64,
+    budget: BoundBudget,
+    batch: Option<usize>,
+) -> Result<RunReport, AcmrError> {
+    static SPOOL_SEQ: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "acmr-spool-{}-{}.trace",
+        std::process::id(),
+        SPOOL_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let spool = std::fs::File::create(&path).map_err(|e| AcmrError::Io {
+        message: format!("cannot create spill file {}: {e}", path.display()),
+    })?;
+    let _guard = SpoolGuard { path: path.clone() };
+
+    let reader = TraceReader::new(TeeReader {
+        inner: input,
+        spool,
+    })?;
+    let parsed = AlgorithmSpec::parse(spec)?;
+    let capacities = reader.capacities().to_vec();
+    let mut session = Session::from_registry(registry, &parsed, &capacities, base_seed)?;
+    let mut scan = StreamScan::new(capacities.len());
+    let mut report = run_observed(&mut session, reader, &mut scan, batch)?;
+    let bound = streamed_admission_opt(TraceReader::open(&path)?, &scan, budget)?;
+    report.opt = Some(opt_summary(&bound, report.rejected_cost));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::admission_opt;
+    use crate::registry::default_registry;
+    use crate::runner::{run_report, run_report_batched};
+    use acmr_core::AdmissionInstance;
+    use acmr_workloads::trace::write_trace;
+    use acmr_workloads::{nested_intervals, repeated_hot_edge, two_phase_squeeze};
+
+    fn traces() -> Vec<AdmissionInstance> {
+        vec![
+            nested_intervals(12, 2, 2, 2),
+            repeated_hot_edge(4, 3, 12),
+            two_phase_squeeze(12, 3, 4, 3),
+        ]
+    }
+
+    #[test]
+    fn streamed_opt_equals_in_memory_opt() {
+        for inst in traces() {
+            let text = write_trace(&inst);
+            let reference = admission_opt(&inst, BoundBudget::default());
+            let scan = scan_trace(TraceReader::new(text.as_bytes()).unwrap()).unwrap();
+            assert_eq!(scan.requests(), inst.requests.len());
+            assert_eq!(scan.max_excess(&inst.capacities), inst.max_excess() as u64);
+            let streamed = streamed_admission_opt(
+                TraceReader::new(text.as_bytes()).unwrap(),
+                &scan,
+                BoundBudget::default(),
+            )
+            .unwrap();
+            assert_eq!(streamed.kind, reference.kind);
+            assert_eq!(streamed.value.to_bits(), reference.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn streamed_report_is_identical_to_in_memory_report() {
+        let registry = default_registry();
+        for inst in traces() {
+            let text = write_trace(&inst);
+            for spec in ["greedy", "aag-weighted?seed=5"] {
+                let reference =
+                    run_report(&registry, spec, &inst, 2, BoundBudget::default()).unwrap();
+                let streamed = run_report_streamed(
+                    &registry,
+                    spec,
+                    || TraceReader::new(text.as_bytes()),
+                    2,
+                    BoundBudget::default(),
+                    None,
+                )
+                .unwrap();
+                assert_eq!(streamed, reference, "{spec}");
+                // And through serde: byte-identical JSON.
+                assert_eq!(
+                    serde_json::to_string_pretty(&streamed).unwrap(),
+                    serde_json::to_string_pretty(&reference).unwrap()
+                );
+                // Batched streamed path too.
+                let batched_ref =
+                    run_report_batched(&registry, spec, &inst, 2, BoundBudget::default(), 5)
+                        .unwrap();
+                let batched = run_report_streamed(
+                    &registry,
+                    spec,
+                    || TraceReader::new(text.as_bytes()),
+                    2,
+                    BoundBudget::default(),
+                    Some(5),
+                )
+                .unwrap();
+                assert_eq!(batched, batched_ref, "{spec} batched");
+            }
+        }
+    }
+
+    #[test]
+    fn path_and_spooled_paths_match_in_memory() {
+        let registry = default_registry();
+        let inst = repeated_hot_edge(4, 3, 12);
+        let text = write_trace(&inst);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("acmr-stream-test-{}.trace", std::process::id()));
+        std::fs::write(&path, &text).unwrap();
+
+        let reference = run_report(&registry, "greedy", &inst, 0, BoundBudget::default()).unwrap();
+        let from_path =
+            run_report_from_path(&registry, "greedy", &path, 0, BoundBudget::default(), None)
+                .unwrap();
+        assert_eq!(from_path, reference);
+        let bound = admission_opt_from_path(&path, BoundBudget::default()).unwrap();
+        let mem_bound = admission_opt(&inst, BoundBudget::default());
+        assert_eq!(bound.kind, mem_bound.kind);
+        assert_eq!(bound.value.to_bits(), mem_bound.value.to_bits());
+
+        // Spooled: one-shot source, spill file cleaned up afterwards.
+        let before: usize = spool_count();
+        let spooled = run_report_spooled(
+            &registry,
+            "greedy",
+            text.as_bytes(),
+            0,
+            BoundBudget::default(),
+            Some(4),
+        )
+        .unwrap();
+        assert_eq!(spooled, reference);
+        assert_eq!(spool_count(), before, "spill file must be removed");
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    fn spool_count() -> usize {
+        std::fs::read_dir(std::env::temp_dir())
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .ok()
+                    .and_then(|e| e.file_name().into_string().ok())
+                    .is_some_and(|n| n.starts_with("acmr-spool-"))
+            })
+            .count()
+    }
+
+    #[test]
+    fn malformed_stream_surfaces_typed_parse_error() {
+        let registry = default_registry();
+        let bad = "ACMR-TRACE v1\nedges 1\ncaps 2\nrequests 2\n1 0\nwat 0\n";
+        let err = run_report_streamed(
+            &registry,
+            "greedy",
+            || TraceReader::new(bad.as_bytes()),
+            0,
+            BoundBudget::default(),
+            None,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, AcmrError::TraceParse { line: 6, .. }),
+            "{err}"
+        );
+        let err = run_report_spooled(
+            &registry,
+            "greedy",
+            bad.as_bytes(),
+            0,
+            BoundBudget::default(),
+            None,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, AcmrError::TraceParse { line: 6, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn changed_trace_between_passes_is_detected() {
+        let a = write_trace(&repeated_hot_edge(4, 3, 12));
+        let b = write_trace(&repeated_hot_edge(4, 3, 10));
+        let scan = scan_trace(TraceReader::new(a.as_bytes()).unwrap()).unwrap();
+        let err = streamed_admission_opt(
+            TraceReader::new(b.as_bytes()).unwrap(),
+            &scan,
+            BoundBudget::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("changed between passes"), "{err}");
+
+        // Same edge universe, same request count, different footprints:
+        // the count checks can't see it, the per-row demand check must.
+        let mk = |edge: u32| {
+            let mut inst = AdmissionInstance::from_capacities(vec![1, 1]);
+            for _ in 0..3 {
+                inst.push(acmr_core::Request::unit(acmr_graph::EdgeSet::singleton(
+                    acmr_graph::EdgeId(edge),
+                )));
+            }
+            write_trace(&inst)
+        };
+        let scan = scan_trace(TraceReader::new(mk(0).as_bytes()).unwrap()).unwrap();
+        let err = streamed_admission_opt(
+            TraceReader::new(mk(1).as_bytes()).unwrap(),
+            &scan,
+            BoundBudget::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("changed between passes"), "{err}");
+    }
+}

@@ -1,16 +1,21 @@
-//! Differential suite: the batch layer is pinned to the streaming one.
+//! Differential suite: the batch layer *and* the streamed-ingestion
+//! layer are pinned to the per-push one.
 //!
 //! For **every** algorithm in the default registry (no hard-coded
-//! list), feeding a trace through `Session::push_batch` must produce
-//! the identical audited event stream — accept/reject decision,
-//! preemption list, and cost accounting, arrival for arrival — as
-//! per-arrival `Session::push` calls, and the final `RunReport`s must
-//! be equal. This is the regression harness that makes batched/sharded
-//! scaling refactors safe: any divergence between the two paths fails
-//! here with the offending algorithm, topology, and batch size.
+//! list), feeding a trace through `Session::push_batch` — or parsing
+//! it back through the chunked `TraceReader` and streaming it via
+//! `Session::run_stream` / `run_stream_batched` — must produce the
+//! identical audited event stream — accept/reject decision, preemption
+//! list, and cost accounting, arrival for arrival — as per-arrival
+//! `Session::push` calls over the in-memory instance, and the final
+//! `RunReport`s must be equal (with offline-optimum context, to the
+//! byte). This is the regression harness that makes batched/sharded/
+//! streamed scaling refactors safe: any divergence between the paths
+//! fails here with the offending algorithm, topology, and batch size.
 
 use acmr_core::{AdmissionInstance, AlgorithmSpec, ArrivalEvent, Session};
-use acmr_harness::default_registry;
+use acmr_harness::{default_registry, run_report, run_report_streamed, BoundBudget};
+use acmr_workloads::trace::{write_trace, TraceReader};
 use acmr_workloads::{
     dyadic_admission_instance, nested_intervals, random_path_workload, repeated_hot_edge,
     two_phase_squeeze, CostModel, PathWorkloadSpec, Topology,
@@ -65,6 +70,76 @@ fn assert_batch_equals_streaming(inst: &AdmissionInstance, spec_str: &str, batch
     assert_eq!(
         report_batched, report,
         "{spec_str}: run_trace_batched diverges at batch size {batch}"
+    );
+
+    assert_streamed_equals_in_memory(inst, &registry, &spec, spec_str, batch, &streamed);
+}
+
+/// Serialize `inst` to the trace format, parse it back through the
+/// chunked `TraceReader`, and require the identical event stream and
+/// reports the in-memory session produced — streamed ≡ in-memory,
+/// event for event, plus the `run_stream`/`run_stream_batched`
+/// conveniences and the harness's two-pass streamed report.
+fn assert_streamed_equals_in_memory(
+    inst: &AdmissionInstance,
+    registry: &acmr_core::Registry,
+    spec: &AlgorithmSpec,
+    spec_str: &str,
+    batch: usize,
+    expected_events: &[ArrivalEvent],
+) {
+    let text = write_trace(inst);
+
+    // Event for event: push each request as the chunked parser yields it.
+    let mut session = Session::from_registry(registry, spec, &inst.capacities, 0).unwrap();
+    let mut reader = TraceReader::new(text.as_bytes()).unwrap();
+    assert_eq!(reader.capacities(), &inst.capacities[..]);
+    let mut events = Vec::new();
+    while let Some(r) = reader.next_request().expect("trace re-parses") {
+        events.push(session.push(&r).expect("streamed push"));
+    }
+    assert_eq!(
+        events, expected_events,
+        "{spec_str}: streamed event stream diverges from in-memory"
+    );
+    let reference_report = session.report();
+
+    // The run_stream conveniences agree.
+    let streamed = Session::from_registry(registry, spec, &inst.capacities, 0)
+        .unwrap()
+        .run_stream(TraceReader::new(text.as_bytes()).unwrap())
+        .unwrap();
+    assert_eq!(
+        streamed, reference_report,
+        "{spec_str}: run_stream diverges"
+    );
+    let streamed_batched = Session::from_registry(registry, spec, &inst.capacities, 0)
+        .unwrap()
+        .run_stream_batched(TraceReader::new(text.as_bytes()).unwrap(), batch)
+        .unwrap();
+    assert_eq!(
+        streamed_batched, reference_report,
+        "{spec_str}: run_stream_batched diverges at batch size {batch}"
+    );
+
+    // Harness level: the two-pass streamed report (OPT bound included)
+    // serializes byte-identically to the in-memory one.
+    let budget = BoundBudget::default();
+    let in_memory = run_report(registry, spec_str, inst, 0, budget).unwrap();
+    let two_pass = run_report_streamed(
+        registry,
+        spec_str,
+        || TraceReader::new(text.as_bytes()),
+        0,
+        budget,
+        None,
+    )
+    .unwrap();
+    assert_eq!(two_pass, in_memory, "{spec_str}: streamed report diverges");
+    assert_eq!(
+        serde_json::to_string_pretty(&two_pass).unwrap(),
+        serde_json::to_string_pretty(&in_memory).unwrap(),
+        "{spec_str}: streamed report JSON is not byte-identical"
     );
 }
 

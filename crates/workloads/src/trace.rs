@@ -1,8 +1,11 @@
-//! Plain-text trace format for admission instances.
+//! Plain-text trace format for admission instances — in-memory and
+//! **streaming** (chunked, bounded-memory) readers and writers.
 //!
 //! Experiments persist generated instances so runs can be replayed and
 //! diffed. The format is a deliberately simple line protocol (the
-//! allowed dependency set has no serde *format* crate):
+//! allowed dependency set has no serde *format* crate); the full
+//! grammar, including the streaming chunk semantics, is specified in
+//! `docs/TRACE_FORMAT.md`:
 //!
 //! ```text
 //! ACMR-TRACE v1
@@ -15,12 +18,48 @@
 //!
 //! Request lines are `<cost> <edge>…`. Floats round-trip via Rust's
 //! shortest-repr formatting, so write→read→write is idempotent.
+//!
+//! ## One parser, two shapes
+//!
+//! [`TraceReader`] is the real parser: it pulls bytes from any
+//! [`std::io::Read`] in fixed-size chunks ([`CHUNK_SIZE`]), holds at
+//! most one line in memory at a time (capped at [`MAX_LINE_BYTES`]),
+//! and yields [`Request`]s one by one — so a trace far larger than RAM
+//! streams through in bounded memory. The whole-string convenience
+//! [`read_trace`] is a thin wrapper that drains a `TraceReader` over
+//! the in-memory bytes, which is what guarantees the streamed and
+//! in-memory paths accept byte-for-byte the same language.
+//!
+//! Malformed input yields a typed error ([`AcmrError::TraceParse`]
+//! from the streaming reader, the equivalent [`TraceError`] from
+//! `read_trace`) carrying the 1-based line number — never a panic (the
+//! `trace_fuzz` suite pins this under byte-level corruption).
+//!
+//! Symmetrically, [`TraceWriter`] emits the format incrementally to
+//! any [`std::io::Write`] — the generator side of streaming: traces
+//! larger than memory can be produced request by request.
+//! [`write_trace`] wraps it for in-memory use.
 
-use acmr_core::{AdmissionInstance, Request};
+use acmr_core::{AcmrError, AdmissionInstance, Request};
 use acmr_graph::{EdgeId, EdgeSet};
-use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Bytes pulled from the underlying reader per refill.
+pub const CHUNK_SIZE: usize = 64 * 1024;
+
+/// Longest line the streaming reader accepts. The cap is what makes
+/// memory *bounded* on adversarial input (a newline-free stream would
+/// otherwise buffer without limit); at 16 MiB it is far above any line
+/// the writer can produce for realistic footprints.
+pub const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
 
 /// Parse failure, with the 1-based line number where it occurred.
+///
+/// This is the whole-string [`read_trace`] error type, kept for
+/// compatibility; the streaming [`TraceReader`] reports the same
+/// failures as [`AcmrError::TraceParse`] (the two convert into each
+/// other losslessly).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceError {
     /// 1-based line of the offending input.
@@ -33,7 +72,7 @@ impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "trace parse error at line {}: {}",
+            "trace parse error at line {}: {} (format spec: docs/TRACE_FORMAT.md)",
             self.line, self.message
         )
     }
@@ -41,74 +80,266 @@ impl std::fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
-fn err(line: usize, message: impl Into<String>) -> TraceError {
-    TraceError {
+impl From<TraceError> for AcmrError {
+    fn from(e: TraceError) -> Self {
+        AcmrError::TraceParse {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> AcmrError {
+    AcmrError::TraceParse {
         line,
         message: message.into(),
     }
 }
 
-/// Serialize an instance to the trace format.
-pub fn write_trace(inst: &AdmissionInstance) -> String {
-    let mut out = String::new();
-    out.push_str("ACMR-TRACE v1\n");
-    let _ = writeln!(out, "edges {}", inst.capacities.len());
-    out.push_str("caps");
-    for &c in &inst.capacities {
-        let _ = write!(out, " {c}");
-    }
-    out.push('\n');
-    let _ = writeln!(out, "requests {}", inst.requests.len());
-    for r in &inst.requests {
-        let _ = write!(out, "{}", r.cost);
-        for e in r.footprint.iter() {
-            let _ = write!(out, " {}", e.0);
-        }
-        out.push('\n');
-    }
-    out
+/// Chunked line scanner: pulls [`CHUNK_SIZE`] bytes at a time from the
+/// underlying reader and carves out `\n`-terminated lines, holding only
+/// the unconsumed tail in memory.
+struct LineScanner<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` — compacted only right before a refill,
+    /// so carving lines out of a chunk is O(line), not O(chunk).
+    start: usize,
+    /// How far `buf` has already been searched for a newline, so a line
+    /// spanning many refills is scanned once, not once per refill.
+    scanned: usize,
+    eof: bool,
+    /// Lines yielded so far (so the next line is `line + 1`).
+    line: usize,
 }
 
-/// Parse an instance from the trace format.
-pub fn read_trace(text: &str) -> Result<AdmissionInstance, TraceError> {
-    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
-    let (ln, header) = lines.next().ok_or_else(|| err(0, "empty trace"))?;
-    if header != "ACMR-TRACE v1" {
-        return Err(err(ln, format!("bad header {header:?}")));
+impl<R: Read> LineScanner<R> {
+    fn new(inner: R) -> Self {
+        LineScanner {
+            inner,
+            buf: Vec::new(),
+            start: 0,
+            scanned: 0,
+            eof: false,
+            line: 0,
+        }
     }
-    let (ln, edges_line) = lines.next().ok_or_else(|| err(ln, "missing edges line"))?;
-    let m: usize = edges_line
-        .strip_prefix("edges ")
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| err(ln, "expected `edges <m>`"))?;
-    let (ln, caps_line) = lines.next().ok_or_else(|| err(ln, "missing caps line"))?;
-    let caps_body = caps_line
-        .strip_prefix("caps")
-        .ok_or_else(|| err(ln, "expected `caps …`"))?;
-    let capacities: Vec<u32> = caps_body
-        .split_whitespace()
-        .map(|t| t.parse::<u32>())
-        .collect::<Result<_, _>>()
-        .map_err(|e| err(ln, format!("bad capacity: {e}")))?;
-    if capacities.len() != m {
-        return Err(err(
-            ln,
-            format!("expected {m} capacities, got {}", capacities.len()),
-        ));
+
+    /// The next line as `(1-based number, trimmed content)`, or `None`
+    /// at end of input. The returned string borrows from the scanner's
+    /// buffer — no allocation per line.
+    fn next_line(&mut self) -> Result<Option<(usize, &str)>, AcmrError> {
+        loop {
+            debug_assert!(self.scanned >= self.start);
+            if let Some(off) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let (line_start, line_end) = (self.start, self.scanned + off);
+                self.start = line_end + 1;
+                self.scanned = self.start;
+                return self.take_line(line_start, line_end);
+            }
+            self.scanned = self.buf.len();
+            if self.eof {
+                if self.start >= self.buf.len() {
+                    return Ok(None);
+                }
+                // Final line without a trailing newline.
+                let (line_start, line_end) = (self.start, self.buf.len());
+                self.start = line_end;
+                return self.take_line(line_start, line_end);
+            }
+            if self.buf.len() - self.start > MAX_LINE_BYTES {
+                return Err(err(
+                    self.line + 1,
+                    format!("line exceeds {MAX_LINE_BYTES} bytes"),
+                ));
+            }
+            // Refill: first drop everything already consumed, then pull
+            // the next chunk.
+            self.buf.drain(..self.start);
+            self.scanned -= self.start;
+            self.start = 0;
+            let old_len = self.buf.len();
+            self.buf.resize(old_len + CHUNK_SIZE, 0);
+            let n = loop {
+                match self.inner.read(&mut self.buf[old_len..]) {
+                    Ok(n) => break n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        self.buf.truncate(old_len);
+                        return Err(e.into());
+                    }
+                }
+            };
+            self.buf.truncate(old_len + n);
+            if n == 0 {
+                self.eof = true;
+            }
+        }
     }
-    if capacities.contains(&0) {
-        return Err(err(ln, "capacities must be positive"));
+
+    fn take_line(&mut self, start: usize, end: usize) -> Result<Option<(usize, &str)>, AcmrError> {
+        self.line += 1;
+        let raw = std::str::from_utf8(&self.buf[start..end])
+            .map_err(|_| err(self.line, "line is not valid UTF-8".to_string()))?;
+        Ok(Some((self.line, raw.trim())))
     }
-    let (ln, reqs_line) = lines
-        .next()
-        .ok_or_else(|| err(ln, "missing requests line"))?;
-    let k: usize = reqs_line
-        .strip_prefix("requests ")
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| err(ln, "expected `requests <k>`"))?;
-    let mut inst = AdmissionInstance::from_capacities(capacities);
-    for _ in 0..k {
-        let (ln, line) = lines.next().ok_or_else(|| err(ln, "truncated requests"))?;
+}
+
+/// Incremental, bounded-memory reader for the `ACMR-TRACE v1` format.
+///
+/// Construction parses the header (capacities and the declared request
+/// count) from the first chunk(s); [`TraceReader::next_request`] then
+/// yields one [`Request`] per call without ever materializing the
+/// instance. As an [`Iterator`] of `Result<Request, AcmrError>` it
+/// plugs directly into `acmr_core::Session::run_stream`.
+///
+/// The reader validates everything the in-memory parser validates —
+/// header shape, capacity count and positivity, cost positivity, edge
+/// ranges, the declared request count, and the absence of trailing
+/// content — and reports violations as [`AcmrError::TraceParse`] with
+/// the offending 1-based line. A reader that returned an error is
+/// poisoned: further calls repeat the error.
+///
+/// ```
+/// use acmr_workloads::trace::TraceReader;
+///
+/// let text = "ACMR-TRACE v1\nedges 2\ncaps 1 1\nrequests 1\n2.5 0 1\n";
+/// let mut reader = TraceReader::new(text.as_bytes()).unwrap();
+/// assert_eq!(reader.capacities(), &[1, 1]);
+/// assert_eq!(reader.declared_requests(), 1);
+/// let request = reader.next_request().unwrap().unwrap();
+/// assert_eq!(request.cost, 2.5);
+/// assert!(reader.next_request().unwrap().is_none()); // clean EOF
+/// ```
+pub struct TraceReader<R: Read> {
+    scan: LineScanner<R>,
+    capacities: Vec<u32>,
+    declared: usize,
+    yielded: usize,
+    /// Line number of the last line consumed (for truncation errors).
+    last_line: usize,
+    finished: bool,
+    poison: Option<AcmrError>,
+}
+
+impl TraceReader<std::fs::File> {
+    /// Open a trace file for streaming. I/O is chunked ([`CHUNK_SIZE`])
+    /// by the reader itself; no buffering wrapper is needed.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, AcmrError> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path).map_err(|e| AcmrError::Io {
+            message: format!("cannot open trace {}: {e}", path.display()),
+        })?;
+        TraceReader::new(file)
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wrap any byte source and parse the trace header.
+    pub fn new(reader: R) -> Result<Self, AcmrError> {
+        let mut scan = LineScanner::new(reader);
+        let (ln, header) = scan.next_line()?.ok_or_else(|| err(0, "empty trace"))?;
+        if header != "ACMR-TRACE v1" {
+            return Err(err(ln, format!("bad header {header:?}")));
+        }
+        let (ln, edges_line) = scan
+            .next_line()?
+            .ok_or_else(|| err(ln, "missing edges line"))?;
+        let m: usize = edges_line
+            .strip_prefix("edges ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err(ln, "expected `edges <m>`"))?;
+        let (ln, caps_line) = scan
+            .next_line()?
+            .ok_or_else(|| err(ln, "missing caps line"))?;
+        let caps_body = caps_line
+            .strip_prefix("caps")
+            .ok_or_else(|| err(ln, "expected `caps …`"))?;
+        let capacities: Vec<u32> = caps_body
+            .split_whitespace()
+            .map(|t| t.parse::<u32>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| err(ln, format!("bad capacity: {e}")))?;
+        if capacities.len() != m {
+            return Err(err(
+                ln,
+                format!("expected {m} capacities, got {}", capacities.len()),
+            ));
+        }
+        if capacities.contains(&0) {
+            return Err(err(ln, "capacities must be positive"));
+        }
+        let (ln, reqs_line) = scan
+            .next_line()?
+            .ok_or_else(|| err(ln, "missing requests line"))?;
+        let declared: usize = reqs_line
+            .strip_prefix("requests ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err(ln, "expected `requests <k>`"))?;
+        Ok(TraceReader {
+            scan,
+            capacities,
+            declared,
+            yielded: 0,
+            last_line: ln,
+            finished: false,
+            poison: None,
+        })
+    }
+
+    /// Edge capacities from the header — what a `Session` over this
+    /// stream must be built with.
+    pub fn capacities(&self) -> &[u32] {
+        &self.capacities
+    }
+
+    /// Request count declared by the header. The body is still verified
+    /// against it (a short stream is a truncation error, extra content
+    /// a trailing-content error).
+    pub fn declared_requests(&self) -> usize {
+        self.declared
+    }
+
+    /// Requests yielded so far.
+    pub fn requests_read(&self) -> usize {
+        self.yielded
+    }
+
+    /// Pull the next request, `Ok(None)` at a *clean* end of trace
+    /// (count verified, no trailing content). After any error the
+    /// reader is poisoned and repeats that error.
+    pub fn next_request(&mut self) -> Result<Option<Request>, AcmrError> {
+        if let Some(e) = &self.poison {
+            return Err(e.clone());
+        }
+        match self.next_request_inner() {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.poison = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn next_request_inner(&mut self) -> Result<Option<Request>, AcmrError> {
+        if self.finished {
+            return Ok(None);
+        }
+        if self.yielded == self.declared {
+            // Body complete: only blank lines may remain.
+            while let Some((ln, line)) = self.scan.next_line()? {
+                if !line.is_empty() {
+                    return Err(err(ln, format!("trailing content {line:?}")));
+                }
+            }
+            self.finished = true;
+            return Ok(None);
+        }
+        let (ln, line) = self
+            .scan
+            .next_line()?
+            .ok_or_else(|| err(self.last_line, "truncated requests"))?;
+        self.last_line = ln;
         let mut toks = line.split_whitespace();
         let cost: f64 = toks
             .next()
@@ -124,13 +355,127 @@ pub fn read_trace(text: &str) -> Result<AdmissionInstance, TraceError> {
         if edges.is_empty() {
             return Err(err(ln, "request has no edges"));
         }
-        if edges.iter().any(|e| e.index() >= m) {
+        if edges.iter().any(|e| e.index() >= self.capacities.len()) {
             return Err(err(ln, "edge id out of range"));
         }
-        inst.push(Request::new(EdgeSet::new(edges), cost));
+        self.yielded += 1;
+        Ok(Some(Request::new(EdgeSet::new(edges), cost)))
     }
-    if let Some((ln, extra)) = lines.find(|(_, l)| !l.is_empty()) {
-        return Err(err(ln, format!("trailing content {extra:?}")));
+}
+
+impl<R: Read> std::fmt::Debug for TraceReader<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceReader")
+            .field("edges", &self.capacities.len())
+            .field("declared_requests", &self.declared)
+            .field("requests_read", &self.yielded)
+            .field("poisoned", &self.poison.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<Request, AcmrError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_request().transpose()
+    }
+}
+
+/// Incremental writer for the `ACMR-TRACE v1` format: the generator
+/// side of streaming. The header is written up front, then each
+/// [`TraceWriter::push`] appends one request line — so a trace of any
+/// size can be produced in bounded memory. Output is byte-identical to
+/// [`write_trace`] (which is implemented on top of this).
+///
+/// [`TraceWriter::finish`] flushes and verifies that exactly the
+/// declared number of requests was written, so a crashed generator
+/// cannot silently leave a short (unreadable) trace behind.
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    declared: usize,
+    written: usize,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Write the header for `requests` upcoming requests over the given
+    /// capacities.
+    pub fn new(mut sink: W, capacities: &[u32], requests: usize) -> io::Result<Self> {
+        write!(sink, "ACMR-TRACE v1\nedges {}\ncaps", capacities.len())?;
+        for &c in capacities {
+            write!(sink, " {c}")?;
+        }
+        writeln!(sink, "\nrequests {requests}")?;
+        Ok(TraceWriter {
+            sink,
+            declared: requests,
+            written: 0,
+        })
+    }
+
+    /// Append one request line.
+    pub fn push(&mut self, r: &Request) -> io::Result<()> {
+        if self.written == self.declared {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "trace declared {} requests; push overflows it",
+                    self.declared
+                ),
+            ));
+        }
+        write!(self.sink, "{}", r.cost)?;
+        for e in r.footprint.iter() {
+            write!(self.sink, " {}", e.0)?;
+        }
+        writeln!(self.sink)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Flush and return the sink, verifying the declared count.
+    pub fn finish(mut self) -> io::Result<W> {
+        if self.written != self.declared {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "trace declared {} requests but only {} were written",
+                    self.declared, self.written
+                ),
+            ));
+        }
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Serialize an instance to the trace format (in-memory convenience
+/// over [`TraceWriter`]).
+pub fn write_trace(inst: &AdmissionInstance) -> String {
+    let mut w = TraceWriter::new(Vec::new(), &inst.capacities, inst.requests.len())
+        .expect("writing to a Vec cannot fail");
+    for r in &inst.requests {
+        w.push(r).expect("writing to a Vec cannot fail");
+    }
+    String::from_utf8(w.finish().expect("declared count matches"))
+        .expect("trace output is always UTF-8")
+}
+
+/// Parse an instance from the trace format (in-memory convenience over
+/// [`TraceReader`], so both paths accept exactly the same language).
+pub fn read_trace(text: &str) -> Result<AdmissionInstance, TraceError> {
+    let demote = |e: AcmrError| match e {
+        AcmrError::TraceParse { line, message } => TraceError { line, message },
+        // Unreachable from an in-memory byte slice, but keep it total.
+        other => TraceError {
+            line: 0,
+            message: other.to_string(),
+        },
+    };
+    let mut reader = TraceReader::new(text.as_bytes()).map_err(demote)?;
+    let mut inst = AdmissionInstance::from_capacities(reader.capacities().to_vec());
+    while let Some(r) = reader.next_request().map_err(demote)? {
+        inst.push(r);
     }
     Ok(inst)
 }
@@ -190,8 +535,117 @@ mod tests {
     #[test]
     fn float_costs_roundtrip() {
         let mut inst = AdmissionInstance::from_capacities(vec![1]);
-        inst.push(Request::new(EdgeSet::singleton(EdgeId(0)), 0.1 + 0.2));
+        inst.push(Request::new(
+            EdgeSet::singleton(acmr_graph::EdgeId(0)),
+            0.1 + 0.2,
+        ));
         let back = read_trace(&write_trace(&inst)).unwrap();
         assert_eq!(back.requests[0].cost, inst.requests[0].cost);
+    }
+
+    /// One-byte-at-a-time reader: the worst possible chunking, so any
+    /// assumption about line boundaries falling inside one chunk fails.
+    struct DribbleReader<'a>(&'a [u8]);
+    impl Read for DribbleReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.0.is_empty() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.0[0];
+            self.0 = &self.0[1..];
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn streaming_reader_matches_in_memory_parse() {
+        let inst = adversarial::nested_intervals(8, 2, 2, 2);
+        let text = write_trace(&inst);
+        for chunked in [false, true] {
+            let collect = |text: &str| -> AdmissionInstance {
+                let mut reader: Box<dyn Iterator<Item = Result<Request, AcmrError>>> = if chunked {
+                    Box::new(TraceReader::new(DribbleReader(text.as_bytes())).unwrap())
+                } else {
+                    Box::new(TraceReader::new(text.as_bytes()).unwrap())
+                };
+                let mut got = AdmissionInstance::from_capacities(inst.capacities.clone());
+                for r in &mut reader {
+                    got.push(r.unwrap());
+                }
+                got
+            };
+            let streamed = collect(&text);
+            assert_eq!(streamed.capacities, inst.capacities);
+            assert_eq!(streamed.requests, inst.requests);
+        }
+    }
+
+    #[test]
+    fn streaming_reader_reports_header_metadata() {
+        let text = "ACMR-TRACE v1\nedges 3\ncaps 4 5 6\nrequests 2\n1 0\n2 1 2\n";
+        let mut reader = TraceReader::new(text.as_bytes()).unwrap();
+        assert_eq!(reader.capacities(), &[4, 5, 6]);
+        assert_eq!(reader.declared_requests(), 2);
+        assert_eq!(reader.requests_read(), 0);
+        reader.next_request().unwrap().unwrap();
+        assert_eq!(reader.requests_read(), 1);
+    }
+
+    #[test]
+    fn streaming_reader_poisons_after_error() {
+        let text = "ACMR-TRACE v1\nedges 1\ncaps 2\nrequests 2\n1 0\nbad 0\n";
+        let mut reader = TraceReader::new(text.as_bytes()).unwrap();
+        assert!(reader.next_request().unwrap().is_some());
+        let e1 = reader.next_request().unwrap_err();
+        let e2 = reader.next_request().unwrap_err();
+        assert_eq!(e1, e2, "poisoned reader must repeat its error");
+        assert!(matches!(e1, AcmrError::TraceParse { line: 6, .. }));
+    }
+
+    #[test]
+    fn streaming_reader_surfaces_io_errors() {
+        struct FailingReader;
+        impl Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "boom"))
+            }
+        }
+        let e = TraceReader::new(FailingReader).unwrap_err();
+        assert!(matches!(&e, AcmrError::Io { message } if message.contains("boom")));
+        let e = TraceReader::open("/nonexistent/definitely-missing.trace").unwrap_err();
+        assert!(matches!(&e, AcmrError::Io { message } if message.contains("missing.trace")));
+    }
+
+    #[test]
+    fn final_line_without_newline_parses() {
+        let text = "ACMR-TRACE v1\nedges 1\ncaps 2\nrequests 1\n1 0";
+        let inst = read_trace(text).unwrap();
+        assert_eq!(inst.requests.len(), 1);
+    }
+
+    #[test]
+    fn trace_writer_enforces_declared_count() {
+        let mut w = TraceWriter::new(Vec::new(), &[1], 2).unwrap();
+        let r = Request::unit(EdgeSet::singleton(EdgeId(0)));
+        w.push(&r).unwrap();
+        // Short: finish refuses.
+        assert!(w.finish().is_err());
+        // Overflow: the extra push refuses.
+        let mut w = TraceWriter::new(Vec::new(), &[1], 1).unwrap();
+        w.push(&r).unwrap();
+        assert!(w.push(&r).is_err());
+        let bytes = w.finish().unwrap();
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            "ACMR-TRACE v1\nedges 1\ncaps 1\nrequests 1\n1 0\n"
+        );
+    }
+
+    #[test]
+    fn error_display_points_at_format_spec() {
+        let e = read_trace("nope").unwrap_err();
+        assert!(e.to_string().contains("docs/TRACE_FORMAT.md"), "{e}");
+        let acmr: AcmrError = e.into();
+        assert!(acmr.to_string().contains("docs/TRACE_FORMAT.md"));
     }
 }

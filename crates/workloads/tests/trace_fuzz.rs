@@ -1,9 +1,14 @@
-//! Fuzz-style property tests for the trace parser: arbitrary input
-//! never panics, and structured round-trips are lossless.
+//! Fuzz-style property tests for the trace parser — in-memory and
+//! streaming: arbitrary input never panics, corrupting or truncating
+//! any byte of a valid trace yields a typed error (or a still-valid
+//! parse) rather than a panic, and structured round-trips are
+//! lossless.
 
-use acmr_core::{AdmissionInstance, Request};
+use acmr_core::{
+    AcmrError, AdmissionInstance, OnlineAdmission, Outcome, Request, RequestId, Session,
+};
 use acmr_graph::{EdgeId, EdgeSet};
-use acmr_workloads::trace::{read_trace, write_trace, TraceError};
+use acmr_workloads::trace::{read_trace, write_trace, TraceError, TraceReader};
 use proptest::prelude::*;
 
 /// A canonical valid trace the malformed-input tests mutate.
@@ -90,11 +95,117 @@ fn malformed_inputs_yield_typed_errors_not_panics() {
     }
 }
 
+/// Drain a streaming reader, asserting every failure is one of the two
+/// typed trace errors (in-memory byte sources cannot produce `Io`, but
+/// the contract allows it). Returns the number of requests yielded.
+fn drain_typed(bytes: &[u8]) -> Result<usize, ()> {
+    let mut reader = match TraceReader::new(bytes) {
+        Ok(r) => r,
+        Err(AcmrError::TraceParse { .. }) | Err(AcmrError::Io { .. }) => return Err(()),
+        Err(other) => panic!("untyped header failure: {other:?}"),
+    };
+    let mut n = 0;
+    loop {
+        match reader.next_request() {
+            Ok(Some(_)) => n += 1,
+            Ok(None) => return Ok(n),
+            Err(AcmrError::TraceParse { .. }) | Err(AcmrError::Io { .. }) => return Err(()),
+            Err(other) => panic!("untyped stream failure: {other:?}"),
+        }
+    }
+}
+
+/// Rejects everything — a trivially contract-safe algorithm for
+/// driving sessions off trace streams in these tests.
+struct RejectAll;
+impl OnlineAdmission for RejectAll {
+    fn name(&self) -> &'static str {
+        "reject-all"
+    }
+    fn on_request(&mut self, _id: RequestId, _r: &Request) -> Outcome {
+        Outcome::reject()
+    }
+}
+
+#[test]
+fn eof_mid_batch_surfaces_typed_error_with_chunk_semantics() {
+    // VALID declares 2 requests; cut the stream right after the first
+    // request line so the reader hits EOF with the body short.
+    let cut = VALID.find("2.5").unwrap();
+    let truncated = &VALID.as_bytes()[..cut];
+    let probe = TraceReader::new(truncated).unwrap();
+    let caps = probe.capacities().to_vec();
+
+    // Batch larger than the stream: EOF arrives mid-batch, the typed
+    // error surfaces, and the partial chunk was never shown to the
+    // algorithm (all-or-nothing chunk semantics).
+    let mut session = Session::new(RejectAll, &caps);
+    let err = session
+        .run_stream_batched(TraceReader::new(truncated).unwrap(), 8)
+        .unwrap_err();
+    assert!(
+        matches!(err, AcmrError::TraceParse { line: 5, ref message } if message.contains("truncated")),
+        "{err}"
+    );
+    assert_eq!(session.stats().arrivals, 0, "partial chunk must not apply");
+
+    // Batch 1: the complete first chunk stays applied, then the error.
+    let mut session = Session::new(RejectAll, &caps);
+    let err = session
+        .run_stream_batched(TraceReader::new(truncated).unwrap(), 1)
+        .unwrap_err();
+    assert!(matches!(err, AcmrError::TraceParse { .. }), "{err}");
+    assert_eq!(session.stats().arrivals, 1, "complete chunks stay applied");
+
+    // Same stream through per-push run_stream: prefix applied, typed
+    // error, session not poisoned (the source failed, not the algorithm).
+    let mut session = Session::new(RejectAll, &caps);
+    let err = session
+        .run_stream(TraceReader::new(truncated).unwrap())
+        .unwrap_err();
+    assert!(matches!(err, AcmrError::TraceParse { .. }), "{err}");
+    assert_eq!(session.stats().arrivals, 1);
+    assert!(!session.is_poisoned());
+}
+
 proptest! {
     /// Arbitrary bytes: the parser returns Ok or Err, never panics.
     #[test]
     fn parser_never_panics(input in ".{0,400}") {
         let _ = read_trace(&input);
+    }
+
+    /// Corrupting any single byte of a valid trace: the streaming
+    /// reader either still parses cleanly (some corruptions are benign
+    /// — e.g. a different cost digit) or yields a **typed** error,
+    /// never a panic; and it always agrees with the in-memory parser
+    /// on validity.
+    #[test]
+    fn corrupting_any_byte_yields_typed_errors_from_the_streaming_reader(
+        pos in 0usize..VALID.len(),
+        byte in 0u8..=255u8,
+    ) {
+        let mut bytes = VALID.as_bytes().to_vec();
+        bytes[pos] = byte;
+        let streamed = drain_typed(&bytes);
+        match std::str::from_utf8(&bytes) {
+            Ok(text) => prop_assert_eq!(
+                streamed.is_ok(),
+                read_trace(text).is_ok(),
+                "streamed and in-memory parsers disagree on {:?}", text
+            ),
+            // Invalid UTF-8 is only expressible through the byte-level
+            // reader; it must be a typed error there.
+            Err(_) => prop_assert!(streamed.is_err()),
+        }
+    }
+
+    /// Truncating a valid trace at any byte: typed error or a clean
+    /// parse of a prefix (cutting exactly at a request boundary can
+    /// leave a shorter trace that only fails the declared count).
+    #[test]
+    fn truncation_yields_typed_errors(len in 0usize..VALID.len()) {
+        let _ = drain_typed(&VALID.as_bytes()[..len]);
     }
 
     /// Arbitrary *line-shaped* garbage built from plausible tokens.

@@ -1,21 +1,17 @@
 //! Thin shim for the `acmr` CLI; all logic (and its tests) lives in
 //! `acmr::cli`.
+//!
+//! Stdin is handed to [`acmr::cli::dispatch_io`] as a raw byte stream:
+//! commands that need the whole trace slurp it themselves, while
+//! `acmr run --stream -` reads it chunk by chunk — so a trace far
+//! larger than memory can be piped straight through.
 
-use std::io::Read;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let needs_stdin = matches!(
-        argv.first().map(String::as_str),
-        Some("stats") | Some("opt") | Some("run")
-    );
-    let mut stdin = String::new();
-    if needs_stdin && std::io::stdin().read_to_string(&mut stdin).is_err() {
-        eprintln!("error: could not read trace from stdin");
-        return ExitCode::FAILURE;
-    }
-    match acmr::cli::dispatch(&argv, &stdin) {
+    let mut stdin = std::io::stdin().lock();
+    match acmr::cli::dispatch_io(&argv, &mut stdin) {
         Ok(out) => {
             print!("{out}");
             ExitCode::SUCCESS

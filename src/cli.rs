@@ -7,18 +7,25 @@
 //! acmr opt   < t.trace
 //! acmr algs                            # list registered algorithms
 //! acmr run --alg 'aag-unweighted?seed=7' --format json < t.trace
+//! acmr gen --m 64 | acmr run --stream -          # chunked, unbounded
 //! ```
 //!
 //! `run` dispatches through [`crate::harness::default_registry`] — any
 //! algorithm registered anywhere in the workspace is runnable by spec
 //! string, and the report (text or JSON) is the workspace-wide
-//! [`crate::core::RunReport`] schema, RNG seed included.
+//! [`crate::core::RunReport`] schema, RNG seed included. `run --stream
+//! <file|->` streams the trace in chunks (never materializing it) and
+//! produces byte-identical reports to the in-memory path; the trace
+//! grammar is specified in `docs/TRACE_FORMAT.md`.
 //!
 //! All subcommand logic lives here (unit-tested); `src/bin/acmr.rs` is
-//! a thin stdin/stdout shim.
+//! a thin stdin/stdout shim around [`dispatch_io`].
 
 use crate::core::DEFAULT_ALGORITHM;
-use crate::harness::{default_registry, run_report, run_report_batched, BoundBudget};
+use crate::harness::{
+    default_registry, run_report, run_report_batched, run_report_from_path, run_report_spooled,
+    BoundBudget,
+};
 use crate::workloads::trace::{read_trace, write_trace};
 use crate::workloads::{
     dyadic_admission_instance, nested_intervals, random_path_workload, repeated_hot_edge,
@@ -27,6 +34,7 @@ use crate::workloads::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::io::Read;
 
 /// CLI failure: message for stderr, non-zero exit.
 #[derive(Debug)]
@@ -236,10 +244,38 @@ pub fn cmd_algs() -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `acmr run` — run a registry algorithm over a trace; returns the
-/// report in the requested `--format` (`text` or `json`).
+/// Render a [`crate::core::RunReport`] in the requested `--format`
+/// (`text` or `json`) — shared by the in-memory and streamed run
+/// paths, which is what makes their outputs byte-identical.
+fn render_report(
+    report: &crate::core::RunReport,
+    flags: &HashMap<String, String>,
+) -> Result<String, CliError> {
+    match flags.get("format").map(String::as_str) {
+        None | Some("text") => Ok(report.to_text()),
+        Some("json") => serde_json::to_string_pretty(report)
+            .map(|j| j + "\n")
+            .map_err(|e| err(e.to_string())),
+        Some(other) => Err(err(format!("unknown --format {other:?} (text or json)"))),
+    }
+}
+
+/// The optional `--batch N` chunk size (`None`: per-push streaming).
+fn batch_flag(flags: &HashMap<String, String>) -> Result<Option<usize>, CliError> {
+    match flags.get("batch") {
+        None => Ok(None),
+        Some(_) => Ok(Some(get(flags, "batch", 1)?)),
+    }
+}
+
+/// `acmr run` — run a registry algorithm over an in-memory trace;
+/// returns the report in the requested `--format` (`text` or `json`).
 pub fn cmd_run(args: &[String], trace: &str) -> Result<String, CliError> {
     let flags = parse_flags(args)?;
+    if flags.contains_key("stream") {
+        return Err(err("--stream takes a trace file path (or `-` for stdin); \
+             use `dispatch_io` / the acmr binary for streamed runs"));
+    }
     let inst = read_trace(trace).map_err(|e| err(e.to_string()))?;
     let seed: u64 = get(&flags, "seed", 0)?;
     let alg_spec = flags
@@ -250,42 +286,100 @@ pub fn cmd_run(args: &[String], trace: &str) -> Result<String, CliError> {
     // --batch N routes arrivals through Session::push_batch in chunks
     // of N; the report is identical to the streaming path (the
     // differential suite pins that), the processing is amortized.
-    let report = match flags.get("batch") {
+    let report = match batch_flag(&flags)? {
         None => run_report(&registry, alg_spec, &inst, seed, BoundBudget::default()),
-        Some(_) => {
-            let batch: usize = get(&flags, "batch", 1)?;
-            run_report_batched(
-                &registry,
-                alg_spec,
-                &inst,
-                seed,
-                BoundBudget::default(),
-                batch,
-            )
-        }
+        Some(batch) => run_report_batched(
+            &registry,
+            alg_spec,
+            &inst,
+            seed,
+            BoundBudget::default(),
+            batch,
+        ),
     }
     .map_err(|e| err(e.to_string()))?;
-    match flags.get("format").map(String::as_str) {
-        None | Some("text") => Ok(report.to_text()),
-        Some("json") => serde_json::to_string_pretty(&report)
-            .map(|j| j + "\n")
-            .map_err(|e| err(e.to_string())),
-        Some(other) => Err(err(format!("unknown --format {other:?} (text or json)"))),
-    }
+    render_report(&report, &flags)
 }
 
-/// Top-level dispatch; `stdin` supplies the trace for the commands
-/// that read one. Returns the stdout payload.
-pub fn dispatch(argv: &[String], stdin: &str) -> Result<String, CliError> {
+/// `acmr run --stream <file|->` — run a registry algorithm over a
+/// trace **streamed in chunks** (from a file, or from `stdin` when the
+/// target is `-`), never materializing the instance. The report —
+/// offline-optimum bound included, via the harness's two-pass scheme —
+/// is byte-identical to what [`cmd_run`] produces for the same trace.
+pub fn cmd_run_stream(
+    args: &[String],
+    stdin: &mut dyn Read,
+    target: &str,
+) -> Result<String, CliError> {
+    let flags = parse_flags(args)?;
+    let seed: u64 = get(&flags, "seed", 0)?;
+    let alg_spec = flags
+        .get("alg")
+        .map(String::as_str)
+        .unwrap_or(DEFAULT_ALGORITHM);
+    let batch = batch_flag(&flags)?;
+    let registry = default_registry();
+    let report = if target == "-" {
+        run_report_spooled(
+            &registry,
+            alg_spec,
+            stdin,
+            seed,
+            BoundBudget::default(),
+            batch,
+        )
+    } else {
+        run_report_from_path(
+            &registry,
+            alg_spec,
+            target,
+            seed,
+            BoundBudget::default(),
+            batch,
+        )
+    }
+    .map_err(|e| err(e.to_string()))?;
+    render_report(&report, &flags)
+}
+
+/// Top-level dispatch over a raw stdin byte stream; only the commands
+/// that need stdin touch it, and `run --stream -` reads it **chunked**
+/// instead of slurping. Returns the stdout payload.
+pub fn dispatch_io(argv: &[String], stdin: &mut dyn Read) -> Result<String, CliError> {
+    let slurp = |stdin: &mut dyn Read| -> Result<String, CliError> {
+        let mut text = String::new();
+        stdin
+            .read_to_string(&mut text)
+            .map_err(|e| err(format!("could not read trace from stdin: {e}")))?;
+        Ok(text)
+    };
     match argv.first().map(String::as_str) {
         Some("gen") => cmd_gen(&argv[1..]),
-        Some("stats") => cmd_stats(stdin),
-        Some("opt") => cmd_opt(stdin),
+        Some("stats") => cmd_stats(&slurp(stdin)?),
+        Some("opt") => cmd_opt(&slurp(stdin)?),
         Some("algs") => cmd_algs(),
-        Some("run") => cmd_run(&argv[1..], stdin),
+        Some("run") => {
+            let args = &argv[1..];
+            match parse_flags(args)?.get("stream").map(String::as_str) {
+                None => cmd_run(args, &slurp(stdin)?),
+                Some("true") => Err(err(
+                    "--stream needs a trace file path, or `-` to stream stdin",
+                )),
+                Some(target) => {
+                    let target = target.to_string();
+                    cmd_run_stream(args, stdin, &target)
+                }
+            }
+        }
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(err(format!("unknown command {other:?}\n{USAGE}"))),
     }
+}
+
+/// [`dispatch_io`] over an in-memory stdin string — the test-friendly
+/// shape (kept from before streaming existed).
+pub fn dispatch(argv: &[String], stdin: &str) -> Result<String, CliError> {
+    dispatch_io(argv, &mut stdin.as_bytes())
 }
 
 /// CLI usage text.
@@ -303,10 +397,18 @@ USAGE:
   acmr opt                                             # trace from stdin
   acmr algs                                            # list algorithms
   acmr run  [--alg SPEC] [--seed S] [--batch N] [--format text|json]
+            [--stream FILE|-]
             SPEC: a registry name with optional options, e.g.
             'aag-unweighted?seed=7&no-prune' — see `acmr algs`
             --batch N feeds arrivals through the batched session path
             (identical report, amortized processing)  # trace from stdin
+            --stream FILE|- ingests the trace in chunks without ever
+            holding it in memory (`-` streams stdin); reports are
+            byte-identical to the in-memory path
+
+Traces use the plain-text `ACMR-TRACE v1` format emitted by `acmr gen`;
+the grammar and streaming chunk semantics are specified in
+docs/TRACE_FORMAT.md.
 ";
 
 #[cfg(test)]
@@ -565,6 +667,71 @@ mod tests {
         let e = cmd_run(&argv(&["--batch", "0"]), &trace).unwrap_err();
         assert!(e.to_string().contains("batch size"), "{e}");
         assert!(cmd_run(&argv(&["--batch", "lots"]), &trace).is_err());
+    }
+
+    #[test]
+    fn streamed_run_is_byte_identical_to_in_memory_run() {
+        // The committed golden trace is the reference input: stream it
+        // from its file and from simulated stdin, and require the
+        // byte-identical report the in-memory path prints.
+        let golden = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/adv-squeeze.trace"
+        );
+        let trace = std::fs::read_to_string(golden).unwrap();
+        for format in ["text", "json"] {
+            for alg in ["greedy", "aag-weighted"] {
+                let in_memory = cmd_run(
+                    &argv(&["--alg", alg, "--seed", "4", "--format", format]),
+                    &trace,
+                )
+                .unwrap();
+                // --stream <file>: two passes over the file.
+                let from_file = dispatch(
+                    &argv(&[
+                        "run", "--alg", alg, "--seed", "4", "--format", format, "--stream", golden,
+                    ]),
+                    "", // stdin unused
+                )
+                .unwrap();
+                assert_eq!(from_file, in_memory, "{alg} --format {format} file");
+                // --stream -: chunked stdin, spilled for pass 2.
+                let from_stdin = dispatch(
+                    &argv(&[
+                        "run", "--alg", alg, "--seed", "4", "--format", format, "--stream", "-",
+                    ]),
+                    &trace,
+                )
+                .unwrap();
+                assert_eq!(from_stdin, in_memory, "{alg} --format {format} stdin");
+                // And batched streaming stays identical too.
+                let batched = dispatch(
+                    &argv(&[
+                        "run", "--alg", alg, "--seed", "4", "--format", format, "--stream", "-",
+                        "--batch", "7",
+                    ]),
+                    &trace,
+                )
+                .unwrap();
+                assert_eq!(batched, in_memory, "{alg} --format {format} batched");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_run_flag_errors_are_reported() {
+        // Bare --stream has no target.
+        let e = dispatch(&argv(&["run", "--stream"]), "").unwrap_err();
+        assert!(e.to_string().contains("--stream needs"), "{e}");
+        // Missing file: typed I/O error, mentioning the path.
+        let e = dispatch(&argv(&["run", "--stream", "/no/such.trace"]), "").unwrap_err();
+        assert!(e.to_string().contains("/no/such.trace"), "{e}");
+        // Malformed stdin stream: the parse error carries the line and
+        // points at the format spec.
+        let e = dispatch(&argv(&["run", "--stream", "-"]), "ACMR-TRACE v9\n").unwrap_err();
+        assert!(e.to_string().contains("docs/TRACE_FORMAT.md"), "{e}");
+        // cmd_run proper refuses --stream (it has no byte stream).
+        assert!(cmd_run(&argv(&["--stream", "-"]), "x").is_err());
     }
 
     #[test]

@@ -15,9 +15,15 @@
 //! * [`core`] — the paper's algorithms, the algorithm registry, and the
 //!   streaming `Session` driver (start here)
 //! * [`baselines`] — BKK-style and greedy baselines
-//! * [`workloads`] — instance generators and traces
-//! * [`harness`] — the assembled registry, report-producing runners,
-//!   OPT bounds, experiments E1–E9, E11
+//! * [`workloads`] — instance generators and the trace format,
+//!   including the chunked `TraceReader`/`TraceWriter` streaming pair
+//!   (`docs/TRACE_FORMAT.md` has the grammar)
+//! * [`harness`] — the assembled registry, report-producing runners
+//!   (in-memory, and streamed with the two-pass OPT bound), sharded
+//!   sweeps, experiments E1–E9, E11
+//!
+//! `docs/ARCHITECTURE.md` maps the crates and the layered engine API
+//! (registry → session → batch → stream → reports → shard → CLI).
 //!
 //! ## Quickstart
 //!
