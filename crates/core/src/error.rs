@@ -73,6 +73,16 @@ pub enum AcmrError {
         /// Human-readable description including the OS error.
         message: String,
     },
+    /// An `acmr serve` peer replied with a protocol-level `ERR` frame
+    /// (see `docs/SERVING.md`). The server maps its own [`AcmrError`]
+    /// onto a stable wire code; the client surfaces the reply as this
+    /// variant, so a remote failure is still a typed error.
+    Remote {
+        /// Stable wire error code (e.g. `parse`, `violation`, `proto`).
+        code: String,
+        /// The server's human-readable description.
+        message: String,
+    },
 }
 
 impl fmt::Display for AcmrError {
@@ -108,6 +118,9 @@ impl fmt::Display for AcmrError {
             }
             AcmrError::Io { message } => {
                 write!(f, "trace i/o error: {message}")
+            }
+            AcmrError::Remote { code, message } => {
+                write!(f, "server error [{code}]: {message}")
             }
         }
     }
@@ -153,5 +166,15 @@ mod tests {
         let e: AcmrError =
             std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "pipe closed").into();
         assert!(matches!(&e, AcmrError::Io { message } if message.contains("pipe closed")));
+    }
+
+    #[test]
+    fn remote_errors_carry_wire_code() {
+        let e = AcmrError::Remote {
+            code: "violation".into(),
+            message: "accepting request 3 violates a capacity".into(),
+        };
+        assert!(e.to_string().contains("server error [violation]"));
+        assert!(e.to_string().contains("violates a capacity"));
     }
 }

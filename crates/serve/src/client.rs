@@ -1,0 +1,263 @@
+//! The matching client: a typed handle over one `ACMR-SERVE v1`
+//! session, plus the trace-replay convenience `acmr client` uses.
+//!
+//! The client mirrors the [`acmr_core::Session`] surface on purpose —
+//! [`ServeClient::push`] and [`ServeClient::push_batch`] return the
+//! same audited [`ArrivalEvent`]s the in-process session would, so
+//! swapping a local session for a remote one is a one-line change and
+//! the differential suite can pin *served ≡ streamed ≡ in-memory*
+//! event for event.
+
+use crate::protocol::{decode_error_reply, FrameReader, GREETING};
+use acmr_core::{AcmrError, ArrivalEvent, Request, RunReport};
+use acmr_workloads::trace::write_request_line;
+use std::io::{BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One live session against an `acmr serve` endpoint.
+///
+/// ```no_run
+/// use acmr_core::Request;
+/// use acmr_graph::{EdgeId, EdgeSet};
+/// use acmr_serve::ServeClient;
+///
+/// // A server is listening (e.g. `acmr serve --addr 127.0.0.1:4790`).
+/// let mut client = ServeClient::connect(
+///     "127.0.0.1:4790",
+///     "aag-weighted?seed=7",
+///     None,       // base seed (spec seed wins anyway)
+///     &[1, 1],    // edge capacities, exactly as for a local Session
+/// )?;
+/// let event = client.push(&Request::unit(EdgeSet::singleton(EdgeId(0))))?;
+/// assert!(event.accepted);
+/// let report = client.finish()?; // END → final RunReport
+/// assert_eq!(report.requests, 1);
+/// # Ok::<(), acmr_core::AcmrError>(())
+/// ```
+pub struct ServeClient {
+    frames: FrameReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    session_id: u64,
+    spec: String,
+}
+
+impl ServeClient {
+    /// Connect to `addr` and open a session running `spec` over the
+    /// given edge capacities. `base_seed` feeds randomized algorithms
+    /// unless the spec carries its own `seed=` (exactly like
+    /// [`acmr_core::Session::from_registry`]).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        spec: &str,
+        base_seed: Option<u64>,
+        capacities: &[u32],
+    ) -> Result<Self, AcmrError> {
+        let stream = TcpStream::connect(addr).map_err(|e| AcmrError::Io {
+            message: format!("cannot connect to acmr serve: {e}"),
+        })?;
+        // Frames are small and latency-bound; Nagle would trade the
+        // per-decision round trip for nothing.
+        let _ = stream.set_nodelay(true);
+        let write_half = stream.try_clone().map_err(|e| AcmrError::Io {
+            message: format!("cannot clone socket: {e}"),
+        })?;
+        let mut frames = FrameReader::new(stream);
+        let mut writer = BufWriter::new(write_half);
+
+        let (_, greeting) = reply_line(&mut frames)?;
+        if greeting != GREETING {
+            return Err(AcmrError::Remote {
+                code: "proto".into(),
+                message: format!("unexpected greeting {greeting:?} (expected {GREETING:?})"),
+            });
+        }
+        match base_seed {
+            Some(seed) => writeln!(writer, "OPEN {spec} seed={seed}")?,
+            None => writeln!(writer, "OPEN {spec}")?,
+        }
+        writeln!(writer, "edges {}", capacities.len())?;
+        write!(writer, "caps")?;
+        for c in capacities {
+            write!(writer, " {c}")?;
+        }
+        writeln!(writer)?;
+        writer.flush()?;
+
+        let (_, ok) = reply_line(&mut frames)?;
+        let rest = decode_reply(&ok, "OK")?;
+        let mut toks = rest.splitn(2, ' ');
+        let session_id = toks
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| proto_error(format!("malformed OK reply {ok:?}")))?;
+        let spec = toks.next().unwrap_or(spec).to_string();
+        Ok(ServeClient {
+            frames,
+            writer,
+            session_id,
+            spec,
+        })
+    }
+
+    /// The server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// The canonical spec the server echoed in its `OK` reply.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// Send one arrival and wait for its audited decision — the remote
+    /// twin of [`acmr_core::Session::push`].
+    pub fn push(&mut self, request: &Request) -> Result<ArrivalEvent, AcmrError> {
+        write_request_line(&mut self.writer, request)?;
+        self.writer.flush()?;
+        self.read_event()
+    }
+
+    /// Send a `BATCH n` frame and wait for its `n` decisions — the
+    /// remote twin of [`acmr_core::Session::push_batch`]. On a
+    /// mid-batch error the events the server delivered before the
+    /// `ERR` are dropped with the buffer; use
+    /// [`ServeClient::push_batch_into`] to keep them (mirroring the
+    /// core `push_batch` / `push_batch_into` pair). `batch` must not
+    /// exceed [`crate::protocol::MAX_BATCH`] — callers that chunk an
+    /// unbounded stream should clamp to it, as [`serve_trace`] does.
+    pub fn push_batch(&mut self, batch: &[Request]) -> Result<Vec<ArrivalEvent>, AcmrError> {
+        let mut events = Vec::with_capacity(batch.len());
+        self.push_batch_into(batch, &mut events)?;
+        Ok(events)
+    }
+
+    /// [`ServeClient::push_batch`] writing into a caller-owned buffer.
+    /// `events` is cleared first; on success it holds one event per
+    /// request, and on a mid-batch failure it holds the events the
+    /// server delivered before its terminal `ERR` — the wire keeps the
+    /// protocol's promise (`docs/SERVING.md`) that arrivals applied
+    /// before a violation are still reported, and this method keeps it
+    /// for the caller.
+    pub fn push_batch_into(
+        &mut self,
+        batch: &[Request],
+        events: &mut Vec<ArrivalEvent>,
+    ) -> Result<(), AcmrError> {
+        events.clear();
+        writeln!(self.writer, "BATCH {}", batch.len())?;
+        for request in batch {
+            write_request_line(&mut self.writer, request)?;
+        }
+        self.writer.flush()?;
+        events.reserve(batch.len());
+        for _ in 0..batch.len() {
+            events.push(self.read_event()?);
+        }
+        Ok(())
+    }
+
+    /// End the session: the server replies with the final
+    /// [`RunReport`] (no offline-optimum context — a live session
+    /// cannot see the future; replay the saved trace through `acmr
+    /// run` for bounds) and closes the connection.
+    pub fn finish(mut self) -> Result<RunReport, AcmrError> {
+        writeln!(self.writer, "END")?;
+        self.writer.flush()?;
+        let (_, line) = reply_line(&mut self.frames)?;
+        let json = decode_reply(&line, "REPORT")?;
+        serde_json::from_str(json).map_err(|e| proto_error(format!("malformed REPORT: {e}")))
+    }
+
+    fn read_event(&mut self) -> Result<ArrivalEvent, AcmrError> {
+        let (_, line) = reply_line(&mut self.frames)?;
+        let json = decode_reply(&line, "EVENT")?;
+        serde_json::from_str(json).map_err(|e| proto_error(format!("malformed EVENT: {e}")))
+    }
+}
+
+fn proto_error(message: String) -> AcmrError {
+    AcmrError::Remote {
+        code: "proto".into(),
+        message,
+    }
+}
+
+/// Read one reply line; a closed connection is a typed error (the
+/// protocol always ends with `REPORT` or `ERR`, never a silent EOF).
+fn reply_line(frames: &mut FrameReader<TcpStream>) -> Result<(usize, String), AcmrError> {
+    frames
+        .next_line()?
+        .ok_or_else(|| proto_error("server closed the connection without a reply".into()))
+}
+
+/// Strip the expected reply keyword; an `ERR` reply decodes to the
+/// typed [`AcmrError::Remote`] instead.
+fn decode_reply<'a>(line: &'a str, expected: &str) -> Result<&'a str, AcmrError> {
+    if let Some(rest) = line.strip_prefix("ERR ") {
+        return Err(decode_error_reply(rest));
+    }
+    line.strip_prefix(expected)
+        .map(str::trim_start)
+        .ok_or_else(|| proto_error(format!("expected a {expected} reply, got {line:?}")))
+}
+
+/// Replay a whole arrival stream through a serving endpoint — the
+/// remote twin of [`acmr_core::Session::run_stream`], and what `acmr
+/// client --stream` dispatches to. Arrivals are taken from any
+/// fallible request iterator (e.g. a chunked
+/// `acmr_workloads::trace::TraceReader`); with `batch: Some(n)` they
+/// travel as `BATCH` frames of at most `min(n,
+/// [`crate::protocol::MAX_BATCH`])` requests — so any `--batch` value
+/// that `acmr run` accepts works here too. `on_event` sees every
+/// audited decision in arrival order (the events preceding a
+/// mid-batch failure included); the final report is returned.
+pub fn serve_trace<I>(
+    addr: impl ToSocketAddrs,
+    spec: &str,
+    base_seed: Option<u64>,
+    capacities: &[u32],
+    arrivals: I,
+    batch: Option<usize>,
+    mut on_event: impl FnMut(&ArrivalEvent),
+) -> Result<RunReport, AcmrError>
+where
+    I: IntoIterator<Item = Result<Request, AcmrError>>,
+{
+    if batch == Some(0) {
+        return Err(AcmrError::InvalidRequest {
+            reason: "batch size must be at least 1".to_string(),
+        });
+    }
+    let mut client = ServeClient::connect(addr, spec, base_seed, capacities)?;
+    match batch {
+        None => {
+            for request in arrivals {
+                on_event(&client.push(&request?)?);
+            }
+        }
+        Some(n) => {
+            let n = n.min(crate::protocol::MAX_BATCH);
+            let mut chunk = Vec::with_capacity(n);
+            let mut events = Vec::new();
+            let mut flush =
+                |client: &mut ServeClient, chunk: &mut Vec<Request>| -> Result<(), AcmrError> {
+                    let result = client.push_batch_into(chunk, &mut events);
+                    for event in &events {
+                        on_event(event);
+                    }
+                    chunk.clear();
+                    result
+                };
+            for request in arrivals {
+                chunk.push(request?);
+                if chunk.len() == n {
+                    flush(&mut client, &mut chunk)?;
+                }
+            }
+            if !chunk.is_empty() {
+                flush(&mut client, &mut chunk)?;
+            }
+        }
+    }
+    client.finish()
+}

@@ -1,0 +1,42 @@
+//! # acmr-serve
+//!
+//! The live serving front end for the admission-control engine: a
+//! line-based TCP protocol (`ACMR-SERVE v1`, specified in
+//! `docs/SERVING.md`) that drives one streaming
+//! [`acmr_core::Session`] per connection — the production shape of
+//! the paper's online model, where requests genuinely arrive one at a
+//! time over a wire and every accept/reject decision is pushed back
+//! as it is made.
+//!
+//! Three public layers, std-only (the workspace builds offline, so
+//! the server is `std::net::TcpListener` + one thread per connection
+//! rather than an async runtime):
+//!
+//! * [`protocol`] — the wire grammar: the capped [`protocol::
+//!   FrameReader`] both ends use, the stable `ERR` code table, and the
+//!   constants (`GREETING`, frame/batch caps). Arrival frames reuse
+//!   the trace grammar of `docs/TRACE_FORMAT.md` via
+//!   `acmr_workloads::trace::parse_request_line`, so the socket and
+//!   the file formats can never drift apart.
+//! * [`serve`] / [`ServerHandle`] / [`SessionManager`] — the server:
+//!   thread-per-connection over the shared [`acmr_core::Registry`],
+//!   a concurrent session table, typed `ERR` replies for every
+//!   failure, graceful shutdown that closes live sockets and joins
+//!   every worker.
+//! * [`ServeClient`] / [`serve_trace`] — the client: mirrors the
+//!   local `Session` API (`push` / `push_batch` / `finish`), so the
+//!   differential suite pins *served ≡ streamed ≡ in-memory* decision
+//!   streams for every registered algorithm.
+//!
+//! `acmr serve` and `acmr client --stream` are thin CLI shims over
+//! this crate; `docs/OPERATIONS.md` is the operator guide.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{serve_trace, ServeClient};
+pub use server::{serve, ServeConfig, ServerHandle, SessionManager, SessionMeta, DEFAULT_ADDR};

@@ -1,0 +1,210 @@
+//! The `ACMR-SERVE v1` wire protocol: constants, the capped line
+//! reader both ends use, and the error-reply encoding.
+//!
+//! The protocol is line-based on purpose — it is the trace grammar of
+//! `docs/TRACE_FORMAT.md` lifted onto a socket (request frames *are*
+//! trace request lines, parsed by the same
+//! [`acmr_workloads::trace::parse_request_line`] the file reader
+//! uses), so `nc` is a usable client and every framing rule is
+//! specified in one place: `docs/SERVING.md`.
+//!
+//! ## Frame summary
+//!
+//! ```text
+//! server → client   ACMR-SERVE v1              greeting, on accept
+//! client → server   OPEN <spec> [seed=<S>]     handshake line 1
+//!                   edges <m>                  handshake line 2
+//!                   caps <c1> … <cm>           handshake line 3
+//! server → client   OK <session-id> <canonical-spec>
+//! client → server   <cost> <edge>…             one arrival (trace grammar)
+//!                   BATCH <n>                  then exactly n request lines
+//!                   END                        finish the session
+//! server → client   EVENT <json>               one per arrival, in order
+//!                   REPORT <json>              reply to END, then close
+//!                   ERR <code> <message>       terminal: connection closes
+//! ```
+
+use acmr_core::AcmrError;
+use acmr_workloads::trace::LineScanner;
+use std::io::Read;
+
+/// The greeting the server writes on accept, and the protocol version
+/// a client must expect.
+pub const GREETING: &str = "ACMR-SERVE v1";
+
+/// Longest wire line either end accepts — **equal to the trace
+/// reader's [`acmr_workloads::trace::MAX_LINE_BYTES`]**, so the socket
+/// accepts exactly the lines the file reader accepts (a trace that
+/// streams through `acmr run --stream` always replays through `acmr
+/// client`) while an adversarial newline-free stream still cannot
+/// balloon a connection thread's memory past this cap.
+pub const MAX_FRAME_BYTES: usize = acmr_workloads::trace::MAX_LINE_BYTES;
+
+/// Largest `BATCH <n>` a server accepts: bounds the per-connection
+/// request buffer the same way [`MAX_FRAME_BYTES`] bounds lines.
+pub const MAX_BATCH: usize = 1 << 16;
+
+/// Where the protocol is specified — echoed in every `ERR` reply so an
+/// operator staring at a raw socket log knows where to look.
+pub const SPEC_POINTER: &str = "protocol spec: docs/SERVING.md";
+
+/// The stable wire code an [`AcmrError`] maps onto in `ERR` replies.
+///
+/// Codes are part of the protocol surface (scripts may dispatch on
+/// them), so they are spelled out in `docs/SERVING.md` and must not
+/// change meaning within `v1`.
+pub fn error_code(e: &AcmrError) -> &'static str {
+    match e {
+        AcmrError::SpecParse { .. } => "spec",
+        AcmrError::UnknownAlgorithm { .. } => "unknown-algorithm",
+        AcmrError::BadParam { .. } => "bad-param",
+        AcmrError::ContractViolation { .. } => "violation",
+        AcmrError::SessionPoisoned => "poisoned",
+        AcmrError::InvalidRequest { .. } => "invalid",
+        AcmrError::TraceParse { .. } => "parse",
+        AcmrError::Io { .. } => "io",
+        AcmrError::Remote { .. } => "proto",
+    }
+}
+
+/// Render an [`AcmrError`] as the single-line `ERR` reply the server
+/// sends before closing the connection (newline not included).
+pub fn error_reply(e: &AcmrError) -> String {
+    // Error displays are single-line by construction; the replace is
+    // belt-and-braces so a future message can never break the framing.
+    let message = e.to_string().replace('\n', " ");
+    format!("ERR {} {message} ({SPEC_POINTER})", error_code(e))
+}
+
+/// Decode an `ERR <code> <message>` line (without the `ERR ` prefix
+/// already stripped) into the typed [`AcmrError::Remote`] the client
+/// surfaces.
+pub fn decode_error_reply(rest: &str) -> AcmrError {
+    let mut parts = rest.splitn(2, ' ');
+    let code = parts.next().unwrap_or("proto").to_string();
+    let message = parts.next().unwrap_or("").to_string();
+    AcmrError::Remote { code, message }
+}
+
+/// Chunked, capped line reader both the server and the client run
+/// their half of the socket through: yields trimmed lines with their
+/// 1-based wire line number, and rejects any line longer than
+/// [`MAX_FRAME_BYTES`] with a typed [`AcmrError::TraceParse`] —
+/// bounded memory against hostile peers, never a panic.
+///
+/// A thin owned-`String` wrapper over
+/// [`acmr_workloads::trace::LineScanner`] — the *same* byte-level
+/// tokenizer the trace file reader uses, so the socket and the file
+/// carve lines identically by construction.
+///
+/// ```
+/// use acmr_serve::protocol::FrameReader;
+///
+/// let mut frames = FrameReader::new("OPEN greedy\nedges 2\n".as_bytes());
+/// assert_eq!(frames.next_line().unwrap(), Some((1, "OPEN greedy".to_string())));
+/// assert_eq!(frames.next_line().unwrap(), Some((2, "edges 2".to_string())));
+/// assert_eq!(frames.next_line().unwrap(), None); // clean EOF
+/// ```
+pub struct FrameReader<R: Read> {
+    scan: LineScanner<R>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap one half of a byte stream.
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            scan: LineScanner::with_max_line(inner, MAX_FRAME_BYTES),
+        }
+    }
+
+    /// Lines yielded so far (the next line is number `line_number()+1`).
+    pub fn line_number(&self) -> usize {
+        self.scan.line_number()
+    }
+
+    /// The next line as `(1-based number, trimmed content)`, `None` at
+    /// end of stream. A peer that stops mid-line yields the partial
+    /// line once EOF is observed, exactly like the trace reader.
+    pub fn next_line(&mut self) -> Result<Option<(usize, String)>, AcmrError> {
+        Ok(self
+            .scan
+            .next_line()?
+            .map(|(n, line)| (n, line.to_string())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_reader_yields_numbered_trimmed_lines() {
+        let input = "  OPEN greedy  \n\nEND";
+        let mut frames = FrameReader::new(input.as_bytes());
+        assert_eq!(frames.next_line().unwrap(), Some((1, "OPEN greedy".into())));
+        assert_eq!(frames.next_line().unwrap(), Some((2, String::new())));
+        // Final line without trailing newline still arrives.
+        assert_eq!(frames.next_line().unwrap(), Some((3, "END".into())));
+        assert_eq!(frames.next_line().unwrap(), None);
+        assert_eq!(frames.line_number(), 3);
+    }
+
+    #[test]
+    fn frame_reader_caps_line_length() {
+        let long = vec![b'a'; MAX_FRAME_BYTES + acmr_workloads::trace::CHUNK_SIZE + 1];
+        let err = FrameReader::new(&long[..]).next_line().unwrap_err();
+        assert!(
+            matches!(&err, AcmrError::TraceParse { line: 1, message } if message.contains("exceeds")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn frame_reader_rejects_invalid_utf8() {
+        let err = FrameReader::new(&[0xff, 0xfe, b'\n'][..])
+            .next_line()
+            .unwrap_err();
+        assert!(
+            matches!(err, AcmrError::TraceParse { line: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn error_replies_round_trip_through_the_wire_form() {
+        let e = AcmrError::TraceParse {
+            line: 7,
+            message: "bad cost nan".into(),
+        };
+        let reply = error_reply(&e);
+        assert!(reply.starts_with("ERR parse "), "{reply}");
+        assert!(reply.contains(SPEC_POINTER), "{reply}");
+        let decoded = decode_error_reply(reply.strip_prefix("ERR ").unwrap());
+        match decoded {
+            AcmrError::Remote { code, message } => {
+                assert_eq!(code, "parse");
+                assert!(message.contains("bad cost nan"));
+            }
+            other => panic!("expected Remote, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_error_variant_has_a_stable_code() {
+        assert_eq!(error_code(&AcmrError::SessionPoisoned), "poisoned");
+        assert_eq!(
+            error_code(&AcmrError::ContractViolation {
+                algorithm: "x".into(),
+                detail: "y".into()
+            }),
+            "violation"
+        );
+        assert_eq!(
+            error_code(&AcmrError::Remote {
+                code: "spec".into(),
+                message: String::new()
+            }),
+            "proto"
+        );
+    }
+}

@@ -1,0 +1,600 @@
+//! The serving front end: a thread-per-connection TCP server driving
+//! one [`acmr_core::Session`] per connection.
+//!
+//! Every connection is one admission-control session: handshake, any
+//! number of arrival frames (single request lines or `BATCH n`
+//! frames, mapped onto [`acmr_core::Session::push`] /
+//! [`acmr_core::Session::push_batch_into`]), then `END` for the final
+//! [`acmr_core::RunReport`]. The [`SessionManager`] is the concurrent
+//! session table — it tracks live sessions, hands out ids, and owns
+//! the socket handles graceful shutdown needs to unblock reader
+//! threads.
+//!
+//! Error handling is the streaming `Session` contract lifted onto the
+//! wire: every failure — malformed frame, unknown algorithm, contract
+//! violation — becomes one typed `ERR` reply (reusing
+//! [`AcmrError`] via the stable wire codes of
+//! [`crate::protocol::error_code`]) and the connection closes. The
+//! *process* never dies on a bad stream; the protocol fuzz suite pins
+//! that.
+
+use crate::protocol::{error_reply, FrameReader, GREETING, MAX_BATCH};
+use acmr_core::{AcmrError, AlgorithmSpec, Registry, Request, Session};
+use acmr_workloads::trace::{parse_caps_line, parse_edges_line, parse_request_line};
+use std::collections::HashMap;
+use std::io::{BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// The address `acmr serve` and `acmr client` default to.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:4790";
+
+/// Tuning knobs for [`serve`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Address to bind (`host:port`; port `0` picks an ephemeral one —
+    /// read it back from [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Maximum concurrent connections; one thread per connection, so
+    /// this is also the worker-thread cap. Further connections get a
+    /// typed `ERR io … capacity` reply and are closed immediately.
+    pub max_connections: usize,
+    /// Optional per-read socket timeout. `None` (the default) lets a
+    /// session idle forever — right for genuinely sparse live traffic,
+    /// but it means a silent peer holds its connection slot until it
+    /// hangs up or the server shuts down. Set it to bound how long a
+    /// stalled peer can pin a `max_connections` slot; a timeout
+    /// surfaces as a terminal `ERR io` reply.
+    pub idle_timeout: Option<std::time::Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: DEFAULT_ADDR.to_string(),
+            max_connections: 1024,
+            idle_timeout: None,
+        }
+    }
+}
+
+/// Metadata snapshot of one live session.
+#[derive(Clone, Debug)]
+pub struct SessionMeta {
+    /// Session id (echoed to the client in the `OK` reply).
+    pub id: u64,
+    /// Peer address, as reported by the socket.
+    pub peer: String,
+    /// Canonical algorithm spec the session runs.
+    pub spec: String,
+}
+
+struct SessionEntry {
+    meta: SessionMeta,
+    /// Reader-half clone, kept so shutdown can unblock the thread.
+    stream: Option<TcpStream>,
+}
+
+/// The concurrent session table: every live connection registers its
+/// session here and deregisters on close, so an operator (or a test)
+/// can observe the serving state, and graceful shutdown can close
+/// every live socket to unblock its thread.
+///
+/// ```
+/// use acmr_serve::SessionManager;
+///
+/// let manager = SessionManager::new();
+/// let id = manager.register("client:1".into(), "greedy".into(), None);
+/// assert_eq!(manager.active(), 1);
+/// assert_eq!(manager.snapshot()[0].spec, "greedy");
+/// manager.deregister(id);
+/// assert_eq!(manager.active(), 0);
+/// assert_eq!(manager.total_opened(), 1);
+/// ```
+#[derive(Default)]
+pub struct SessionManager {
+    next_id: AtomicU64,
+    opened: AtomicU64,
+    sessions: Mutex<HashMap<u64, SessionEntry>>,
+    /// Every live connection's socket, tracked from **accept time** —
+    /// before the handshake, so [`SessionManager::close_all`] can
+    /// unblock a thread still waiting for `OPEN` (a session only
+    /// enters `sessions` once the handshake succeeds).
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Set (permanently) by [`SessionManager::close_all`]: a
+    /// connection tracked *after* the close sweep is shut down on
+    /// registration, so the accept-vs-shutdown race cannot leave a
+    /// socket open that no one will ever close.
+    closing: AtomicBool,
+}
+
+impl SessionManager {
+    /// An empty table.
+    pub fn new() -> Self {
+        SessionManager::default()
+    }
+
+    /// Register a live session; returns its id. `stream` is the
+    /// connection's socket (a clone), kept so [`SessionManager::
+    /// close_all`] can unblock the serving thread; pass `None` when
+    /// there is no socket (tests, embedding).
+    pub fn register(&self, peer: String, spec: String, stream: Option<TcpStream>) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.opened.fetch_add(1, Ordering::Relaxed);
+        let meta = SessionMeta { id, peer, spec };
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .insert(id, SessionEntry { meta, stream });
+        id
+    }
+
+    /// Remove a session from the table (idempotent).
+    pub fn deregister(&self, id: u64) {
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .remove(&id);
+    }
+
+    /// Live sessions right now.
+    pub fn active(&self) -> usize {
+        self.sessions.lock().expect("session table poisoned").len()
+    }
+
+    /// Sessions opened over the server's lifetime.
+    pub fn total_opened(&self) -> u64 {
+        self.opened.load(Ordering::Relaxed)
+    }
+
+    /// Metadata of every live session, in no particular order.
+    pub fn snapshot(&self) -> Vec<SessionMeta> {
+        self.sessions
+            .lock()
+            .expect("session table poisoned")
+            .values()
+            .map(|e| e.meta.clone())
+            .collect()
+    }
+
+    /// Track a connection's socket from accept time; returns a handle
+    /// for [`SessionManager::untrack_connection`]. This is what lets
+    /// [`SessionManager::close_all`] unblock a reader thread that is
+    /// still mid-handshake and therefore not yet in the session table.
+    pub fn track_connection(&self, stream: TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.conns
+            .lock()
+            .expect("connection table poisoned")
+            .insert(id, stream);
+        // Registered after close_all's sweep started? Close it here —
+        // otherwise nothing ever would (the sweep is one-shot).
+        if self.closing.load(Ordering::SeqCst) {
+            if let Some(stream) = self
+                .conns
+                .lock()
+                .expect("connection table poisoned")
+                .get(&id)
+            {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        id
+    }
+
+    /// Forget a tracked connection (idempotent).
+    pub fn untrack_connection(&self, id: u64) {
+        self.conns
+            .lock()
+            .expect("connection table poisoned")
+            .remove(&id);
+    }
+
+    /// Shut down every live connection's socket (both halves),
+    /// unblocking any thread parked in a read — pre-handshake
+    /// connections included — the teeth of graceful shutdown. Also
+    /// flips the table into closing mode: sockets tracked from now on
+    /// are shut down at registration.
+    pub fn close_all(&self) {
+        self.closing.store(true, Ordering::SeqCst);
+        for stream in self
+            .conns
+            .lock()
+            .expect("connection table poisoned")
+            .values()
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for entry in self
+            .sessions
+            .lock()
+            .expect("session table poisoned")
+            .values()
+        {
+            if let Some(stream) = &entry.stream {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Handle to a running server: its bound address, its
+/// [`SessionManager`], and the shutdown switch. Dropping the handle
+/// shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    manager: Arc<SessionManager>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's session table.
+    pub fn manager(&self) -> &Arc<SessionManager> {
+        &self.manager
+    }
+
+    /// Block until the server exits (i.e. until another thread calls
+    /// [`ServerHandle::shutdown`] or the process dies) — what `acmr
+    /// serve` does after printing the listening line.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, close every live session's
+    /// socket, and join every connection thread before returning.
+    /// In-flight frames that already reached the engine stay applied;
+    /// clients see their connection close.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection; it checks
+        // the stop flag before serving anything. A wildcard bind
+        // (0.0.0.0 / ::) is not self-connectable on every platform,
+        // so fall back to loopback on the same port.
+        let wake = std::time::Duration::from_secs(2);
+        if TcpStream::connect_timeout(&self.addr, wake).is_err() {
+            let loopback = SocketAddr::new(std::net::Ipv4Addr::LOCALHOST.into(), self.addr.port());
+            let _ = TcpStream::connect_timeout(&loopback, wake);
+        }
+        self.manager.close_all();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shutdown_in_place();
+        }
+    }
+}
+
+/// Bind `config.addr` and serve the registry's algorithms until
+/// [`ServerHandle::shutdown`]. Each accepted connection runs one
+/// session on its own thread; the returned handle owns the listener
+/// thread.
+///
+/// ```
+/// use acmr_core::{register_core, Registry};
+/// use acmr_serve::{serve, ServeConfig};
+///
+/// let mut registry = Registry::new();
+/// register_core(&mut registry);
+/// let config = ServeConfig { addr: "127.0.0.1:0".into(), ..ServeConfig::default() };
+/// let handle = serve(registry, config)?;
+/// assert_ne!(handle.local_addr().port(), 0); // ephemeral port resolved
+/// handle.shutdown(); // graceful: joins every connection thread
+/// # Ok::<(), acmr_core::AcmrError>(())
+/// ```
+pub fn serve(registry: Registry, config: ServeConfig) -> Result<ServerHandle, AcmrError> {
+    let listener = TcpListener::bind(&config.addr).map_err(|e| AcmrError::Io {
+        message: format!("cannot bind {}: {e}", config.addr),
+    })?;
+    let addr = listener.local_addr().map_err(|e| AcmrError::Io {
+        message: format!("cannot read bound address: {e}"),
+    })?;
+    let manager = Arc::new(SessionManager::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let registry = Arc::new(registry);
+
+    let accept = {
+        let manager = Arc::clone(&manager);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || accept_loop(listener, registry, manager, stop, config))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        manager,
+        stop,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    manager: Arc<SessionManager>,
+    stop: Arc<AtomicBool>,
+    config: ServeConfig,
+) {
+    let max_connections = config.max_connections;
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        // Replies are small frames on a request/response rhythm:
+        // Nagle + delayed ACK would add ~40 ms stalls per batched
+        // reply, so turn it off (the serving bench pins throughput).
+        let _ = stream.set_nodelay(true);
+        // Optional stall bound: a peer that goes silent longer than
+        // the idle timeout gets a terminal `ERR io` instead of
+        // pinning its connection slot forever.
+        let _ = stream.set_read_timeout(config.idle_timeout);
+        // Reap finished workers so a long-lived server does not
+        // accumulate dead join handles.
+        workers.retain(|h| !h.is_finished());
+        // Track the socket *before* spawning, so graceful shutdown can
+        // unblock the thread even while it is still mid-handshake.
+        let conn_id = stream.try_clone().ok().map(|s| manager.track_connection(s));
+        let manager = Arc::clone(&manager);
+        if workers.len() >= max_connections {
+            // Over capacity: a short-lived worker delivers the typed
+            // busy reply (with the same drain-before-close that keeps
+            // it from dying to a TCP reset), never a silent drop. It
+            // joins the same pool so shutdown reaps it too.
+            workers.push(std::thread::spawn(move || {
+                let mut w = BufWriter::new(&stream);
+                let busy = AcmrError::Io {
+                    message: format!("server at its {max_connections}-connection capacity"),
+                };
+                let _ = writeln!(w, "{GREETING}");
+                let _ = writeln!(w, "{}", error_reply(&busy));
+                let _ = w.flush();
+                drop(w);
+                drain_then_close(&stream);
+                if let Some(id) = conn_id {
+                    manager.untrack_connection(id);
+                }
+            }));
+            continue;
+        }
+        let registry = Arc::clone(&registry);
+        workers.push(std::thread::spawn(move || {
+            serve_connection(stream, &registry, &manager);
+            if let Some(id) = conn_id {
+                manager.untrack_connection(id);
+            }
+        }));
+    }
+    for h in workers {
+        let _ = h.join();
+    }
+}
+
+/// Run one connection to completion. Never panics on peer input: any
+/// error becomes one `ERR` reply (best-effort — the peer may already
+/// be gone) and the connection closes.
+fn serve_connection(stream: TcpStream, registry: &Registry, manager: &SessionManager) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = BufWriter::new(write_half);
+    if writeln!(writer, "{GREETING}")
+        .and_then(|_| writer.flush())
+        .is_err()
+    {
+        return;
+    }
+    let mut frames = FrameReader::new(&stream);
+    let mut session_id = None;
+    let outcome = run_session(
+        &mut frames,
+        &mut writer,
+        registry,
+        manager,
+        &stream,
+        &peer,
+        &mut session_id,
+    );
+    if let Err(e) = outcome {
+        // Best-effort typed reply; the peer may have disconnected.
+        let _ = writeln!(writer, "{}", error_reply(&e));
+        let _ = writer.flush();
+    }
+    if let Some(id) = session_id {
+        manager.deregister(id);
+    }
+    drain_then_close(&stream);
+}
+
+/// Close the connection without losing the final reply: closing a
+/// socket while unread peer bytes are pending makes the OS send RST,
+/// which can discard the `ERR`/`REPORT` the peer has not read yet. So
+/// first drain (bounded in bytes and time — a firehose peer cannot
+/// pin the thread), then shut down.
+fn drain_then_close(stream: &TcpStream) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+    let mut buf = [0u8; 64 * 1024];
+    let mut budget: usize = 8 * 1024 * 1024;
+    let mut reader = stream;
+    while budget > 0 {
+        match std::io::Read::read(&mut reader, &mut buf) {
+            Ok(0) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+            Err(_) => break,
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// The per-connection state machine: handshake, arrival frames, `END`.
+/// `Ok(())` is a clean close (END served, or the client hung up
+/// between frames); any `Err` is sent back as the terminal `ERR`.
+fn run_session(
+    frames: &mut FrameReader<&TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    registry: &Registry,
+    manager: &SessionManager,
+    stream: &TcpStream,
+    peer: &str,
+    session_id: &mut Option<u64>,
+) -> Result<(), AcmrError> {
+    let proto_err = |line: usize, message: String| AcmrError::TraceParse { line, message };
+
+    // Handshake line 1: OPEN <spec> [seed=<S>].
+    let Some((open_ln, open)) = next_content_line(frames)? else {
+        return Ok(()); // connected and left: not an error
+    };
+    let mut toks = open.split_whitespace();
+    if toks.next() != Some("OPEN") {
+        return Err(proto_err(
+            open_ln,
+            format!("expected `OPEN <spec> [seed=<S>]`, got {open:?}"),
+        ));
+    }
+    let spec_str = toks
+        .next()
+        .ok_or_else(|| proto_err(open_ln, "OPEN is missing an algorithm spec".into()))?;
+    let spec = AlgorithmSpec::parse(spec_str)?;
+    let mut base_seed = 0u64;
+    for tok in toks {
+        let Some(seed) = tok.strip_prefix("seed=").and_then(|s| s.parse().ok()) else {
+            return Err(proto_err(
+                open_ln,
+                format!("unexpected OPEN argument {tok:?} (only seed=<S> is allowed)"),
+            ));
+        };
+        base_seed = seed;
+    }
+
+    // Handshake lines 2–3: the trace header's edge universe, parsed by
+    // the exact grammar functions the file reader uses.
+    let (ln, edges_line) = next_content_line(frames)?.ok_or_else(|| {
+        proto_err(
+            frames.line_number(),
+            "connection closed before `edges`".into(),
+        )
+    })?;
+    let m = parse_edges_line(ln, &edges_line)?;
+    let (ln, caps_line) = next_content_line(frames)?.ok_or_else(|| {
+        proto_err(
+            frames.line_number(),
+            "connection closed before `caps`".into(),
+        )
+    })?;
+    let capacities = parse_caps_line(ln, &caps_line, m)?;
+
+    let mut session = Session::from_registry(registry, &spec, &capacities, base_seed)?;
+    let canonical = spec.canonical();
+    let id = manager.register(peer.to_string(), canonical.clone(), stream.try_clone().ok());
+    *session_id = Some(id);
+    writeln!(writer, "OK {id} {canonical}")?;
+    writer.flush()?;
+
+    // Arrival frames until END or hangup.
+    let mut batch: Vec<Request> = Vec::new();
+    let mut events = Vec::new();
+    loop {
+        let Some((ln, line)) = next_content_line(frames)? else {
+            return Ok(()); // client hung up between frames: clean close
+        };
+        if line == "END" {
+            let report = session.report();
+            let json = serde_json::to_string(&report).map_err(|e| AcmrError::Io {
+                message: format!("cannot serialize report: {e}"),
+            })?;
+            writeln!(writer, "REPORT {json}")?;
+            writer.flush()?;
+            return Ok(());
+        }
+        if let Some(count) = line.strip_prefix("BATCH") {
+            let n: usize = count
+                .trim()
+                .parse()
+                .map_err(|_| proto_err(ln, format!("expected `BATCH <n>`, got {line:?}")))?;
+            if n > MAX_BATCH {
+                return Err(proto_err(
+                    ln,
+                    format!("BATCH {n} exceeds the {MAX_BATCH}-request frame cap"),
+                ));
+            }
+            batch.clear();
+            for _ in 0..n {
+                let (ln, line) = frames.next_line()?.ok_or_else(|| {
+                    proto_err(
+                        frames.line_number(),
+                        format!(
+                            "connection closed mid-batch ({} of {n} requests)",
+                            batch.len()
+                        ),
+                    )
+                })?;
+                batch.push(parse_request_line(ln, &line, capacities.len())?);
+            }
+            // On a mid-batch contract violation the events preceding
+            // the violation are still delivered, then the ERR.
+            let result = session.push_batch_into(&batch, &mut events);
+            for event in &events {
+                write_event(writer, event)?;
+            }
+            result?;
+            writer.flush()?;
+            continue;
+        }
+        // Anything else must be a request line of the trace grammar.
+        let request = parse_request_line(ln, &line, capacities.len())?;
+        let event = session.push(&request)?;
+        write_event(writer, &event)?;
+        writer.flush()?;
+    }
+}
+
+fn write_event(
+    writer: &mut BufWriter<TcpStream>,
+    event: &acmr_core::ArrivalEvent,
+) -> Result<(), AcmrError> {
+    let json = serde_json::to_string(event).map_err(|e| AcmrError::Io {
+        message: format!("cannot serialize event: {e}"),
+    })?;
+    writeln!(writer, "EVENT {json}")?;
+    Ok(())
+}
+
+/// Next non-blank line (blank lines between frames are ignored, which
+/// keeps hand-driven `nc` sessions pleasant).
+fn next_content_line<R: std::io::Read>(
+    frames: &mut FrameReader<R>,
+) -> Result<Option<(usize, String)>, AcmrError> {
+    loop {
+        match frames.next_line()? {
+            None => return Ok(None),
+            Some((_, line)) if line.is_empty() => continue,
+            Some(found) => return Ok(Some(found)),
+        }
+    }
+}

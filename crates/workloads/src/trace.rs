@@ -96,10 +96,95 @@ fn err(line: usize, message: impl Into<String>) -> AcmrError {
     }
 }
 
+/// Parse an `edges <m>` header line (1-based `line_no` for errors).
+///
+/// This and its siblings [`parse_caps_line`] / [`parse_request_line`]
+/// are **the** grammar: [`TraceReader`] parses trace files through
+/// them, and the `acmr-serve` wire protocol parses its handshake and
+/// arrival frames through the same functions — so the socket and the
+/// file speak byte-for-byte the same language.
+pub fn parse_edges_line(line_no: usize, line: &str) -> Result<usize, AcmrError> {
+    line.strip_prefix("edges ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| err(line_no, "expected `edges <m>`"))
+}
+
+/// Parse a `caps <c1> … <cm>` header line against the declared edge
+/// count `m`: exactly `m` capacities, all ≥ 1.
+pub fn parse_caps_line(line_no: usize, line: &str, m: usize) -> Result<Vec<u32>, AcmrError> {
+    let caps_body = line
+        .strip_prefix("caps")
+        .ok_or_else(|| err(line_no, "expected `caps …`"))?;
+    let capacities: Vec<u32> = caps_body
+        .split_whitespace()
+        .map(|t| t.parse::<u32>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| err(line_no, format!("bad capacity: {e}")))?;
+    if capacities.len() != m {
+        return Err(err(
+            line_no,
+            format!("expected {m} capacities, got {}", capacities.len()),
+        ));
+    }
+    if capacities.contains(&0) {
+        return Err(err(line_no, "capacities must be positive"));
+    }
+    Ok(capacities)
+}
+
+/// Parse one `<cost> <edge>…` request line against an edge universe of
+/// `num_edges` edges: finite positive cost, at least one edge, every
+/// edge id in range. The 1-based `line_no` is echoed in the error so a
+/// multi-gigabyte trace (or a long-lived socket session) stays
+/// debuggable.
+pub fn parse_request_line(
+    line_no: usize,
+    line: &str,
+    num_edges: usize,
+) -> Result<Request, AcmrError> {
+    let mut toks = line.split_whitespace();
+    let cost: f64 = toks
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| err(line_no, "missing cost"))?;
+    if !(cost > 0.0 && cost.is_finite()) {
+        return Err(err(line_no, format!("bad cost {cost}")));
+    }
+    let edges: Vec<EdgeId> = toks
+        .map(|t| t.parse::<u32>().map(EdgeId))
+        .collect::<Result<_, _>>()
+        .map_err(|e| err(line_no, format!("bad edge id: {e}")))?;
+    if edges.is_empty() {
+        return Err(err(line_no, "request has no edges"));
+    }
+    if edges.iter().any(|e| e.index() >= num_edges) {
+        return Err(err(line_no, "edge id out of range"));
+    }
+    Ok(Request::new(EdgeSet::new(edges), cost))
+}
+
+/// Write one `<cost> <edge>…` request line (newline included) — the
+/// exact inverse of [`parse_request_line`], shared by [`TraceWriter`]
+/// and the `acmr-serve` client so every producer emits the identical
+/// bytes (costs in Rust's shortest round-trip `f64` repr).
+pub fn write_request_line<W: Write>(sink: &mut W, r: &Request) -> io::Result<()> {
+    write!(sink, "{}", r.cost)?;
+    for e in r.footprint.iter() {
+        write!(sink, " {}", e.0)?;
+    }
+    writeln!(sink)
+}
+
 /// Chunked line scanner: pulls [`CHUNK_SIZE`] bytes at a time from the
 /// underlying reader and carves out `\n`-terminated lines, holding only
-/// the unconsumed tail in memory.
-struct LineScanner<R: Read> {
+/// the unconsumed tail in memory (capped at a configurable line
+/// length, so memory stays bounded on adversarial newline-free input).
+///
+/// Public because it is the one byte-level tokenizer for everything
+/// that speaks the trace grammar: [`TraceReader`] runs trace files
+/// through it, and `acmr-serve`'s `FrameReader` runs sockets through
+/// it — one scanner, so a carving fix can never land on one side only.
+pub struct LineScanner<R: Read> {
     inner: R,
     buf: Vec<u8>,
     /// Consumed prefix of `buf` — compacted only right before a refill,
@@ -111,10 +196,18 @@ struct LineScanner<R: Read> {
     eof: bool,
     /// Lines yielded so far (so the next line is `line + 1`).
     line: usize,
+    /// Longest accepted line; see [`MAX_LINE_BYTES`].
+    max_line_bytes: usize,
 }
 
 impl<R: Read> LineScanner<R> {
-    fn new(inner: R) -> Self {
+    /// Scan `inner` with the default [`MAX_LINE_BYTES`] cap.
+    pub fn new(inner: R) -> Self {
+        Self::with_max_line(inner, MAX_LINE_BYTES)
+    }
+
+    /// Scan `inner`, rejecting lines longer than `max_line_bytes`.
+    pub fn with_max_line(inner: R, max_line_bytes: usize) -> Self {
         LineScanner {
             inner,
             buf: Vec::new(),
@@ -122,13 +215,20 @@ impl<R: Read> LineScanner<R> {
             scanned: 0,
             eof: false,
             line: 0,
+            max_line_bytes,
         }
+    }
+
+    /// Lines yielded so far (the next line is `line_number() + 1`).
+    pub fn line_number(&self) -> usize {
+        self.line
     }
 
     /// The next line as `(1-based number, trimmed content)`, or `None`
     /// at end of input. The returned string borrows from the scanner's
-    /// buffer — no allocation per line.
-    fn next_line(&mut self) -> Result<Option<(usize, &str)>, AcmrError> {
+    /// buffer — no allocation per line. A source that ends mid-line
+    /// yields the partial line once EOF is observed.
+    pub fn next_line(&mut self) -> Result<Option<(usize, &str)>, AcmrError> {
         loop {
             debug_assert!(self.scanned >= self.start);
             if let Some(off) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
@@ -147,10 +247,10 @@ impl<R: Read> LineScanner<R> {
                 self.start = line_end;
                 return self.take_line(line_start, line_end);
             }
-            if self.buf.len() - self.start > MAX_LINE_BYTES {
+            if self.buf.len() - self.start > self.max_line_bytes {
                 return Err(err(
                     self.line + 1,
-                    format!("line exceeds {MAX_LINE_BYTES} bytes"),
+                    format!("line exceeds {} bytes", self.max_line_bytes),
                 ));
             }
             // Refill: first drop everything already consumed, then pull
@@ -245,30 +345,11 @@ impl<R: Read> TraceReader<R> {
         let (ln, edges_line) = scan
             .next_line()?
             .ok_or_else(|| err(ln, "missing edges line"))?;
-        let m: usize = edges_line
-            .strip_prefix("edges ")
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| err(ln, "expected `edges <m>`"))?;
+        let m = parse_edges_line(ln, edges_line)?;
         let (ln, caps_line) = scan
             .next_line()?
             .ok_or_else(|| err(ln, "missing caps line"))?;
-        let caps_body = caps_line
-            .strip_prefix("caps")
-            .ok_or_else(|| err(ln, "expected `caps …`"))?;
-        let capacities: Vec<u32> = caps_body
-            .split_whitespace()
-            .map(|t| t.parse::<u32>())
-            .collect::<Result<_, _>>()
-            .map_err(|e| err(ln, format!("bad capacity: {e}")))?;
-        if capacities.len() != m {
-            return Err(err(
-                ln,
-                format!("expected {m} capacities, got {}", capacities.len()),
-            ));
-        }
-        if capacities.contains(&0) {
-            return Err(err(ln, "capacities must be positive"));
-        }
+        let capacities = parse_caps_line(ln, caps_line, m)?;
         let (ln, reqs_line) = scan
             .next_line()?
             .ok_or_else(|| err(ln, "missing requests line"))?;
@@ -335,31 +416,15 @@ impl<R: Read> TraceReader<R> {
             self.finished = true;
             return Ok(None);
         }
+        let num_edges = self.capacities.len();
         let (ln, line) = self
             .scan
             .next_line()?
             .ok_or_else(|| err(self.last_line, "truncated requests"))?;
         self.last_line = ln;
-        let mut toks = line.split_whitespace();
-        let cost: f64 = toks
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| err(ln, "missing cost"))?;
-        if !(cost > 0.0 && cost.is_finite()) {
-            return Err(err(ln, format!("bad cost {cost}")));
-        }
-        let edges: Vec<EdgeId> = toks
-            .map(|t| t.parse::<u32>().map(EdgeId))
-            .collect::<Result<_, _>>()
-            .map_err(|e| err(ln, format!("bad edge id: {e}")))?;
-        if edges.is_empty() {
-            return Err(err(ln, "request has no edges"));
-        }
-        if edges.iter().any(|e| e.index() >= self.capacities.len()) {
-            return Err(err(ln, "edge id out of range"));
-        }
+        let request = parse_request_line(ln, line, num_edges)?;
         self.yielded += 1;
-        Ok(Some(Request::new(EdgeSet::new(edges), cost)))
+        Ok(Some(request))
     }
 }
 
@@ -424,11 +489,7 @@ impl<W: Write> TraceWriter<W> {
                 ),
             ));
         }
-        write!(self.sink, "{}", r.cost)?;
-        for e in r.footprint.iter() {
-            write!(self.sink, " {}", e.0)?;
-        }
-        writeln!(self.sink)?;
+        write_request_line(&mut self.sink, r)?;
         self.written += 1;
         Ok(())
     }
@@ -639,6 +700,28 @@ mod tests {
             String::from_utf8(bytes).unwrap(),
             "ACMR-TRACE v1\nedges 1\ncaps 1\nrequests 1\n1 0\n"
         );
+    }
+
+    #[test]
+    fn shared_grammar_helpers_agree_with_reader() {
+        // The standalone line parsers (shared with the serve wire
+        // protocol) accept exactly what the reader accepts.
+        assert_eq!(parse_edges_line(2, "edges 3").unwrap(), 3);
+        assert!(parse_edges_line(2, "edges three").is_err());
+        assert_eq!(parse_caps_line(3, "caps 1 2 3", 3).unwrap(), vec![1, 2, 3]);
+        assert!(parse_caps_line(3, "caps 1 2", 3).is_err());
+        assert!(parse_caps_line(3, "caps 0 2 3", 3).is_err());
+        let r = parse_request_line(5, "2.5 0 1", 2).unwrap();
+        assert_eq!(r.cost, 2.5);
+        assert!(parse_request_line(5, "2.5 0 7", 2).is_err());
+        assert!(parse_request_line(5, "nan 0", 2).is_err());
+        // write_request_line is the exact inverse (newline included).
+        let mut line = Vec::new();
+        write_request_line(&mut line, &r).unwrap();
+        assert_eq!(String::from_utf8(line).unwrap(), "2.5 0 1\n");
+        // Line numbers thread through to the typed error.
+        let e = parse_request_line(41, "bad", 2).unwrap_err();
+        assert!(matches!(e, AcmrError::TraceParse { line: 41, .. }), "{e}");
     }
 
     #[test]

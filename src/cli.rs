@@ -8,6 +8,8 @@
 //! acmr algs                            # list registered algorithms
 //! acmr run --alg 'aag-unweighted?seed=7' --format json < t.trace
 //! acmr gen --m 64 | acmr run --stream -          # chunked, unbounded
+//! acmr serve --addr 127.0.0.1:4790               # live front end
+//! acmr client --stream t.trace --alg greedy      # replay over the wire
 //! ```
 //!
 //! `run` dispatches through [`crate::harness::default_registry`] — any
@@ -26,7 +28,8 @@ use crate::harness::{
     default_registry, run_report, run_report_batched, run_report_from_path, run_report_spooled,
     BoundBudget,
 };
-use crate::workloads::trace::{read_trace, write_trace};
+use crate::serve::{serve_trace, ServeConfig, DEFAULT_ADDR};
+use crate::workloads::trace::{read_trace, write_trace, TraceReader};
 use crate::workloads::{
     dyadic_admission_instance, nested_intervals, random_path_workload, repeated_hot_edge,
     two_phase_squeeze, CostModel, PathWorkloadSpec, Topology,
@@ -342,6 +345,146 @@ pub fn cmd_run_stream(
     render_report(&report, &flags)
 }
 
+/// Parse the `acmr serve` flags into a [`ServeConfig`] — split out of
+/// [`cmd_serve`] so flag errors are unit-testable without binding a
+/// socket.
+pub fn serve_options(args: &[String]) -> Result<ServeConfig, CliError> {
+    let flags = parse_flags(args)?;
+    for key in flags.keys() {
+        if !matches!(key.as_str(), "addr" | "max-conns" | "idle-timeout") {
+            return Err(err(format!(
+                "unknown serve flag --{key} (--addr, --max-conns, --idle-timeout)"
+            )));
+        }
+    }
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    let max_connections: usize = get(&flags, "max-conns", 1024)?;
+    if max_connections == 0 {
+        return Err(err("--max-conns must be at least 1"));
+    }
+    // --idle-timeout SECS bounds how long a silent peer may pin a
+    // connection slot; absent means sessions may idle forever.
+    let idle_timeout = match flags.get("idle-timeout") {
+        None => None,
+        Some(_) => {
+            let secs: u64 = get(&flags, "idle-timeout", 30)?;
+            if secs == 0 {
+                return Err(err("--idle-timeout must be at least 1 second"));
+            }
+            Some(std::time::Duration::from_secs(secs))
+        }
+    };
+    Ok(ServeConfig {
+        addr,
+        max_connections,
+        idle_timeout,
+    })
+}
+
+/// `acmr serve` — bind the live serving front end and block until the
+/// process is killed. The listening line goes to **stderr** (stdout
+/// stays clean for scripting), naming the resolved address — so
+/// `--addr 127.0.0.1:0` is usable and the chosen port is discoverable.
+/// Wire protocol: `docs/SERVING.md`; operator guide:
+/// `docs/OPERATIONS.md`.
+pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let config = serve_options(args)?;
+    let handle = crate::serve::serve(default_registry(), config).map_err(|e| err(e.to_string()))?;
+    eprintln!(
+        "acmr-serve listening on {} (protocol: docs/SERVING.md; Ctrl-C to stop)",
+        handle.local_addr()
+    );
+    handle.wait();
+    Ok(String::new())
+}
+
+/// `acmr client --stream <file|->` — replay a trace through a serving
+/// endpoint: the loopback (or remote) twin of `acmr run --stream`.
+/// Returns the session's final report in `--format text|json`;
+/// `--events` additionally **streams** every audited decision event to
+/// `events_out` as one JSON line, in arrival order, as it happens — a
+/// multi-million-request replay never buffers its event log (the
+/// binary passes stdout; tests pass a `Vec<u8>`). Served reports carry
+/// **no** offline-optimum context (a live session cannot see the
+/// future); replay the saved trace through `acmr run` for bounds.
+pub fn cmd_client(
+    args: &[String],
+    stdin: &mut dyn Read,
+    events_out: &mut dyn std::io::Write,
+) -> Result<String, CliError> {
+    let flags = parse_flags(args)?;
+    let target = match flags.get("stream").map(String::as_str) {
+        Some("true") | None => {
+            return Err(err(
+                "client needs --stream <file|-> (the trace to replay through the server)",
+            ))
+        }
+        Some(target) => target.to_string(),
+    };
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    let alg_spec = flags
+        .get("alg")
+        .map(String::as_str)
+        .unwrap_or(DEFAULT_ALGORITHM);
+    let base_seed: Option<u64> = match flags.get("seed") {
+        None => None,
+        Some(_) => Some(get(&flags, "seed", 0)?),
+    };
+    let batch = batch_flag(&flags)?;
+    let print_events = flags.contains_key("events");
+
+    let mut write_error: Option<std::io::Error> = None;
+    let report = {
+        let mut on_event = |event: &crate::core::ArrivalEvent| {
+            if !print_events || write_error.is_some() {
+                return;
+            }
+            let written = serde_json::to_string(event)
+                .map_err(std::io::Error::other)
+                .and_then(|json| writeln!(events_out, "{json}"));
+            if let Err(e) = written {
+                write_error = Some(e);
+            }
+        };
+        if target == "-" {
+            let reader = TraceReader::new(stdin).map_err(|e| err(e.to_string()))?;
+            let capacities = reader.capacities().to_vec();
+            serve_trace(
+                addr.as_str(),
+                alg_spec,
+                base_seed,
+                &capacities,
+                reader,
+                batch,
+                &mut on_event,
+            )
+        } else {
+            let reader = TraceReader::open(&target).map_err(|e| err(e.to_string()))?;
+            let capacities = reader.capacities().to_vec();
+            serve_trace(
+                addr.as_str(),
+                alg_spec,
+                base_seed,
+                &capacities,
+                reader,
+                batch,
+                &mut on_event,
+            )
+        }
+        .map_err(|e| err(e.to_string()))?
+    };
+    if let Some(e) = write_error {
+        return Err(err(format!("cannot write event stream: {e}")));
+    }
+    render_report(&report, &flags)
+}
+
 /// Top-level dispatch over a raw stdin byte stream; only the commands
 /// that need stdin touch it, and `run --stream -` reads it **chunked**
 /// instead of slurping. Returns the stdout payload.
@@ -371,6 +514,12 @@ pub fn dispatch_io(argv: &[String], stdin: &mut dyn Read) -> Result<String, CliE
                 }
             }
         }
+        Some("serve") => cmd_serve(&argv[1..]),
+        Some("client") => {
+            // Events stream to stdout as they happen (the report — the
+            // returned string — is printed after them by the shim).
+            cmd_client(&argv[1..], stdin, &mut std::io::stdout())
+        }
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(err(format!("unknown command {other:?}\n{USAGE}"))),
     }
@@ -382,7 +531,9 @@ pub fn dispatch(argv: &[String], stdin: &str) -> Result<String, CliError> {
     dispatch_io(argv, &mut stdin.as_bytes())
 }
 
-/// CLI usage text.
+/// CLI usage text — the single source the README's usage block is
+/// generated from (`tests/readme_sync.rs` pins them together, so help
+/// and README cannot drift).
 pub const USAGE: &str =
     "acmr — admission control to minimize rejections (Alon–Azar–Gutner, SPAA 2005)
 
@@ -405,10 +556,25 @@ USAGE:
             --stream FILE|- ingests the trace in chunks without ever
             holding it in memory (`-` streams stdin); reports are
             byte-identical to the in-memory path
+  acmr serve  [--addr HOST:PORT] [--max-conns N]       # live front end
+            [--idle-timeout SECS]
+            serves the ACMR-SERVE v1 socket protocol: one admission
+            session per connection, one audited decision event per
+            arrival (default addr 127.0.0.1:4790; --addr HOST:0 picks
+            an ephemeral port, echoed on stderr; --idle-timeout bounds
+            how long a silent peer may hold a connection slot)
+  acmr client --stream FILE|- [--addr HOST:PORT] [--alg SPEC]
+            [--seed S] [--batch N] [--format text|json] [--events]
+            replays a trace through a serving endpoint and prints the
+            session's final report (--events also prints every decision
+            event as a JSON line); served reports carry no offline
+            OPT bound — replay the trace through `acmr run` for one
 
 Traces use the plain-text `ACMR-TRACE v1` format emitted by `acmr gen`;
 the grammar and streaming chunk semantics are specified in
-docs/TRACE_FORMAT.md.
+docs/TRACE_FORMAT.md. The serving wire protocol (handshake, frames,
+error replies, shutdown semantics) is specified in docs/SERVING.md;
+docs/OPERATIONS.md is the operator guide to running `acmr serve`.
 ";
 
 #[cfg(test)]
@@ -732,6 +898,124 @@ mod tests {
         assert!(e.to_string().contains("docs/TRACE_FORMAT.md"), "{e}");
         // cmd_run proper refuses --stream (it has no byte stream).
         assert!(cmd_run(&argv(&["--stream", "-"]), "x").is_err());
+    }
+
+    #[test]
+    fn serve_flag_errors_are_reported_without_binding() {
+        // Defaults resolve.
+        let config = serve_options(&[]).unwrap();
+        assert_eq!(config.addr, crate::serve::DEFAULT_ADDR);
+        assert_eq!(config.max_connections, 1024);
+        assert_eq!(config.idle_timeout, None);
+        let config = serve_options(&argv(&[
+            "--addr",
+            "0.0.0.0:9",
+            "--max-conns",
+            "4",
+            "--idle-timeout",
+            "30",
+        ]))
+        .unwrap();
+        assert_eq!(config.addr, "0.0.0.0:9");
+        assert_eq!(config.max_connections, 4);
+        assert_eq!(
+            config.idle_timeout,
+            Some(std::time::Duration::from_secs(30))
+        );
+        // Typed flag errors.
+        let e = serve_options(&argv(&["--max-conns", "0"])).unwrap_err();
+        assert!(e.to_string().contains("--max-conns"), "{e}");
+        assert!(serve_options(&argv(&["--max-conns", "lots"])).is_err());
+        let e = serve_options(&argv(&["--idle-timeout", "0"])).unwrap_err();
+        assert!(e.to_string().contains("--idle-timeout"), "{e}");
+        assert!(serve_options(&argv(&["--idle-timeout", "soon"])).is_err());
+        let e = serve_options(&argv(&["--port", "7"])).unwrap_err();
+        assert!(e.to_string().contains("unknown serve flag"), "{e}");
+        // An unbindable address is a typed error, not a panic.
+        let e = cmd_serve(&argv(&["--addr", "256.256.256.256:1"])).unwrap_err();
+        assert!(e.to_string().contains("cannot bind"), "{e}");
+    }
+
+    #[test]
+    fn client_replays_traces_through_a_live_server() {
+        // In-process server; the CLI client speaks to it over loopback.
+        let handle = crate::serve::serve(
+            default_registry(),
+            crate::serve::ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.local_addr().to_string();
+        let trace = cmd_gen(&argv(&["--m", "12", "--cap", "2", "--seed", "6"])).unwrap();
+
+        // The served report equals the in-memory run minus the OPT
+        // context a live session cannot compute.
+        let mut expected: RunReport = serde_json::from_str(
+            &cmd_run(
+                &argv(&["--alg", "greedy", "--seed", "2", "--format", "json"]),
+                &trace,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        expected.opt = None;
+        let expected_json = serde_json::to_string_pretty(&expected).unwrap() + "\n";
+
+        // --stream - (stdin) and --batch N must both match.
+        for extra in [&[][..], &["--batch", "5"][..]] {
+            let mut args = argv(&[
+                "client", "--stream", "-", "--addr", &addr, "--alg", "greedy", "--seed", "2",
+                "--format", "json",
+            ]);
+            args.extend(extra.iter().map(|s| s.to_string()));
+            let out = dispatch(&args, &trace).unwrap();
+            assert_eq!(out, expected_json, "extra flags {extra:?}");
+        }
+
+        // --events streams one JSON decision line per arrival into the
+        // events sink (stdout in the binary), ahead of the report.
+        let mut events_sink = Vec::new();
+        let out = cmd_client(
+            &argv(&[
+                "--stream", "-", "--addr", &addr, "--alg", "greedy", "--seed", "2", "--events",
+            ]),
+            &mut trace.as_bytes(),
+            &mut events_sink,
+        )
+        .unwrap();
+        let events_text = String::from_utf8(events_sink).unwrap();
+        let event_lines = events_text.lines().filter(|l| l.starts_with('{')).count();
+        assert_eq!(event_lines, expected.requests, "{events_text}");
+        assert!(out.contains("algorithm      : greedy"), "{out}");
+        assert!(!out.contains('{'), "report must not carry events: {out}");
+
+        // Usage errors.
+        let e = dispatch(&argv(&["client"]), "").unwrap_err();
+        assert!(e.to_string().contains("--stream"), "{e}");
+        let e = dispatch(&argv(&["client", "--stream"]), "").unwrap_err();
+        assert!(e.to_string().contains("--stream"), "{e}");
+        // Server-side failures come back as typed remote errors.
+        let e = dispatch(
+            &argv(&["client", "--stream", "-", "--addr", &addr, "--alg", "nope"]),
+            &trace,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("unknown-algorithm"), "{e}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn client_without_a_server_reports_a_typed_error() {
+        // Nothing listens on this port (bind-then-drop reserves one).
+        let addr = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().to_string()
+        };
+        let trace = cmd_gen(&argv(&["--m", "4", "--cap", "1"])).unwrap();
+        let e = dispatch(&argv(&["client", "--stream", "-", "--addr", &addr]), &trace).unwrap_err();
+        assert!(e.to_string().contains("cannot connect"), "{e}");
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`harness`] — the assembled registry, report-producing runners
 //!   (in-memory, and streamed with the two-pass OPT bound), sharded
 //!   sweeps, experiments E1–E9, E11
+//! * [`serve`] — the live serving front end: the `ACMR-SERVE v1` TCP
+//!   protocol (`docs/SERVING.md`), thread-per-connection session
+//!   server, and matching client (`acmr serve` / `acmr client`)
 //!
 //! `docs/ARCHITECTURE.md` maps the crates and the layered engine API
 //! (registry → session → batch → stream → reports → shard → CLI).
@@ -60,4 +63,5 @@ pub use acmr_core as core;
 pub use acmr_graph as graph;
 pub use acmr_harness as harness;
 pub use acmr_lp as lp;
+pub use acmr_serve as serve;
 pub use acmr_workloads as workloads;

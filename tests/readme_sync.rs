@@ -1,0 +1,46 @@
+//! README ↔ `acmr help` drift guard.
+//!
+//! The README's usage block is generated from [`acmr::cli::USAGE`]
+//! verbatim, between `<!-- acmr-help:begin -->` / `<!-- acmr-help:end
+//! -->` markers. This test fails tier-1 (and the named CI step) the
+//! moment either side changes without the other, so the README can
+//! never again document a stale CLI surface. To update: paste the new
+//! `acmr help` output between the markers (inside the ```text fence)
+//! and commit both files together.
+
+#[test]
+fn readme_usage_block_matches_acmr_help() {
+    let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/README.md");
+    let readme = std::fs::read_to_string(readme_path).expect("read README.md");
+
+    let begin = "<!-- acmr-help:begin";
+    let end = "<!-- acmr-help:end";
+    let start = readme
+        .find(begin)
+        .expect("README.md is missing the `<!-- acmr-help:begin -->` marker");
+    let stop = readme[start..]
+        .find(end)
+        .map(|off| start + off)
+        .expect("README.md is missing the `<!-- acmr-help:end -->` marker");
+    let block = &readme[start..stop];
+
+    // Inside the markers sits exactly one ```text fence holding the
+    // verbatim `acmr help` output.
+    let fence_open = block
+        .find("```text\n")
+        .expect("marker block must contain a ```text fence");
+    let body_start = fence_open + "```text\n".len();
+    let body_end = block[body_start..]
+        .find("\n```")
+        .map(|off| body_start + off + 1)
+        .expect("unterminated ```text fence in the marker block");
+    let block_usage = &block[body_start..body_end];
+
+    assert_eq!(
+        block_usage,
+        acmr::cli::USAGE,
+        "README.md's usage block has drifted from `acmr help`.\n\
+         Regenerate it: replace the fenced block between the\n\
+         acmr-help markers with the current `acmr help` output."
+    );
+}
