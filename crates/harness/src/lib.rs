@@ -18,6 +18,11 @@
 //! * [`ShardedDriver`] — many `(spec, trace)` jobs fanned over scoped
 //!   worker threads into one [`SweepReport`], traces in memory
 //!   ([`TraceSource::InMemory`]) or on disk ([`TraceSource::Path`]).
+//! * [`ClusterDriver`] — the same sweep fanned over **worker
+//!   processes**: each job replays through a remote `acmr serve`
+//!   session from an [`acmr_serve::WorkerPool`], with OPT bounds
+//!   still computed locally once per distinct trace; reports are
+//!   byte-identical to [`ShardedDriver`]'s.
 //!
 //! Design rules:
 //!
@@ -35,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod experiments;
 pub mod opt;
 pub mod parallel;
@@ -45,6 +51,7 @@ pub mod stats;
 pub mod stream;
 pub mod table;
 
+pub use cluster::ClusterDriver;
 pub use opt::{
     admission_covering_problem, admission_opt, multicover_problem, setcover_opt, BoundBudget,
     OptBound, OptBoundKind,

@@ -50,10 +50,103 @@ impl From<PathBuf> for TraceSource {
     }
 }
 
-/// Borrowed view shared by the in-memory and path-backed run paths.
-enum SourceRef<'a> {
+/// Borrowed view shared by the in-memory and path-backed run paths
+/// (and by [`crate::cluster::ClusterDriver`], which resolves jobs and
+/// computes bounds through the exact same phases).
+pub(crate) enum SourceRef<'a> {
     Mem(&'a AdmissionInstance),
     Path(&'a Path),
+}
+
+/// Resolve every job against the trace table and parse its spec, so a
+/// typo fails fast before any work is fanned out. Also rejects
+/// duplicate trace names (a sweep must be unambiguous about which
+/// trace a job means).
+pub(crate) fn resolve_jobs<'j>(
+    names: &[&str],
+    jobs: &'j [SweepJob],
+) -> Result<Vec<(usize, AlgorithmSpec, &'j SweepJob)>, AcmrError> {
+    for (i, name) in names.iter().enumerate() {
+        if names[..i].contains(name) {
+            return Err(AcmrError::InvalidRequest {
+                reason: format!("duplicate trace name {name:?} in sweep"),
+            });
+        }
+    }
+    jobs.iter()
+        .map(|job| {
+            let idx = names.iter().position(|n| *n == job.trace).ok_or_else(|| {
+                AcmrError::InvalidRequest {
+                    reason: format!("job references unknown trace {:?}", job.trace),
+                }
+            })?;
+            Ok((idx, AlgorithmSpec::parse(&job.spec)?, job))
+        })
+        .collect()
+}
+
+/// One offline-optimum bound per distinct trace that some job
+/// actually references, fanned over `threads` — `None` entries mean
+/// "no budget requested" or "no job runs on this trace". Path-backed
+/// traces use the two-pass streamed bound, which equals the in-memory
+/// bound by construction.
+pub(crate) fn compute_shared_bounds(
+    sources: &[SourceRef<'_>],
+    resolved: &[(usize, AlgorithmSpec, &SweepJob)],
+    budget: Option<BoundBudget>,
+    threads: usize,
+) -> Result<Vec<Option<OptBound>>, AcmrError> {
+    let mut bounds: Vec<Option<OptBound>> = vec![None; sources.len()];
+    if let Some(budget) = budget {
+        let mut used: Vec<usize> = resolved.iter().map(|(idx, _, _)| *idx).collect();
+        used.sort_unstable();
+        used.dedup();
+        let inputs: Vec<(usize, &SourceRef<'_>)> =
+            used.into_iter().map(|i| (i, &sources[i])).collect();
+        for (i, bound) in parallel_map(inputs, threads, |(i, source)| {
+            let bound = match source {
+                SourceRef::Mem(inst) => Ok(admission_opt(inst, budget)),
+                SourceRef::Path(path) => admission_opt_from_path(path, budget),
+            };
+            (*i, bound)
+        }) {
+            bounds[i] = Some(bound?);
+        }
+    }
+    Ok(bounds)
+}
+
+/// Fold per-job results into one [`SweepReport`] (submission order,
+/// earliest failing job's error wins) — the final phase every sweep
+/// driver shares, so sharded and cluster reports aggregate
+/// identically by construction.
+pub(crate) fn aggregate_sweep(
+    batch: usize,
+    threads: usize,
+    jobs: &[SweepJob],
+    results: Vec<Result<RunReport, AcmrError>>,
+) -> Result<SweepReport, AcmrError> {
+    let mut sweep_jobs = Vec::with_capacity(jobs.len());
+    let mut totals = SweepTotals::default();
+    for (job, result) in jobs.iter().zip(results) {
+        let report = result?;
+        totals.jobs += 1;
+        totals.requests += report.requests;
+        totals.rejected_count += report.rejected_count;
+        totals.preemptions += report.preemptions;
+        totals.rejected_cost += report.rejected_cost;
+        totals.offered_cost += report.offered_cost;
+        sweep_jobs.push(JobReport {
+            trace: job.trace.clone(),
+            report,
+        });
+    }
+    Ok(SweepReport {
+        batch,
+        threads,
+        jobs: sweep_jobs,
+        totals,
+    })
 }
 
 /// One unit of sweep work: run `spec` (seeded with `seed`) over the
@@ -251,56 +344,12 @@ impl ShardedDriver {
         sources: &[SourceRef<'_>],
         jobs: &[SweepJob],
     ) -> Result<SweepReport, AcmrError> {
-        for (i, name) in names.iter().enumerate() {
-            if names[..i].contains(name) {
-                return Err(AcmrError::InvalidRequest {
-                    reason: format!("duplicate trace name {name:?} in sweep"),
-                });
-            }
-        }
-        let trace_index = |name: &str| -> Result<usize, AcmrError> {
-            names
-                .iter()
-                .position(|n| *n == name)
-                .ok_or_else(|| AcmrError::InvalidRequest {
-                    reason: format!("job references unknown trace {name:?}"),
-                })
-        };
         // Resolve and parse everything upfront so a typo fails fast,
         // before any work is fanned out.
-        let resolved: Vec<(usize, AlgorithmSpec, &SweepJob)> = jobs
-            .iter()
-            .map(|job| {
-                Ok((
-                    trace_index(&job.trace)?,
-                    AlgorithmSpec::parse(&job.spec)?,
-                    job,
-                ))
-            })
-            .collect::<Result<_, AcmrError>>()?;
+        let resolved = resolve_jobs(names, jobs)?;
 
-        // Phase 1: one offline-optimum bound per distinct trace that
-        // some job actually references, sharded. `None` entries mean
-        // "no budget requested" or "no job runs on this trace".
-        // Path-backed traces use the two-pass streamed bound, which
-        // equals the in-memory bound by construction.
-        let mut bounds: Vec<Option<OptBound>> = vec![None; sources.len()];
-        if let Some(budget) = self.budget {
-            let mut used: Vec<usize> = resolved.iter().map(|(idx, _, _)| *idx).collect();
-            used.sort_unstable();
-            used.dedup();
-            let inputs: Vec<(usize, &SourceRef<'_>)> =
-                used.into_iter().map(|i| (i, &sources[i])).collect();
-            for (i, bound) in parallel_map(inputs, self.threads, |(i, source)| {
-                let bound = match source {
-                    SourceRef::Mem(inst) => Ok(admission_opt(inst, budget)),
-                    SourceRef::Path(path) => admission_opt_from_path(path, budget),
-                };
-                (*i, bound)
-            }) {
-                bounds[i] = Some(bound?);
-            }
-        }
+        // Phase 1: shared offline-optimum bounds.
+        let bounds = compute_shared_bounds(sources, &resolved, self.budget, self.threads)?;
 
         // Phase 2: the jobs themselves, sharded, each through the
         // session batch layer — from a slice for in-memory traces, or
@@ -332,27 +381,7 @@ impl ShardedDriver {
                 Ok(report)
             });
 
-        let mut sweep_jobs = Vec::with_capacity(jobs.len());
-        let mut totals = SweepTotals::default();
-        for (job, result) in jobs.iter().zip(results) {
-            let report = result?;
-            totals.jobs += 1;
-            totals.requests += report.requests;
-            totals.rejected_count += report.rejected_count;
-            totals.preemptions += report.preemptions;
-            totals.rejected_cost += report.rejected_cost;
-            totals.offered_cost += report.offered_cost;
-            sweep_jobs.push(JobReport {
-                trace: job.trace.clone(),
-                report,
-            });
-        }
-        Ok(SweepReport {
-            batch: self.batch,
-            threads: self.threads,
-            jobs: sweep_jobs,
-            totals,
-        })
+        aggregate_sweep(self.batch, self.threads, jobs, results)
     }
 }
 

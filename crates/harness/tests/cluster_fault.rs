@@ -1,0 +1,182 @@
+//! Fault injection over the cluster driver: workers die, sweeps
+//! survive — or fail with exactly one typed error.
+//!
+//! Workers here are in-process loopback servers so the failure moment
+//! is controllable and deterministic (shutting a [`ServerHandle`]
+//! down severs its live sockets mid-frame, exactly what a dying
+//! worker process does to its peers); `tests/cluster_cli.rs` repeats
+//! the scenario with real `acmr serve` child processes and a real
+//! `kill`. The invariants, in both flavors:
+//!
+//! 1. a job whose worker dies — before the connection or mid-session
+//!    — is **retried on a surviving worker as a whole-trace replay**,
+//!    and the sweep report is byte-identical to an undisturbed one;
+//! 2. when every worker is gone, the sweep fails with **one typed
+//!    [`AcmrError::Remote`]** (code `cluster`) — never a panic, a
+//!    hang, or a partial report.
+
+use acmr_core::AcmrError;
+use acmr_harness::{
+    cross_jobs, default_registry, BoundBudget, ClusterDriver, ShardedDriver, SweepJob,
+};
+use acmr_serve::{serve, ServeConfig, ServerHandle, WorkerPool, CLUSTER_ERROR_CODE};
+use acmr_workloads::{nested_intervals, repeated_hot_edge};
+
+fn start_worker() -> ServerHandle {
+    serve(
+        default_registry(),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback worker")
+}
+
+fn sweep_fixture() -> (Vec<(String, acmr_core::AdmissionInstance)>, Vec<SweepJob>) {
+    let traces = vec![
+        ("nested".to_string(), nested_intervals(16, 2, 2, 2)),
+        ("hot".to_string(), repeated_hot_edge(4, 3, 12)),
+    ];
+    let registry = default_registry();
+    let specs: Vec<String> = registry.names().iter().map(|n| n.to_string()).collect();
+    let spec_refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+    let jobs = cross_jobs(&["nested", "hot"], &spec_refs, &[0, 1]);
+    (traces, jobs)
+}
+
+#[test]
+fn jobs_on_a_dead_worker_are_retried_on_the_survivor_with_an_identical_report() {
+    let (traces, jobs) = sweep_fixture();
+    let registry = default_registry();
+    // The undisturbed expectation: a sharded sweep of the same width.
+    let expected = ShardedDriver::new()
+        .threads(2)
+        .batch(8)
+        .budget(BoundBudget::default())
+        .run(&registry, &traces, &jobs)
+        .expect("sharded reference");
+
+    // Two workers; one is dead before the sweep even starts (its
+    // port refuses connections), so every job that round-robins onto
+    // it must fail its connection attempt and retry on the survivor.
+    let survivor = start_worker();
+    let dead = start_worker();
+    let dead_addr = dead.local_addr().to_string();
+    dead.shutdown();
+    let pool = WorkerPool::connect(&[dead_addr, survivor.local_addr().to_string()])
+        .expect("adopt workers");
+
+    let sweep = ClusterDriver::new(&pool)
+        .batch(8)
+        .budget(BoundBudget::default())
+        .run(&traces, &jobs)
+        .expect("sweep must survive a dead worker");
+    assert_eq!(sweep, expected, "retried sweep diverges");
+    assert_eq!(
+        serde_json::to_string_pretty(&sweep).unwrap(),
+        serde_json::to_string_pretty(&expected).unwrap()
+    );
+    // The dead worker was quarantined along the way; the survivor
+    // carried every job.
+    assert_eq!(pool.alive(), 1);
+    survivor.shutdown();
+}
+
+#[test]
+fn killing_a_worker_mid_sweep_still_yields_the_identical_report() {
+    let (traces, jobs) = sweep_fixture();
+    let registry = default_registry();
+    let expected = ShardedDriver::new()
+        .threads(2)
+        .batch(4)
+        .run(&registry, &traces, &jobs)
+        .expect("sharded reference");
+
+    let survivor = start_worker();
+    let victim = start_worker();
+    let pool = WorkerPool::connect(&[
+        victim.local_addr().to_string(),
+        survivor.local_addr().to_string(),
+    ])
+    .expect("adopt workers");
+
+    // Kill the victim concurrently with the sweep: its live sessions
+    // are severed mid-frame and its port goes dark. Whether a given
+    // job dies mid-session, fails its connect, or slipped through
+    // before the kill, the retry contract makes the report identical.
+    let sweep = std::thread::scope(|scope| {
+        let killer = scope.spawn(|| {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            victim.shutdown();
+        });
+        let sweep = ClusterDriver::new(&pool)
+            .batch(4)
+            .run(&traces, &jobs)
+            .expect("sweep must survive a mid-sweep worker death");
+        killer.join().expect("killer thread");
+        sweep
+    });
+    assert_eq!(sweep, expected, "mid-sweep kill changed the report");
+    survivor.shutdown();
+}
+
+#[test]
+fn exhausted_retries_surface_one_typed_cluster_error_not_a_partial_report() {
+    let (traces, jobs) = sweep_fixture();
+    // Both workers dead: every attempt fails its connection, both
+    // slots are quarantined, and the sweep must fail with exactly one
+    // typed Remote error — never a panic, a hang, or an Ok with
+    // missing jobs.
+    let w1 = start_worker();
+    let w2 = start_worker();
+    let addrs = [w1.local_addr().to_string(), w2.local_addr().to_string()];
+    w1.shutdown();
+    w2.shutdown();
+    let pool = WorkerPool::connect(&addrs)
+        .expect("adopt workers")
+        .retries(3);
+
+    let err = ClusterDriver::new(&pool)
+        .batch(4)
+        .run(&traces, &jobs)
+        .expect_err("a sweep with no live workers must fail");
+    match &err {
+        AcmrError::Remote { code, message } => {
+            assert_eq!(code, CLUSTER_ERROR_CODE, "{message}");
+            assert!(
+                message.contains("attempt") || message.contains("alive"),
+                "{message}"
+            );
+        }
+        other => panic!("expected a typed cluster error, got {other:?}"),
+    }
+    assert_eq!(pool.alive(), 0);
+}
+
+#[test]
+fn a_semantic_worker_error_is_not_retried_and_fails_the_sweep_typed() {
+    // An unknown algorithm is the worker's *answer*, not a transport
+    // failure: the pool must not burn retries on it, and the sweep
+    // must surface the worker's typed ERR reply as-is.
+    let worker = start_worker();
+    let pool = WorkerPool::connect(&[worker.local_addr().to_string()]).expect("adopt worker");
+    let traces = vec![("hot".to_string(), repeated_hot_edge(4, 3, 6))];
+    // `definitely-not-registered` parses as a spec name, so it passes
+    // the driver's local fail-fast phase and reaches the worker.
+    let err = ClusterDriver::new(&pool)
+        .run(
+            &traces,
+            &[SweepJob::new("hot", "definitely-not-registered", 0)],
+        )
+        .expect_err("unknown algorithm must fail the sweep");
+    match &err {
+        AcmrError::Remote { code, message } => {
+            assert_eq!(code, "unknown-algorithm", "{message}");
+        }
+        other => panic!("expected the worker's typed reply, got {other:?}"),
+    }
+    // The worker answered; it is alive and was never quarantined.
+    assert_eq!(pool.alive(), 1);
+    worker.shutdown();
+}

@@ -55,6 +55,21 @@ impl ServeClient {
         let stream = TcpStream::connect(addr).map_err(|e| AcmrError::Io {
             message: format!("cannot connect to acmr serve: {e}"),
         })?;
+        ServeClient::from_stream(stream, spec, base_seed, capacities)
+    }
+
+    /// [`ServeClient::connect`] over an already-established TCP
+    /// stream. Split out so [`crate::pool::WorkerPool`] can
+    /// distinguish *connection* failures (the worker process is gone
+    /// — quarantine the slot) from handshake/session failures (maybe
+    /// transient — retry elsewhere) structurally, by owning the
+    /// `TcpStream::connect` step itself.
+    pub(crate) fn from_stream(
+        stream: TcpStream,
+        spec: &str,
+        base_seed: Option<u64>,
+        capacities: &[u32],
+    ) -> Result<Self, AcmrError> {
         // Frames are small and latency-bound; Nagle would trade the
         // per-decision round trip for nothing.
         let _ = stream.set_nodelay(true);
@@ -228,7 +243,24 @@ where
             reason: "batch size must be at least 1".to_string(),
         });
     }
-    let mut client = ServeClient::connect(addr, spec, base_seed, capacities)?;
+    let client = ServeClient::connect(addr, spec, base_seed, capacities)?;
+    replay_session(client, arrivals, batch, &mut on_event)
+}
+
+/// Drive an already-open session through a full arrival stream — the
+/// replay half of [`serve_trace`], shared with the
+/// [`crate::pool::WorkerPool`] retry path (which must reconnect and
+/// replay from the top, so connecting and replaying are separate
+/// steps there).
+pub(crate) fn replay_session<I>(
+    mut client: ServeClient,
+    arrivals: I,
+    batch: Option<usize>,
+    on_event: &mut dyn FnMut(&ArrivalEvent),
+) -> Result<RunReport, AcmrError>
+where
+    I: IntoIterator<Item = Result<Request, AcmrError>>,
+{
     match batch {
         None => {
             for request in arrivals {
@@ -236,7 +268,7 @@ where
             }
         }
         Some(n) => {
-            let n = n.min(crate::protocol::MAX_BATCH);
+            let n = n.clamp(1, crate::protocol::MAX_BATCH);
             let mut chunk = Vec::with_capacity(n);
             let mut events = Vec::new();
             let mut flush =

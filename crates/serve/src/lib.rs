@@ -27,6 +27,11 @@
 //!   local `Session` API (`push` / `push_batch` / `finish`), so the
 //!   differential suite pins *served ≡ streamed ≡ in-memory* decision
 //!   streams for every registered algorithm.
+//! * [`pool`] / [`WorkerPool`] — the cross-process substrate for
+//!   cluster sweeps: spawn (`acmr run --cluster N`) or adopt
+//!   (`--workers addr,...`) `acmr serve` worker processes and replay
+//!   whole jobs onto them with bounded, typed retry
+//!   (`acmr_harness::ClusterDriver` is the driver on top).
 //!
 //! `acmr serve` and `acmr client --stream` are thin CLI shims over
 //! this crate; `docs/OPERATIONS.md` is the operator guide.
@@ -35,8 +40,10 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod pool;
 pub mod protocol;
 pub mod server;
 
 pub use client::{serve_trace, ServeClient};
+pub use pool::{is_transport_error, WorkerPool, CLUSTER_ERROR_CODE, LISTENING_PREFIX};
 pub use server::{serve, ServeConfig, ServerHandle, SessionManager, SessionMeta, DEFAULT_ADDR};

@@ -16,11 +16,14 @@
 
 use acmr_harness::default_registry;
 use acmr_serve::protocol::{GREETING, MAX_FRAME_BYTES};
-use acmr_serve::{serve, ServeClient, ServeConfig, ServerHandle};
+use acmr_serve::{
+    is_transport_error, serve, ServeClient, ServeConfig, ServerHandle, WorkerPool,
+    CLUSTER_ERROR_CODE,
+};
 use acmr_workloads::repeated_hot_edge;
 use proptest::prelude::*;
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
@@ -340,8 +343,158 @@ fn over_capacity_connections_get_a_readable_busy_reply() {
     handle.shutdown();
 }
 
+/// A hostile middlebox in front of a real server: it forwards the
+/// session byte for byte, but severs its first `drop_conns`
+/// connections — both directions, abruptly — after relaying
+/// `cut_after_lines` server reply lines (0 = before even the
+/// greeting, i.e. an arbitrary frame boundary including "none").
+/// Connections after the first `drop_conns` are piped untouched, so a
+/// retry against the same address can succeed. Runs until the test
+/// process exits.
+fn dropping_proxy(backend: SocketAddr, cut_after_lines: usize, drop_conns: usize) -> SocketAddr {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+    let addr = listener.local_addr().expect("proxy addr");
+    std::thread::spawn(move || {
+        let mut dropped = 0usize;
+        for conn in listener.incoming() {
+            let Ok(client) = conn else { break };
+            let Ok(server) = TcpStream::connect(backend) else {
+                break;
+            };
+            let cut = dropped < drop_conns;
+            if cut {
+                dropped += 1;
+            }
+            // Upstream pump (client → server) on its own thread; it
+            // exits when either side closes.
+            let mut up_read = client.try_clone().expect("clone client");
+            let mut up_write = server.try_clone().expect("clone server");
+            let upstream = std::thread::spawn(move || {
+                let _ = std::io::copy(&mut up_read, &mut up_write);
+                let _ = up_write.shutdown(std::net::Shutdown::Write);
+            });
+            // Downstream (server → client): relay reply lines, then —
+            // on a marked connection — sever both sockets mid-protocol.
+            let mut reader = BufReader::new(server.try_clone().expect("clone server"));
+            let mut client_write = client.try_clone().expect("clone client");
+            if cut {
+                let mut line = String::new();
+                for _ in 0..cut_after_lines {
+                    line.clear();
+                    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                        break;
+                    }
+                    if client_write.write_all(line.as_bytes()).is_err() {
+                        break;
+                    }
+                }
+                let _ = client.shutdown(std::net::Shutdown::Both);
+                let _ = server.shutdown(std::net::Shutdown::Both);
+            } else {
+                let _ = std::io::copy(&mut reader, &mut client_write);
+                let _ = client.shutdown(std::net::Shutdown::Both);
+            }
+            let _ = upstream.join();
+        }
+    });
+    addr
+}
+
+/// The whole-trace replay a retry must perform, as a pool job: the
+/// hot-edge instance replayed through one worker address.
+fn pool_job(
+    pool: &WorkerPool,
+    inst: &acmr_core::AdmissionInstance,
+    batch: Option<usize>,
+) -> Result<acmr_core::RunReport, acmr_core::AcmrError> {
+    pool.run_job(0, "greedy", Some(0), batch, || {
+        Ok((
+            inst.capacities.clone(),
+            inst.requests.iter().cloned().map(Ok),
+        ))
+    })
+}
+
+#[test]
+fn client_reports_a_typed_error_when_the_server_drops_mid_session() {
+    // A ServeClient facing a connection that dies at a frame boundary
+    // must surface a typed transport error — never a panic, a hang,
+    // or a fabricated event.
+    let handle = start_server();
+    let inst = repeated_hot_edge(4, 3, 12);
+    // Drop after 2 reply lines (greeting + OK): the handshake
+    // succeeds, the first push dies.
+    let proxy = dropping_proxy(handle.local_addr(), 2, usize::MAX);
+    let mut client =
+        ServeClient::connect(proxy, "greedy", None, &inst.capacities).expect("handshake");
+    let err = inst
+        .requests
+        .iter()
+        .find_map(|r| client.push(r).err())
+        .expect("a severed session must error");
+    assert!(is_transport_error(&err), "{err}");
+    assert_server_alive(&handle);
+    handle.shutdown();
+}
+
+#[test]
+fn exhausted_retries_against_a_dropping_server_surface_one_cluster_error() {
+    // Every connection through this proxy dies after the OK reply:
+    // the pool's bounded retry must give up with the typed cluster
+    // error, never hang or return a half-replayed report.
+    let handle = start_server();
+    let inst = repeated_hot_edge(4, 3, 12);
+    let proxy = dropping_proxy(handle.local_addr(), 2, usize::MAX);
+    let pool = WorkerPool::connect(&[proxy.to_string()])
+        .expect("adopt proxy")
+        .retries(2);
+    let err = pool_job(&pool, &inst, None).expect_err("retries must exhaust");
+    match &err {
+        acmr_core::AcmrError::Remote { code, message } => {
+            assert_eq!(code, CLUSTER_ERROR_CODE, "{message}");
+            assert!(message.contains("3 attempt"), "{message}");
+        }
+        other => panic!("expected a cluster error, got {other:?}"),
+    }
+    assert_server_alive(&handle);
+    handle.shutdown();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The reconnect/retry path: the server (here, a hostile
+    /// middlebox in front of a real one) drops the connection at an
+    /// **arbitrary reply-frame boundary** — before the greeting,
+    /// mid-handshake, between events, before the final report. The
+    /// `ServeClient` surfaces a typed transport error, and the
+    /// `WorkerPool` retry replays the **whole trace** on a fresh
+    /// session: the final report must be identical to an undisturbed
+    /// run — `requests` included, so a half-replayed session can
+    /// never masquerade as a result.
+    #[test]
+    fn worker_pool_replays_the_whole_trace_when_dropped_at_any_frame_boundary(
+        cut_after in 0usize..16,
+        batch in prop_oneof![Just(None), Just(Some(5))],
+    ) {
+        let handle = start_server();
+        let inst = repeated_hot_edge(4, 3, 12);
+        // The undisturbed reference, straight against the server.
+        let direct_pool = WorkerPool::connect(&[handle.local_addr().to_string()]).unwrap();
+        let expected = pool_job(&direct_pool, &inst, batch).expect("direct replay");
+        prop_assert_eq!(expected.requests, inst.requests.len());
+
+        // First connection dies after `cut_after` reply lines; the
+        // retry's fresh connection is piped cleanly.
+        let proxy = dropping_proxy(handle.local_addr(), cut_after, 1);
+        let pool = WorkerPool::connect(&[proxy.to_string()]).unwrap().retries(2);
+        let report = pool_job(&pool, &inst, batch).expect("retried replay");
+        prop_assert_eq!(&report, &expected, "retried report diverges");
+        prop_assert_eq!(report.requests, inst.requests.len());
+
+        assert_server_alive(&handle);
+        handle.shutdown();
+    }
 
     /// Corrupting any single byte of a valid session script: the
     /// server replies (ERR or a still-valid protocol run), never

@@ -26,9 +26,9 @@
 use crate::core::DEFAULT_ALGORITHM;
 use crate::harness::{
     default_registry, run_report, run_report_batched, run_report_from_path, run_report_spooled,
-    BoundBudget,
+    BoundBudget, ClusterDriver, SweepJob, TraceSource,
 };
-use crate::serve::{serve_trace, ServeConfig, DEFAULT_ADDR};
+use crate::serve::{serve_trace, ServeConfig, WorkerPool, DEFAULT_ADDR, LISTENING_PREFIX};
 use crate::workloads::trace::{read_trace, write_trace, TraceReader};
 use crate::workloads::{
     dyadic_admission_instance, nested_intervals, random_path_workload, repeated_hot_edge,
@@ -271,6 +271,67 @@ fn batch_flag(flags: &HashMap<String, String>) -> Result<Option<usize>, CliError
     }
 }
 
+/// Build the optional worker pool the `--cluster N` / `--workers
+/// addr,addr,...` flags ask for: `--cluster` spawns N local `acmr
+/// serve` worker processes from this very binary (each announcing its
+/// ephemeral port via the `LISTENING <addr>` stderr line the pool
+/// parses); `--workers` adopts pre-started serving endpoints instead.
+/// `None` when neither flag is present — the in-process paths.
+fn cluster_pool(flags: &HashMap<String, String>) -> Result<Option<WorkerPool>, CliError> {
+    match (flags.get("cluster"), flags.get("workers")) {
+        (Some(_), Some(_)) => Err(err(
+            "--cluster and --workers are mutually exclusive (spawn local workers OR adopt remote ones)",
+        )),
+        (Some(_), None) => {
+            let count: usize = get(flags, "cluster", 2)?;
+            if count == 0 {
+                return Err(err("--cluster needs at least 1 worker"));
+            }
+            let binary = std::env::current_exe()
+                .map_err(|e| err(format!("cannot locate the acmr binary to spawn workers: {e}")))?;
+            WorkerPool::spawn_local(&binary, count)
+                .map(Some)
+                .map_err(|e| err(e.to_string()))
+        }
+        (None, Some(list)) => {
+            let addrs: Vec<&str> = list.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+            if list == "true" || addrs.is_empty() {
+                return Err(err(
+                    "--workers needs a comma-separated address list, e.g. --workers 10.0.0.1:4790,10.0.0.2:4790",
+                ));
+            }
+            WorkerPool::connect(&addrs).map(Some).map_err(|e| err(e.to_string()))
+        }
+        (None, None) => Ok(None),
+    }
+}
+
+/// Run one `(spec, trace)` job through a [`ClusterDriver`] over the
+/// given pool and render its report — the cross-process body of `acmr
+/// run --cluster/--workers`. The report (offline-optimum context
+/// included — bounds are computed locally, the workers only decide)
+/// is byte-identical to the in-process `acmr run` output; the CLI
+/// cluster test pins that against the real binaries.
+fn run_cluster(
+    pool: &WorkerPool,
+    flags: &HashMap<String, String>,
+    source: TraceSource,
+    alg_spec: &str,
+    seed: u64,
+) -> Result<String, CliError> {
+    let mut driver = ClusterDriver::new(pool).budget(BoundBudget::default());
+    if let Some(batch) = batch_flag(flags)? {
+        driver = driver.batch(batch);
+    }
+    let traces = vec![("trace".to_string(), source)];
+    let jobs = vec![SweepJob::new("trace", alg_spec, seed)];
+    let sweep = driver
+        .run_sources(&traces, &jobs)
+        .map_err(|e| err(e.to_string()))?;
+    let report = sweep.jobs.into_iter().next().expect("one job ran").report;
+    render_report(&report, flags)
+}
+
 /// `acmr run` — run a registry algorithm over an in-memory trace;
 /// returns the report in the requested `--format` (`text` or `json`).
 pub fn cmd_run(args: &[String], trace: &str) -> Result<String, CliError> {
@@ -285,6 +346,9 @@ pub fn cmd_run(args: &[String], trace: &str) -> Result<String, CliError> {
         .get("alg")
         .map(String::as_str)
         .unwrap_or(DEFAULT_ALGORITHM);
+    if let Some(pool) = cluster_pool(&flags)? {
+        return run_cluster(&pool, &flags, TraceSource::InMemory(inst), alg_spec, seed);
+    }
     let registry = default_registry();
     // --batch N routes arrivals through Session::push_batch in chunks
     // of N; the report is identical to the streaming path (the
@@ -320,6 +384,25 @@ pub fn cmd_run_stream(
         .get("alg")
         .map(String::as_str)
         .unwrap_or(DEFAULT_ALGORITHM);
+    // Refuse the unsupported combination *before* cluster_pool spawns
+    // (or adopts) a whole worker fleet just to print a usage error.
+    let wants_cluster = flags.contains_key("cluster") || flags.contains_key("workers");
+    if wants_cluster && target == "-" {
+        return Err(err(
+            "--cluster/--workers cannot replay `--stream -`: the OPT bound and any \
+             retry need to re-read the trace. Use --stream FILE, or pipe the trace \
+             on stdin without --stream",
+        ));
+    }
+    if let Some(pool) = cluster_pool(&flags)? {
+        return run_cluster(
+            &pool,
+            &flags,
+            TraceSource::Path(target.into()),
+            alg_spec,
+            seed,
+        );
+    }
     let batch = batch_flag(&flags)?;
     let registry = default_registry();
     let report = if target == "-" {
@@ -385,14 +468,18 @@ pub fn serve_options(args: &[String]) -> Result<ServeConfig, CliError> {
 }
 
 /// `acmr serve` — bind the live serving front end and block until the
-/// process is killed. The listening line goes to **stderr** (stdout
-/// stays clean for scripting), naming the resolved address — so
-/// `--addr 127.0.0.1:0` is usable and the chosen port is discoverable.
-/// Wire protocol: `docs/SERVING.md`; operator guide:
-/// `docs/OPERATIONS.md`.
+/// process is killed. Startup lines go to **stderr** (stdout stays
+/// clean for scripting): first the machine-parseable `LISTENING
+/// <addr>` line naming the resolved address — so `--addr HOST:0` is
+/// usable, the chosen port is discoverable, and
+/// `WorkerPool::spawn_local` (the `acmr run --cluster` path) can
+/// adopt the worker without scraping prose — then the human-readable
+/// line. `tests/serve_cli.rs` pins the order and shape. Wire
+/// protocol: `docs/SERVING.md`; operator guide: `docs/OPERATIONS.md`.
 pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let config = serve_options(args)?;
     let handle = crate::serve::serve(default_registry(), config).map_err(|e| err(e.to_string()))?;
+    eprintln!("{LISTENING_PREFIX}{}", handle.local_addr());
     eprintln!(
         "acmr-serve listening on {} (protocol: docs/SERVING.md; Ctrl-C to stop)",
         handle.local_addr()
@@ -548,7 +635,7 @@ USAGE:
   acmr opt                                             # trace from stdin
   acmr algs                                            # list algorithms
   acmr run  [--alg SPEC] [--seed S] [--batch N] [--format text|json]
-            [--stream FILE|-]
+            [--stream FILE|-] [--cluster N | --workers ADDR,ADDR]
             SPEC: a registry name with optional options, e.g.
             'aag-unweighted?seed=7&no-prune' — see `acmr algs`
             --batch N feeds arrivals through the batched session path
@@ -556,12 +643,18 @@ USAGE:
             --stream FILE|- ingests the trace in chunks without ever
             holding it in memory (`-` streams stdin); reports are
             byte-identical to the in-memory path
+            --cluster N spawns N local `acmr serve` worker processes
+            and replays the run through them (OPT bounds still local;
+            reports byte-identical to the in-process path); --workers
+            adopts pre-started serving endpoints instead. Worker
+            failures retry on survivors, bounded, with typed errors
   acmr serve  [--addr HOST:PORT] [--max-conns N]       # live front end
             [--idle-timeout SECS]
             serves the ACMR-SERVE v1 socket protocol: one admission
             session per connection, one audited decision event per
             arrival (default addr 127.0.0.1:4790; --addr HOST:0 picks
-            an ephemeral port, echoed on stderr; --idle-timeout bounds
+            an ephemeral port; stderr's first line is the machine-
+            parseable `LISTENING HOST:PORT`; --idle-timeout bounds
             how long a silent peer may hold a connection slot)
   acmr client --stream FILE|- [--addr HOST:PORT] [--alg SPEC]
             [--seed S] [--batch N] [--format text|json] [--events]
@@ -1016,6 +1109,149 @@ mod tests {
         let trace = cmd_gen(&argv(&["--m", "4", "--cap", "1"])).unwrap();
         let e = dispatch(&argv(&["client", "--stream", "-", "--addr", &addr]), &trace).unwrap_err();
         assert!(e.to_string().contains("cannot connect"), "{e}");
+    }
+
+    #[test]
+    fn workers_flag_runs_byte_identically_through_adopted_servers() {
+        // Two in-process serving workers; `acmr run --workers a,b`
+        // must produce the byte-identical report (OPT context
+        // included — bounds are computed locally) to plain `acmr run`.
+        let w1 = crate::serve::serve(
+            default_registry(),
+            crate::serve::ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let w2 = crate::serve::serve(
+            default_registry(),
+            crate::serve::ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let workers = format!("{},{}", w1.local_addr(), w2.local_addr());
+        let trace = cmd_gen(&argv(&["--m", "12", "--cap", "2", "--seed", "6"])).unwrap();
+        for format in ["text", "json"] {
+            let expected = cmd_run(
+                &argv(&["--alg", "aag-weighted", "--seed", "3", "--format", format]),
+                &trace,
+            )
+            .unwrap();
+            let clustered = cmd_run(
+                &argv(&[
+                    "--alg",
+                    "aag-weighted",
+                    "--seed",
+                    "3",
+                    "--format",
+                    format,
+                    "--workers",
+                    &workers,
+                ]),
+                &trace,
+            )
+            .unwrap();
+            assert_eq!(clustered, expected, "--format {format}");
+            // And batched framing does not change the report either.
+            let batched = cmd_run(
+                &argv(&[
+                    "--alg",
+                    "aag-weighted",
+                    "--seed",
+                    "3",
+                    "--format",
+                    format,
+                    "--workers",
+                    &workers,
+                    "--batch",
+                    "5",
+                ]),
+                &trace,
+            )
+            .unwrap();
+            assert_eq!(batched, expected, "--format {format} --batch 5");
+        }
+        // A worker-side failure surfaces as a typed error, not a panic.
+        let e = cmd_run(&argv(&["--alg", "nope", "--workers", &workers]), &trace).unwrap_err();
+        assert!(e.to_string().contains("unknown-algorithm"), "{e}");
+        w1.shutdown();
+        w2.shutdown();
+    }
+
+    #[test]
+    fn cluster_flag_errors_are_reported() {
+        let trace = cmd_gen(&argv(&["--m", "4", "--cap", "1"])).unwrap();
+        let e = cmd_run(
+            &argv(&["--cluster", "2", "--workers", "127.0.0.1:1"]),
+            &trace,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("mutually exclusive"), "{e}");
+        let e = cmd_run(&argv(&["--cluster", "0"]), &trace).unwrap_err();
+        assert!(e.to_string().contains("--cluster"), "{e}");
+        assert!(cmd_run(&argv(&["--cluster", "lots"]), &trace).is_err());
+        let e = cmd_run(&argv(&["--workers"]), &trace).unwrap_err();
+        assert!(e.to_string().contains("--workers"), "{e}");
+        let e = cmd_run(&argv(&["--workers", ","]), &trace).unwrap_err();
+        assert!(e.to_string().contains("--workers"), "{e}");
+        let e = cmd_run(&argv(&["--workers", "not an address"]), &trace).unwrap_err();
+        assert!(e.to_string().contains("cannot resolve"), "{e}");
+        // `--stream -` cannot be replayed through a cluster (the
+        // bound and retries both need to re-read the trace).
+        let e = dispatch(
+            &argv(&["run", "--stream", "-", "--workers", "127.0.0.1:1"]),
+            &trace,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("--stream FILE"), "{e}");
+    }
+
+    #[test]
+    fn workers_flag_streams_trace_files_through_the_cluster() {
+        // `acmr run --stream FILE --workers …` replays the file
+        // through the pool and must match the in-process streamed run.
+        let handle = crate::serve::serve(
+            default_registry(),
+            crate::serve::ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let workers = handle.local_addr().to_string();
+        let golden = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/adv-squeeze.trace"
+        );
+        let expected = dispatch(
+            &argv(&[
+                "run", "--alg", "greedy", "--seed", "4", "--format", "json", "--stream", golden,
+            ]),
+            "",
+        )
+        .unwrap();
+        let clustered = dispatch(
+            &argv(&[
+                "run",
+                "--alg",
+                "greedy",
+                "--seed",
+                "4",
+                "--format",
+                "json",
+                "--stream",
+                golden,
+                "--workers",
+                &workers,
+            ]),
+            "",
+        )
+        .unwrap();
+        assert_eq!(clustered, expected);
+        handle.shutdown();
     }
 
     #[test]

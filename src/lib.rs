@@ -20,13 +20,15 @@
 //!   (`docs/TRACE_FORMAT.md` has the grammar)
 //! * [`harness`] — the assembled registry, report-producing runners
 //!   (in-memory, and streamed with the two-pass OPT bound), sharded
-//!   sweeps, experiments E1–E9, E11
+//!   sweeps, the cross-process `ClusterDriver`, experiments E1–E9, E11
 //! * [`serve`] — the live serving front end: the `ACMR-SERVE v1` TCP
 //!   protocol (`docs/SERVING.md`), thread-per-connection session
-//!   server, and matching client (`acmr serve` / `acmr client`)
+//!   server, matching client (`acmr serve` / `acmr client`), and the
+//!   `WorkerPool` behind cluster runs (`acmr run --cluster/--workers`)
 //!
 //! `docs/ARCHITECTURE.md` maps the crates and the layered engine API
-//! (registry → session → batch → stream → reports → shard → CLI).
+//! (registry → session → batch → stream → reports → shard → cluster →
+//! CLI).
 //!
 //! ## Quickstart
 //!

@@ -1,0 +1,142 @@
+//! Cluster end-to-end over the **real binaries**: `WorkerPool::
+//! spawn_local` launching genuine `acmr serve` child processes
+//! (discovered via their machine-parseable `LISTENING <addr>` stderr
+//! line), a `ClusterDriver` sweep fanned across them, a real
+//! mid-sweep `kill` of a worker process, and the `acmr run --cluster`
+//! CLI path — the multi-process pipeline an operator actually runs.
+
+use acmr::core::AcmrError;
+use acmr::harness::{cross_jobs, default_registry, BoundBudget, ClusterDriver, ShardedDriver};
+use acmr::serve::{WorkerPool, CLUSTER_ERROR_CODE};
+use acmr::workloads::trace::read_trace;
+use std::io::{Read, Write};
+use std::process::{Command, Stdio};
+
+fn golden_instance() -> acmr::core::AdmissionInstance {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/adv-squeeze.trace"
+    ))
+    .expect("read golden trace");
+    read_trace(&text).expect("parse golden trace")
+}
+
+#[test]
+fn spawned_worker_processes_survive_a_kill_mid_sweep_and_match_sharded() {
+    let acmr = env!("CARGO_BIN_EXE_acmr");
+    let registry = default_registry();
+    let inst = golden_instance();
+    let traces = vec![("squeeze".to_string(), inst)];
+    let specs: Vec<String> = registry.names().iter().map(|n| n.to_string()).collect();
+    let spec_refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+    let jobs = cross_jobs(&["squeeze"], &spec_refs, &[0, 1, 2]);
+
+    let expected = ShardedDriver::new()
+        .threads(2)
+        .batch(8)
+        .budget(BoundBudget::default())
+        .run(&registry, &traces, &jobs)
+        .expect("sharded reference");
+
+    // Two genuine `acmr serve` child processes, each announcing its
+    // ephemeral port via the pinned `LISTENING <addr>` stderr line.
+    let pool = WorkerPool::spawn_local(acmr, 2).expect("spawn worker processes");
+    assert_eq!(pool.len(), 2);
+    assert_eq!(pool.alive(), 2);
+
+    // Kill worker 0's process mid-sweep (a real SIGKILL, not a
+    // graceful shutdown): jobs in flight on it are severed mid-frame,
+    // later jobs find its port dead — every one must be retried as a
+    // whole-trace replay on the surviving process, and the report
+    // must come out identical to the undisturbed sharded one.
+    let sweep = std::thread::scope(|scope| {
+        let killer = scope.spawn(|| {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert!(pool.kill_worker(0), "worker 0 should be killable");
+        });
+        let sweep = ClusterDriver::new(&pool)
+            .batch(8)
+            .budget(BoundBudget::default())
+            .run(&traces, &jobs)
+            .expect("sweep must survive a killed worker process");
+        killer.join().expect("killer thread");
+        sweep
+    });
+    assert_eq!(sweep, expected, "killed-worker sweep diverges");
+    assert_eq!(
+        serde_json::to_string_pretty(&sweep).unwrap(),
+        serde_json::to_string_pretty(&expected).unwrap(),
+        "serialized reports differ"
+    );
+
+    // Kill the survivor too: the next sweep must fail with one typed
+    // cluster error — no panic, no hang, no partial report.
+    assert!(pool.kill_worker(1));
+    let err = ClusterDriver::new(&pool)
+        .batch(8)
+        .run(&traces, &jobs)
+        .expect_err("no workers left");
+    match &err {
+        AcmrError::Remote { code, .. } => assert_eq!(code, CLUSTER_ERROR_CODE),
+        other => panic!("expected a typed cluster error, got {other:?}"),
+    }
+    pool.shutdown();
+}
+
+#[test]
+fn acmr_run_cluster_flag_is_byte_identical_to_plain_run() {
+    // `acmr run --cluster 2` spawns two worker processes from the
+    // binary itself and must print the byte-identical report —
+    // offline-optimum context included — that plain `acmr run`
+    // prints for the same trace, algorithm, and seed.
+    let acmr = env!("CARGO_BIN_EXE_acmr");
+    let trace = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/adv-squeeze.trace"
+    ))
+    .expect("read golden trace");
+
+    let run = |extra: &[&str]| -> String {
+        let mut args = vec!["run", "--alg", "greedy", "--seed", "4", "--format", "json"];
+        args.extend_from_slice(extra);
+        let mut child = Command::new(acmr)
+            .args(&args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn acmr run");
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(trace.as_bytes())
+            .unwrap();
+        drop(child.stdin.take());
+        let mut out = String::new();
+        child
+            .stdout
+            .take()
+            .unwrap()
+            .read_to_string(&mut out)
+            .unwrap();
+        let mut errs = String::new();
+        child
+            .stderr
+            .take()
+            .unwrap()
+            .read_to_string(&mut errs)
+            .unwrap();
+        assert!(child.wait().unwrap().success(), "{args:?} failed: {errs}");
+        out
+    };
+
+    let plain = run(&[]);
+    let clustered = run(&["--cluster", "2"]);
+    assert_eq!(
+        clustered, plain,
+        "--cluster 2 must not change the report by a byte"
+    );
+    // The spawned workers are children of the `acmr run` process and
+    // die with it; nothing to clean up here.
+}

@@ -36,6 +36,11 @@ fn acmr_serve_and_client_binaries_round_trip_a_golden_trace() {
     );
     let stderr = server.0.stderr.take().expect("server stderr");
     let mut lines = BufReader::new(stderr);
+    // The FIRST stderr line is the machine-parseable announcement —
+    // `LISTENING <addr>` — that cluster tooling
+    // (`WorkerPool::spawn_local`, `acmr run --cluster`) parses to
+    // discover an ephemeral port. Pinned here: prose may follow it,
+    // never precede it.
     let mut listening = String::new();
     let deadline = Instant::now() + Duration::from_secs(30);
     while listening.is_empty() {
@@ -46,14 +51,20 @@ fn acmr_serve_and_client_binaries_round_trip_a_golden_trace() {
         lines.read_line(&mut listening).expect("read server stderr");
     }
     assert!(
-        listening.contains("acmr-serve listening on"),
-        "{listening:?}"
+        listening.starts_with("LISTENING 127.0.0.1:"),
+        "first stderr line must be the machine-parseable announcement, got {listening:?}"
     );
     let addr = listening
-        .split_whitespace()
-        .find(|tok| tok.starts_with("127.0.0.1:"))
-        .expect("listening line names the bound address")
+        .trim()
+        .strip_prefix("LISTENING ")
+        .unwrap()
         .to_string();
+    addr.parse::<std::net::SocketAddr>()
+        .expect("LISTENING names a valid socket address");
+    // The human-readable line follows.
+    let mut human = String::new();
+    lines.read_line(&mut human).expect("read server stderr");
+    assert!(human.contains("acmr-serve listening on"), "{human:?}");
 
     // Replay the golden trace through the socket with the client
     // binary, twice: per-arrival frames and BATCH frames.
