@@ -21,54 +21,12 @@
 //! large-scale differential check). Results land in
 //! `BENCH_streaming.json` for CI to upload.
 
+use acmr_bench::e13::{self, BATCH, EDGES, REQUESTS, SPEC};
 use acmr_harness::{default_registry, run_stream_registered};
-use acmr_workloads::trace::{read_trace, TraceReader, TraceWriter};
+use acmr_workloads::trace::{read_trace, TraceReader};
 use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::Serialize;
-use std::io::BufWriter;
 use std::time::Instant;
-
-const EDGES: u32 = 4096;
-const REQUESTS: usize = 1_000_000;
-const CAPACITY: u32 = 8;
-const BATCH: usize = 256;
-const SPEC: &str = "greedy";
-
-/// Peak resident set size in KiB (`VmHWM`), Linux only.
-fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    status
-        .lines()
-        .find(|l| l.starts_with("VmHWM:"))?
-        .split_whitespace()
-        .nth(1)?
-        .parse()
-        .ok()
-}
-
-/// Stream-generate the bench trace to `path`: unit-ish costs, short
-/// contiguous footprints on a line — the scale-up of the CLI's line
-/// workload, produced without ever materializing an instance.
-fn generate_trace(path: &std::path::Path) -> std::io::Result<u64> {
-    use acmr_core::Request;
-    use acmr_graph::{EdgeId, EdgeSet};
-
-    let file = std::fs::File::create(path)?;
-    let caps = vec![CAPACITY; EDGES as usize];
-    let mut w = TraceWriter::new(BufWriter::new(file), &caps, REQUESTS)?;
-    let mut rng = StdRng::seed_from_u64(42);
-    for _ in 0..REQUESTS {
-        let hops = 1 + rng.gen_range(0..4u32);
-        let start = rng.gen_range(0..EDGES - hops);
-        let edges: Vec<EdgeId> = (start..start + hops).map(EdgeId).collect();
-        let cost = 1.0 + f64::from(rng.gen_range(0..4u32));
-        w.push(&Request::new(EdgeSet::new(edges), cost))?;
-    }
-    w.finish()?;
-    Ok(std::fs::metadata(path)?.len())
-}
 
 /// Machine-readable summary of the E13 comparison.
 #[derive(Serialize)]
@@ -96,7 +54,7 @@ fn streaming_ingestion() {
     let registry = default_registry();
     let path =
         std::env::temp_dir().join(format!("acmr-bench-streaming-{}.trace", std::process::id()));
-    let trace_bytes = generate_trace(&path).expect("generate bench trace");
+    let trace_bytes = e13::generate_trace(&path).expect("generate bench trace");
 
     // Arm 1: streamed, per-push.
     let t = Instant::now();
@@ -121,7 +79,7 @@ fn streaming_ingestion() {
     )
     .expect("streamed batched run");
     let streamed_batched_ms = t.elapsed().as_secs_f64() * 1e3;
-    let peak_rss_after_streamed_kb = peak_rss_kb().unwrap_or(0);
+    let peak_rss_after_streamed_kb = e13::peak_rss_kb().unwrap_or(0);
 
     // Arm 3: the pre-streaming baseline — slurp, materialize, run.
     let t = Instant::now();
@@ -129,7 +87,7 @@ fn streaming_ingestion() {
     let inst = read_trace(&text).expect("parse trace");
     let in_memory = acmr_harness::run_registered(&registry, SPEC, &inst, 0).expect("in-memory run");
     let in_memory_ms = t.elapsed().as_secs_f64() * 1e3;
-    let peak_rss_after_in_memory_kb = peak_rss_kb().unwrap_or(0);
+    let peak_rss_after_in_memory_kb = e13::peak_rss_kb().unwrap_or(0);
     drop((text, inst));
 
     // Differential guard: all arms agree to the byte.
@@ -139,7 +97,7 @@ fn streaming_ingestion() {
     let _ = std::fs::remove_file(&path);
 
     let summary = StreamingSummary {
-        workload: "line-4096-cap8-1M",
+        workload: e13::LABEL,
         algorithm: SPEC,
         edges: EDGES,
         requests: REQUESTS,

@@ -24,6 +24,67 @@ pub fn full_grid_requested() -> bool {
     !std::env::args().any(|a| a == "--quick")
 }
 
+/// The **E13** workload shared by the `streaming` and `trace2`
+/// benches: 1M requests over a 4096-edge line (capacity 8), generated
+/// incrementally straight to disk through [`TraceWriter`] so the
+/// instance never exists in memory. Both benches must replay the
+/// byte-identical trace — the generator lives here so they cannot
+/// drift apart.
+///
+/// [`TraceWriter`]: acmr_workloads::trace::TraceWriter
+pub mod e13 {
+    use acmr_core::Request;
+    use acmr_graph::{EdgeId, EdgeSet};
+    use acmr_workloads::trace::TraceWriter;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::io::BufWriter;
+
+    /// Edges in the line network.
+    pub const EDGES: u32 = 4096;
+    /// Requests in the trace.
+    pub const REQUESTS: usize = 1_000_000;
+    /// Uniform edge capacity.
+    pub const CAPACITY: u32 = 8;
+    /// Batch size for the batched streaming arm.
+    pub const BATCH: usize = 256;
+    /// Algorithm every arm replays with.
+    pub const SPEC: &str = "greedy";
+    /// Workload label recorded in the bench summaries.
+    pub const LABEL: &str = "line-4096-cap8-1M";
+
+    /// Stream-generate the E13 trace to `path` (text `ACMR-TRACE v1`):
+    /// unit-ish costs, short contiguous footprints on a line — the
+    /// scale-up of the CLI's line workload. Returns the file size.
+    pub fn generate_trace(path: &std::path::Path) -> std::io::Result<u64> {
+        let file = std::fs::File::create(path)?;
+        let caps = vec![CAPACITY; EDGES as usize];
+        let mut w = TraceWriter::new(BufWriter::new(file), &caps, REQUESTS)?;
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..REQUESTS {
+            let hops = 1 + rng.gen_range(0..4u32);
+            let start = rng.gen_range(0..EDGES - hops);
+            let edges: Vec<EdgeId> = (start..start + hops).map(EdgeId).collect();
+            let cost = 1.0 + f64::from(rng.gen_range(0..4u32));
+            w.push(&Request::new(EdgeSet::new(edges), cost))?;
+        }
+        w.finish()?;
+        std::fs::metadata(path).map(|m| m.len())
+    }
+
+    /// Peak resident set size in KiB (`VmHWM`), Linux only.
+    pub fn peak_rss_kb() -> Option<u64> {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        status
+            .lines()
+            .find(|l| l.starts_with("VmHWM:"))?
+            .split_whitespace()
+            .nth(1)?
+            .parse()
+            .ok()
+    }
+}
+
 /// Print a table and optionally persist its CSV next to the repo
 /// results (path taken from `ACMR_RESULTS_DIR` if set).
 pub fn emit(table: &acmr_harness::Table, name: &str) {

@@ -66,6 +66,7 @@ pub mod registry;
 pub mod report;
 pub mod session;
 pub mod setcover;
+pub mod source;
 
 pub use config::{FracConfig, RandConfig, Weighting};
 pub use error::AcmrError;
@@ -76,3 +77,4 @@ pub use randomized::RandomizedAdmission;
 pub use registry::{register_core, AlgorithmSpec, BuildCtx, Registry, DEFAULT_ALGORITHM};
 pub use report::{OptSummary, RunReport};
 pub use session::{ArrivalEvent, RunStats, Session};
+pub use source::RequestSource;

@@ -38,9 +38,10 @@ use crate::shard::{
     aggregate_sweep, compute_shared_bounds, resolve_jobs, SourceRef, SweepJob, SweepReport,
     TraceSource,
 };
+use acmr_core::RequestSource as _;
 use acmr_core::{AcmrError, AdmissionInstance, Request, RunReport};
 use acmr_serve::WorkerPool;
-use acmr_workloads::trace::TraceReader;
+use acmr_workloads::open_trace;
 
 /// A fresh per-attempt arrival stream for one job: borrowed from the
 /// in-memory instance, or a newly opened chunked reader for a
@@ -57,7 +58,7 @@ fn open_arrivals<'a>(source: &SourceRef<'a>) -> Result<(Vec<u32>, Arrivals<'a>),
             Box::new(inst.requests.iter().cloned().map(Ok)),
         )),
         SourceRef::Path(path) => {
-            let reader = TraceReader::open(path)?;
+            let reader = open_trace(path)?;
             Ok((reader.capacities().to_vec(), Box::new(reader)))
         }
     }

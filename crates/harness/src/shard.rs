@@ -20,8 +20,10 @@ use crate::opt::{admission_opt, BoundBudget, OptBound};
 use crate::parallel::{default_threads, parallel_map};
 use crate::runner::opt_summary;
 use crate::stream::admission_opt_from_path;
-use acmr_core::{AcmrError, AdmissionInstance, AlgorithmSpec, Registry, RunReport, Session};
-use acmr_workloads::trace::TraceReader;
+use acmr_core::{
+    AcmrError, AdmissionInstance, AlgorithmSpec, Registry, RequestSource, RunReport, Session,
+};
+use acmr_workloads::open_trace;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
@@ -315,7 +317,9 @@ impl ShardedDriver {
 
     /// [`ShardedDriver::run`] over [`TraceSource`]s: jobs referencing a
     /// [`TraceSource::Path`] trace **stream** it from disk — each job
-    /// drives its session straight off a chunked [`TraceReader`], and
+    /// drives its session straight off the format-sniffed reader
+    /// ([`open_trace`]: chunked text, or zero-copy mmap replay for
+    /// binary v2 traces), and
     /// the trace's offline-optimum bound (still computed once per
     /// distinct trace) uses the two-pass streamed scheme — so a sweep
     /// can fan out over trace files that never fit in memory. Reports
@@ -368,8 +372,8 @@ impl ShardedDriver {
                         session.report()
                     }
                     SourceRef::Path(path) => {
-                        let reader = TraceReader::open(path)?;
-                        let capacities = reader.capacities().to_vec();
+                        let reader = open_trace(path)?;
+                        let capacities = RequestSource::capacities(&reader).to_vec();
                         let mut session =
                             Session::from_registry(registry, spec, &capacities, job.seed)?;
                         session.run_stream_batched(reader, batch)?

@@ -30,8 +30,9 @@
 
 use crate::opt::{BoundBudget, OptBound};
 use crate::runner::opt_summary;
-use acmr_core::{AcmrError, AlgorithmSpec, Registry, Request, RunReport, Session};
+use acmr_core::{AcmrError, AlgorithmSpec, Registry, Request, RequestSource, RunReport, Session};
 use acmr_lp::CoveringProblem;
+use acmr_workloads::open_trace;
 use acmr_workloads::trace::TraceReader;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -87,12 +88,13 @@ impl StreamScan {
     }
 }
 
-/// Drain `reader` into a fresh [`StreamScan`] without running any
+/// Drain `source` into a fresh [`StreamScan`] without running any
 /// algorithm — the bound-only pass the sharded driver uses for
-/// path-backed traces.
-pub fn scan_trace<R: Read>(mut reader: TraceReader<R>) -> Result<StreamScan, AcmrError> {
-    let mut scan = StreamScan::new(reader.capacities().len());
-    while let Some(r) = reader.next_request()? {
+/// path-backed traces. Generic over [`RequestSource`], so text and
+/// binary readers scan identically.
+pub fn scan_trace<S: RequestSource>(mut source: S) -> Result<StreamScan, AcmrError> {
+    let mut scan = StreamScan::new(source.capacities().len());
+    while let Some(r) = source.next_request()? {
         scan.observe(&r);
     }
     Ok(scan)
@@ -106,8 +108,8 @@ pub fn scan_trace<R: Read>(mut reader: TraceReader<R>) -> Result<StreamScan, Acm
 /// Errors with [`AcmrError::InvalidRequest`] if the stream does not
 /// match the scan (different edge universe or request count — i.e. the
 /// trace changed between passes).
-pub fn streamed_admission_opt<R: Read>(
-    mut reader: TraceReader<R>,
+pub fn streamed_admission_opt<S: RequestSource>(
+    mut reader: S,
     scan: &StreamScan,
     budget: BoundBudget,
 ) -> Result<OptBound, AcmrError> {
@@ -180,7 +182,8 @@ pub fn streamed_admission_opt<R: Read>(
     Ok(OptBound::compute(&problem, budget, trivial))
 }
 
-/// The two-pass bound for a trace file: scan, then
+/// The two-pass bound for a trace file of either format (the leading
+/// magic is sniffed, see [`open_trace`]): scan, then
 /// [`streamed_admission_opt`]. Opens the file twice; equals
 /// [`crate::admission_opt`] on the materialized instance.
 pub fn admission_opt_from_path(
@@ -188,16 +191,16 @@ pub fn admission_opt_from_path(
     budget: BoundBudget,
 ) -> Result<OptBound, AcmrError> {
     let path = path.as_ref();
-    let scan = scan_trace(TraceReader::open(path)?)?;
-    streamed_admission_opt(TraceReader::open(path)?, &scan, budget)
+    let scan = scan_trace(open_trace(path)?)?;
+    streamed_admission_opt(open_trace(path)?, &scan, budget)
 }
 
 /// Drive `session` from `reader` (per-push, or batched in chunks of
 /// `batch`) while `scan` observes every arrival — pass 1 of a
 /// streamed run.
-fn run_observed<A: acmr_core::OnlineAdmission, R: Read>(
+fn run_observed<A: acmr_core::OnlineAdmission, S: RequestSource>(
     session: &mut Session<A>,
-    reader: TraceReader<R>,
+    reader: S,
     scan: &mut StreamScan,
     batch: Option<usize>,
 ) -> Result<RunReport, AcmrError> {
@@ -217,10 +220,10 @@ fn run_observed<A: acmr_core::OnlineAdmission, R: Read>(
 /// [`crate::run_registered`] / [`crate::run_registered_batched`]
 /// (`batch: None` is the per-push path). Memory is bounded: the
 /// instance behind `reader` is never materialized.
-pub fn run_stream_registered<R: Read>(
+pub fn run_stream_registered<S: RequestSource>(
     registry: &Registry,
     spec: &str,
-    reader: TraceReader<R>,
+    reader: S,
     base_seed: u64,
     batch: Option<usize>,
 ) -> Result<RunReport, AcmrError> {
@@ -239,7 +242,7 @@ pub fn run_stream_registered<R: Read>(
 ///
 /// `open` is called twice (pass 1: run + scan; pass 2: OPT bound); for
 /// a one-shot source like stdin use [`run_report_spooled`].
-pub fn run_report_streamed<R, F>(
+pub fn run_report_streamed<S, F>(
     registry: &Registry,
     spec: &str,
     mut open: F,
@@ -248,8 +251,8 @@ pub fn run_report_streamed<R, F>(
     batch: Option<usize>,
 ) -> Result<RunReport, AcmrError>
 where
-    R: Read,
-    F: FnMut() -> Result<TraceReader<R>, AcmrError>,
+    S: RequestSource,
+    F: FnMut() -> Result<S, AcmrError>,
 {
     let reader = open()?;
     let parsed = AlgorithmSpec::parse(spec)?;
@@ -262,7 +265,11 @@ where
     Ok(report)
 }
 
-/// [`run_report_streamed`] for a trace file path.
+/// [`run_report_streamed`] for a trace file path of either format:
+/// the leading magic picks chunked text streaming or zero-copy binary
+/// replay off a memory map ([`open_trace`]). Reports are byte-identical
+/// across formats for converted traces — the `binfmt_differential`
+/// suite pins this.
 pub fn run_report_from_path(
     registry: &Registry,
     spec: &str,
@@ -275,7 +282,7 @@ pub fn run_report_from_path(
     run_report_streamed(
         registry,
         spec,
-        || TraceReader::open(path),
+        || open_trace(path),
         base_seed,
         budget,
         batch,

@@ -447,6 +447,16 @@ impl<R: Read> Iterator for TraceReader<R> {
     }
 }
 
+impl<R: Read> acmr_core::RequestSource for TraceReader<R> {
+    fn capacities(&self) -> &[u32] {
+        &self.capacities
+    }
+
+    fn declared_requests(&self) -> u64 {
+        self.declared as u64
+    }
+}
+
 /// Incremental writer for the `ACMR-TRACE v1` format: the generator
 /// side of streaming. The header is written up front, then each
 /// [`TraceWriter::push`] appends one request line — so a trace of any

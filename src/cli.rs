@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! acmr gen  --m 64 --cap 4 --overload 2 --seed 1 [--weighted] > t.trace
+//! acmr gen  --m 64 --format binary --out t.bin   # binary v2 (mmap-able)
+//! acmr convert t.trace t.bin                     # text <-> binary, lossless
 //! acmr stats < t.trace
 //! acmr opt   < t.trace
 //! acmr algs                            # list registered algorithms
@@ -23,16 +25,17 @@
 //! All subcommand logic lives here (unit-tested); `src/bin/acmr.rs` is
 //! a thin stdin/stdout shim around [`dispatch_io`].
 
-use crate::core::DEFAULT_ALGORITHM;
+use crate::core::{AdmissionInstance, RequestSource, DEFAULT_ALGORITHM};
 use crate::harness::{
     default_registry, run_report, run_report_batched, run_report_from_path, run_report_spooled,
     BoundBudget, ClusterDriver, SweepJob, TraceSource,
 };
 use crate::serve::{serve_trace, ServeConfig, WorkerPool, DEFAULT_ADDR, LISTENING_PREFIX};
-use crate::workloads::trace::{read_trace, write_trace, TraceReader};
+use crate::workloads::trace::{read_trace, write_trace, TraceReader, TraceWriter};
 use crate::workloads::{
-    dyadic_admission_instance, nested_intervals, random_path_workload, repeated_hot_edge,
-    two_phase_squeeze, CostModel, PathWorkloadSpec, Topology,
+    dyadic_admission_instance, nested_intervals, open_trace, random_path_workload, read_bin_trace,
+    repeated_hot_edge, sniff_bytes, two_phase_squeeze, write_bin_trace, BinTraceWriter, CostModel,
+    PathWorkloadSpec, Topology, TraceFormat,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -89,7 +92,11 @@ fn get<T: std::str::FromStr>(
 
 /// The deterministic adversarial families of
 /// `acmr_workloads::adversarial`, addressed by `--family`.
-fn gen_adversarial(flags: &HashMap<String, String>, m: u32, cap: u32) -> Result<String, CliError> {
+fn gen_adversarial(
+    flags: &HashMap<String, String>,
+    m: u32,
+    cap: u32,
+) -> Result<AdmissionInstance, CliError> {
     if m < 2 {
         return Err(err("adversarial topologies need --m at least 2"));
     }
@@ -128,11 +135,15 @@ fn gen_adversarial(flags: &HashMap<String, String>, m: u32, cap: u32) -> Result<
             )))
         }
     };
-    Ok(write_trace(&inst))
+    Ok(inst)
 }
 
 /// The dyadic lower-bound trace of `acmr_workloads::lower_bound`.
-fn gen_lower_bound(flags: &HashMap<String, String>, m: u32, cap: u32) -> Result<String, CliError> {
+fn gen_lower_bound(
+    flags: &HashMap<String, String>,
+    m: u32,
+    cap: u32,
+) -> Result<AdmissionInstance, CliError> {
     // Default levels: the largest dyadic line that fits in --m edges,
     // clamped to the generator's ceiling (an explicit --levels beyond
     // it still errors below).
@@ -145,10 +156,42 @@ fn gen_lower_bound(flags: &HashMap<String, String>, m: u32, cap: u32) -> Result<
     if rounds == 0 {
         return Err(err("--rounds must be at least 1"));
     }
-    Ok(write_trace(&dyadic_admission_instance(levels, cap, rounds)))
+    Ok(dyadic_admission_instance(levels, cap, rounds))
 }
 
-/// `acmr gen` — emit a trace to the returned string.
+/// Serialize a generated instance per `--format text|binary` and
+/// `--out FILE`. Text defaults to stdout (the returned string); binary
+/// is raw bytes, so it requires `--out` — stdout stays text.
+fn emit_gen(flags: &HashMap<String, String>, inst: &AdmissionInstance) -> Result<String, CliError> {
+    let format = match flags.get("format").map(String::as_str) {
+        None | Some("text") => TraceFormat::TextV1,
+        Some("binary") => TraceFormat::BinaryV2,
+        Some(other) => return Err(err(format!("unknown --format {other:?} (text or binary)"))),
+    };
+    let out = match flags.get("out").map(String::as_str) {
+        Some("true") => return Err(err("--out needs a file path")),
+        other => other,
+    };
+    match (format, out) {
+        (TraceFormat::TextV1, None) => Ok(write_trace(inst)),
+        (TraceFormat::TextV1, Some(path)) => {
+            std::fs::write(path, write_trace(inst))
+                .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+            Ok(String::new())
+        }
+        (TraceFormat::BinaryV2, None) => Err(err(
+            "--format binary emits raw bytes; write them with --out FILE (stdout is text-only)",
+        )),
+        (TraceFormat::BinaryV2, Some(path)) => {
+            std::fs::write(path, write_bin_trace(inst))
+                .map_err(|e| err(format!("cannot write {path}: {e}")))?;
+            Ok(String::new())
+        }
+    }
+}
+
+/// `acmr gen` — emit a trace to the returned string (text), or to
+/// `--out FILE` in `--format text|binary`.
 pub fn cmd_gen(args: &[String]) -> Result<String, CliError> {
     let flags = parse_flags(args)?;
     let m: u32 = get(&flags, "m", 64)?;
@@ -168,49 +211,62 @@ pub fn cmd_gen(args: &[String]) -> Result<String, CliError> {
     }
     // The hostile families are deterministic constructions, not random
     // path workloads; they branch off before the spec is built.
-    match topology_name {
-        Some("adversarial") => return gen_adversarial(&flags, m, cap),
-        Some("lower-bound") => return gen_lower_bound(&flags, m, cap),
-        _ => {}
-    }
-    let topology = match topology_name {
-        None | Some("line") => Topology::Line { m },
-        Some("grid") => {
-            let side = ((m as f64).sqrt().ceil() as u32).max(2);
-            Topology::Grid {
-                rows: side,
-                cols: side,
-            }
+    let inst = match topology_name {
+        Some("adversarial") => gen_adversarial(&flags, m, cap)?,
+        Some("lower-bound") => gen_lower_bound(&flags, m, cap)?,
+        _ => {
+            let topology = match topology_name {
+                None | Some("line") => Topology::Line { m },
+                Some("grid") => {
+                    let side = ((m as f64).sqrt().ceil() as u32).max(2);
+                    Topology::Grid {
+                        rows: side,
+                        cols: side,
+                    }
+                }
+                Some("tree") => Topology::Tree {
+                    levels: (32 - m.leading_zeros()).max(2),
+                },
+                Some(other) => return Err(err(format!("unknown topology {other:?}"))),
+            };
+            let spec = PathWorkloadSpec {
+                topology,
+                capacity: cap,
+                overload,
+                costs: if weighted {
+                    CostModel::Zipf {
+                        n_values: 64,
+                        s: 1.1,
+                    }
+                } else {
+                    CostModel::Unit
+                },
+                max_hops,
+            };
+            random_path_workload(&spec, &mut StdRng::seed_from_u64(seed)).1
         }
-        Some("tree") => Topology::Tree {
-            levels: (32 - m.leading_zeros()).max(2),
-        },
-        Some(other) => return Err(err(format!("unknown topology {other:?}"))),
     };
-    let spec = PathWorkloadSpec {
-        topology,
-        capacity: cap,
-        overload,
-        costs: if weighted {
-            CostModel::Zipf {
-                n_values: 64,
-                s: 1.1,
-            }
-        } else {
-            CostModel::Unit
-        },
-        max_hops,
-    };
-    let (_, inst) = random_path_workload(&spec, &mut StdRng::seed_from_u64(seed));
-    Ok(write_trace(&inst))
+    emit_gen(&flags, &inst)
 }
 
-/// `acmr stats` — summarize a trace.
-pub fn cmd_stats(trace: &str) -> Result<String, CliError> {
-    let inst = read_trace(trace).map_err(|e| err(e.to_string()))?;
+/// `acmr stats` — summarize a trace of either format. The leading
+/// magic picks the parser (text v1 / binary v2) and is reported in the
+/// output; unknown magics are refused with a typed error pointing at
+/// `docs/TRACE_FORMAT.md`, never mis-parsed as text.
+pub fn cmd_stats(trace: &[u8]) -> Result<String, CliError> {
+    let format = sniff_bytes(trace).map_err(|e| err(e.to_string()))?;
+    let inst = match format {
+        TraceFormat::TextV1 => {
+            let text = std::str::from_utf8(trace)
+                .map_err(|e| err(format!("text trace is not valid UTF-8: {e}")))?;
+            read_trace(text).map_err(|e| err(e.to_string()))?
+        }
+        TraceFormat::BinaryV2 => read_bin_trace(trace).map_err(|e| err(e.to_string()))?,
+    };
     let mut out = String::new();
     out.push_str(&format!(
-        "edges           : {}\nmax capacity    : {}\nrequests        : {}\ntotal cost      : {:.2}\nunweighted      : {}\nmax edge excess : {}\n",
+        "format          : {}\nedges           : {}\nmax capacity    : {}\nrequests        : {}\ntotal cost      : {:.2}\nunweighted      : {}\nmax edge excess : {}\n",
+        format.describe(),
         inst.num_edges(),
         inst.max_capacity(),
         inst.requests.len(),
@@ -219,6 +275,68 @@ pub fn cmd_stats(trace: &str) -> Result<String, CliError> {
         inst.max_excess(),
     ));
     Ok(out)
+}
+
+/// `acmr convert <in> <out> [--to text|binary]` — rewrite a trace in
+/// the other format (or the one `--to` names; converting to the same
+/// format canonicalizes it). Streaming both ways, so traces larger
+/// than memory convert fine; lossless in both directions — costs keep
+/// their exact `f64` bits (the text format's shortest-repr decimals
+/// round-trip), footprints their canonical sorted order — so
+/// `text → binary → text` and `binary → text → binary` reproduce
+/// their inputs byte for byte (`tests/convert_roundtrip.rs` pins
+/// this over the golden corpus).
+pub fn cmd_convert(args: &[String]) -> Result<String, CliError> {
+    let split = args
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(args.len());
+    let (positional, flag_args) = args.split_at(split);
+    let flags = parse_flags(flag_args)?;
+    let [input, output] = positional else {
+        return Err(err(
+            "convert needs an input and an output path: acmr convert <in> <out> [--to text|binary]",
+        ));
+    };
+    let reader = open_trace(input).map_err(|e| err(e.to_string()))?;
+    let from = reader.format();
+    let to = match flags.get("to").map(String::as_str) {
+        None => match from {
+            TraceFormat::TextV1 => TraceFormat::BinaryV2,
+            TraceFormat::BinaryV2 => TraceFormat::TextV1,
+        },
+        Some("text") => TraceFormat::TextV1,
+        Some("binary") => TraceFormat::BinaryV2,
+        Some(other) => return Err(err(format!("unknown --to {other:?} (text or binary)"))),
+    };
+    let capacities = reader.capacities().to_vec();
+    let declared = reader.declared_requests();
+    let sink =
+        std::fs::File::create(output).map_err(|e| err(format!("cannot create {output}: {e}")))?;
+    let sink = std::io::BufWriter::new(sink);
+    let wio = |e: std::io::Error| err(format!("cannot write {output}: {e}"));
+    match to {
+        TraceFormat::TextV1 => {
+            let mut w = TraceWriter::new(sink, &capacities, declared as usize).map_err(wio)?;
+            for r in reader {
+                w.push(&r.map_err(|e| err(e.to_string()))?).map_err(wio)?;
+            }
+            w.finish().map_err(wio)?;
+        }
+        TraceFormat::BinaryV2 => {
+            let mut w = BinTraceWriter::new(sink, &capacities, declared).map_err(wio)?;
+            for r in reader {
+                w.push(&r.map_err(|e| err(e.to_string()))?).map_err(wio)?;
+            }
+            w.finish().map_err(wio)?;
+        }
+    }
+    Ok(format!(
+        "converted {input} [{}] -> {output} [{}]: {} edges, {declared} requests\n",
+        from.describe(),
+        to.describe(),
+        capacities.len(),
+    ))
 }
 
 /// `acmr opt` — best offline bound for a trace.
@@ -552,7 +670,8 @@ pub fn cmd_client(
                 &mut on_event,
             )
         } else {
-            let reader = TraceReader::open(&target).map_err(|e| err(e.to_string()))?;
+            // Either trace format: sniffed, binary replays off an mmap.
+            let reader = open_trace(&target).map_err(|e| err(e.to_string()))?;
             let capacities = reader.capacities().to_vec();
             serve_trace(
                 addr.as_str(),
@@ -583,9 +702,18 @@ pub fn dispatch_io(argv: &[String], stdin: &mut dyn Read) -> Result<String, CliE
             .map_err(|e| err(format!("could not read trace from stdin: {e}")))?;
         Ok(text)
     };
+    // `stats` accepts binary traces, so its stdin is raw bytes.
+    let slurp_bytes = |stdin: &mut dyn Read| -> Result<Vec<u8>, CliError> {
+        let mut bytes = Vec::new();
+        stdin
+            .read_to_end(&mut bytes)
+            .map_err(|e| err(format!("could not read trace from stdin: {e}")))?;
+        Ok(bytes)
+    };
     match argv.first().map(String::as_str) {
         Some("gen") => cmd_gen(&argv[1..]),
-        Some("stats") => cmd_stats(&slurp(stdin)?),
+        Some("stats") => cmd_stats(&slurp_bytes(stdin)?),
+        Some("convert") => cmd_convert(&argv[1..]),
         Some("opt") => cmd_opt(&slurp(stdin)?),
         Some("algs") => cmd_algs(),
         Some("run") => {
@@ -628,10 +756,21 @@ USAGE:
   acmr gen  [--topology line|grid|tree|adversarial|lower-bound] [--m N]
             [--cap C] [--overload F] [--seed S] [--weighted]
             [--max-hops H]                             # trace to stdout
+            [--format text|binary] [--out FILE]
             adversarial: [--family nested|hot-edge|squeeze] [--rounds R]
             [--shrink K] [--total T] [--width W] [--hits H]
             lower-bound: [--levels L] [--rounds R]     (dyadic intervals)
+            --format binary emits the mmap-able ACMR-TRACE v2 records
+            (raw bytes, so it requires --out FILE; text defaults to
+            stdout, or to --out when given)
   acmr stats                                           # trace from stdin
+            accepts both formats (the leading magic picks the parser),
+            reports which one it saw, and refuses unknown magics with
+            a typed error instead of mis-parsing
+  acmr convert IN OUT [--to text|binary]               # rewrite a trace
+            losslessly converts between the text and binary formats,
+            streaming (traces larger than memory convert fine); --to
+            defaults to the opposite of the input's format
   acmr opt                                             # trace from stdin
   acmr algs                                            # list algorithms
   acmr run  [--alg SPEC] [--seed S] [--batch N] [--format text|json]
@@ -663,11 +802,16 @@ USAGE:
             event as a JSON line); served reports carry no offline
             OPT bound — replay the trace through `acmr run` for one
 
-Traces use the plain-text `ACMR-TRACE v1` format emitted by `acmr gen`;
-the grammar and streaming chunk semantics are specified in
-docs/TRACE_FORMAT.md. The serving wire protocol (handshake, frames,
-error replies, shutdown semantics) is specified in docs/SERVING.md;
-docs/OPERATIONS.md is the operator guide to running `acmr serve`.
+Traces come in two interconvertible dialects, both specified in
+docs/TRACE_FORMAT.md: the plain-text `ACMR-TRACE v1` grammar `acmr gen`
+emits by default, and the binary mmap-able `ACMR-TRACE v2` record
+format (`acmr gen --format binary`, `acmr convert`) that file-backed
+commands (`run --stream FILE`, `client --stream FILE`, sweeps) replay
+zero-copy off a memory map. Every file-taking command sniffs the
+leading magic, so both formats work everywhere a trace file does. The
+serving wire protocol (handshake, frames, error replies, shutdown
+semantics) is specified in docs/SERVING.md; docs/OPERATIONS.md is the
+operator guide to running `acmr serve`.
 ";
 
 #[cfg(test)]
@@ -684,7 +828,7 @@ mod tests {
     fn gen_stats_opt_run_pipeline() {
         let trace = cmd_gen(&argv(&["--m", "16", "--cap", "2", "--seed", "5"])).unwrap();
         assert!(trace.starts_with("ACMR-TRACE v1"));
-        let stats = cmd_stats(&trace).unwrap();
+        let stats = cmd_stats(trace.as_bytes()).unwrap();
         assert!(stats.contains("edges           : 16"));
         let opt = cmd_opt(&trace).unwrap();
         assert!(opt.starts_with("opt "));
@@ -698,7 +842,7 @@ mod tests {
     #[test]
     fn weighted_gen_has_varied_costs() {
         let trace = cmd_gen(&argv(&["--m", "16", "--weighted", "--seed", "3"])).unwrap();
-        let stats = cmd_stats(&trace).unwrap();
+        let stats = cmd_stats(trace.as_bytes()).unwrap();
         assert!(stats.contains("unweighted      : false"));
     }
 
@@ -821,7 +965,7 @@ mod tests {
             ]),
         ] {
             let trace = cmd_gen(&gen_args).unwrap();
-            let stats = cmd_stats(&trace).unwrap();
+            let stats = cmd_stats(trace.as_bytes()).unwrap();
             assert!(stats.contains("max edge excess"), "{stats}");
             for name in default_registry().names() {
                 cmd_run(&argv(&["--alg", name, "--seed", "2"]), &trace).unwrap();
@@ -829,7 +973,9 @@ mod tests {
         }
         // --m 16 defaults lower-bound to levels 4 (16 dyadic edges).
         let trace = cmd_gen(&argv(&["--topology", "lower-bound", "--m", "16"])).unwrap();
-        assert!(cmd_stats(&trace).unwrap().contains("edges           : 16"));
+        assert!(cmd_stats(trace.as_bytes())
+            .unwrap()
+            .contains("edges           : 16"));
         // A huge --m clamps the default levels to the generator's
         // ceiling instead of erroring about a flag the user never set.
         let trace = cmd_gen(&argv(&[
@@ -841,7 +987,7 @@ mod tests {
             "1",
         ]))
         .unwrap();
-        assert!(cmd_stats(&trace)
+        assert!(cmd_stats(trace.as_bytes())
             .unwrap()
             .contains("edges           : 65536"));
     }
@@ -991,6 +1137,103 @@ mod tests {
         assert!(e.to_string().contains("docs/TRACE_FORMAT.md"), "{e}");
         // cmd_run proper refuses --stream (it has no byte stream).
         assert!(cmd_run(&argv(&["--stream", "-"]), "x").is_err());
+    }
+
+    #[test]
+    fn binary_gen_convert_stats_run_pipeline() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let p = |name: &str| {
+            dir.join(format!("acmr-cli-bin-{pid}-{name}"))
+                .to_str()
+                .unwrap()
+                .to_string()
+        };
+        let (text_path, bin_path, bin2_path, text2_path) =
+            (p("a.trace"), p("a.bin"), p("b.bin"), p("b.trace"));
+
+        // gen --out writes the file and prints nothing.
+        let gen_args = &["--m", "16", "--cap", "2", "--seed", "5", "--weighted"];
+        let mut args = argv(gen_args);
+        args.extend(argv(&["--out", &text_path]));
+        assert_eq!(cmd_gen(&args).unwrap(), "");
+        // …and matches stdout generation exactly.
+        assert_eq!(
+            std::fs::read_to_string(&text_path).unwrap(),
+            cmd_gen(&argv(gen_args)).unwrap()
+        );
+        // gen --format binary requires --out (stdout is text-only).
+        let mut args = argv(gen_args);
+        args.extend(argv(&["--format", "binary"]));
+        let e = cmd_gen(&args).unwrap_err();
+        assert!(e.to_string().contains("--out"), "{e}");
+        args.extend(argv(&["--out", &bin_path]));
+        assert_eq!(cmd_gen(&args).unwrap(), "");
+
+        // stats reads both formats, reports which it saw, and agrees
+        // on every other line.
+        let text = std::fs::read(&text_path).unwrap();
+        let bin = std::fs::read(&bin_path).unwrap();
+        let st = cmd_stats(&text).unwrap();
+        let sb = cmd_stats(&bin).unwrap();
+        assert!(
+            st.contains("format          : ACMR-TRACE v1 (text)"),
+            "{st}"
+        );
+        assert!(
+            sb.contains("format          : ACMR-TRACE v2 (binary)"),
+            "{sb}"
+        );
+        assert_eq!(
+            st.lines().skip(1).collect::<Vec<_>>(),
+            sb.lines().skip(1).collect::<Vec<_>>()
+        );
+        // Unknown magic: typed refusal pointing at the spec, not a
+        // text mis-parse.
+        let e = cmd_stats(b"\x7fELF junk").unwrap_err();
+        assert!(e.to_string().contains("docs/TRACE_FORMAT.md"), "{e}");
+        assert!(e.to_string().contains("unrecognized trace magic"), "{e}");
+
+        // convert text→binary (default --to flips the format) equals
+        // direct binary generation; binary→text reproduces the
+        // original text byte for byte.
+        let summary = cmd_convert(&argv(&[&text_path, &bin2_path])).unwrap();
+        assert!(summary.contains("ACMR-TRACE v2 (binary)"), "{summary}");
+        assert_eq!(std::fs::read(&bin2_path).unwrap(), bin);
+        cmd_convert(&argv(&[&bin_path, &text2_path, "--to", "text"])).unwrap();
+        assert_eq!(std::fs::read(&text2_path).unwrap(), text);
+
+        // run --stream replays the binary trace (zero-copy) with a
+        // byte-identical report to the text path.
+        let stream = |path: &str| {
+            dispatch(
+                &argv(&[
+                    "run",
+                    "--alg",
+                    "aag-weighted",
+                    "--seed",
+                    "4",
+                    "--format",
+                    "json",
+                    "--stream",
+                    path,
+                ]),
+                "",
+            )
+            .unwrap()
+        };
+        assert_eq!(stream(&bin_path), stream(&text_path));
+
+        // convert usage errors.
+        assert!(cmd_convert(&argv(&[&text_path])).is_err());
+        let e = cmd_convert(&argv(&[&text_path, &bin2_path, "--to", "yaml"])).unwrap_err();
+        assert!(e.to_string().contains("--to"), "{e}");
+        let e = cmd_convert(&argv(&["/no/such.trace", &bin2_path])).unwrap_err();
+        assert!(e.to_string().contains("/no/such.trace"), "{e}");
+
+        for path in [text_path, bin_path, bin2_path, text2_path] {
+            std::fs::remove_file(path).unwrap();
+        }
     }
 
     #[test]
@@ -1256,7 +1499,7 @@ mod tests {
 
     #[test]
     fn bad_inputs_are_reported() {
-        assert!(cmd_stats("garbage").is_err());
+        assert!(cmd_stats(b"garbage").is_err());
         assert!(cmd_run(&argv(&["--alg", "nope"]), "x").is_err());
         let trace = cmd_gen(&argv(&["--m", "8", "--cap", "2"])).unwrap();
         let e = cmd_run(&argv(&["--alg", "nope"]), &trace).unwrap_err();

@@ -1,0 +1,206 @@
+//! Workspace-local stand-in for `memmap2`.
+//!
+//! The build has no network access, so the binary trace reader links
+//! against this thin `mmap(2)` shim instead of the real crate. It keeps
+//! the API shape of the subset the workspace uses — `unsafe
+//! Mmap::map(&File)` returning a read-only mapping that derefs to
+//! `&[u8]` — so swapping to the real `memmap2` is a Cargo.toml-only
+//! change.
+//!
+//! On Unix the mapping is a real `mmap(PROT_READ, MAP_PRIVATE)` over
+//! the whole file, unmapped on drop. On other platforms `map` returns
+//! `ErrorKind::Unsupported`; callers are expected to fall back to
+//! reading the file into memory (the binary trace reader does).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// A read-only memory mapping of an entire file.
+///
+/// Derefs to `&[u8]`; the mapping is released when the value drops.
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+    /// False for the zero-length special case (POSIX `mmap` rejects
+    /// `len == 0`), where `ptr` is dangling and nothing is unmapped.
+    mapped: bool,
+}
+
+// SAFETY: the mapping is read-only (PROT_READ, MAP_PRIVATE) and the
+// pointer/length pair never changes after construction, so shared and
+// cross-thread access is as safe as for any `&[u8]`.
+#[allow(unsafe_code)]
+unsafe impl Send for Mmap {}
+#[allow(unsafe_code)]
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    // std already links libc on every Unix target, so declaring the
+    // two symbols directly avoids vendoring a libc crate.
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the underlying file is not truncated or
+    /// mutated while the mapping is alive — the OS gives no such
+    /// guarantee, and access to removed pages is undefined behavior
+    /// (this mirrors the real `memmap2` contract).
+    #[cfg(unix)]
+    #[allow(unsafe_code)]
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "file too large to map into the address space",
+            ));
+        }
+        let len = len as usize;
+        if len == 0 {
+            // POSIX mmap rejects zero-length mappings; represent the
+            // empty file as an empty slice instead.
+            return Ok(Mmap {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+                mapped: false,
+            });
+        }
+        let ptr = sys::mmap(
+            std::ptr::null_mut(),
+            len,
+            sys::PROT_READ,
+            sys::MAP_PRIVATE,
+            file.as_raw_fd(),
+            0,
+        );
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            ptr: ptr as *const u8,
+            len,
+            mapped: true,
+        })
+    }
+
+    /// Non-Unix stub: always `ErrorKind::Unsupported`, so callers take
+    /// their read-to-heap fallback path.
+    #[cfg(not(unix))]
+    #[allow(unsafe_code)]
+    pub unsafe fn map(_file: &File) -> io::Result<Mmap> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "mmap is unavailable on this platform",
+        ))
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    #[inline]
+    #[allow(unsafe_code)]
+    fn deref(&self) -> &[u8] {
+        // SAFETY: `ptr` points at `len` mapped read-only bytes (or is a
+        // dangling pointer with `len == 0`, which `from_raw_parts`
+        // permits for an empty slice).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Drop for Mmap {
+    #[allow(unsafe_code)]
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if self.mapped {
+            // SAFETY: `ptr`/`len` came from a successful mmap and are
+            // unmapped exactly once.
+            unsafe {
+                sys::munmap(self.ptr as *mut _, self.len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.len)
+            .field("mapped", &self.mapped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+#[allow(unsafe_code)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let path = std::env::temp_dir().join(format!("memmap2-shim-test-{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(b"hello mapping").unwrap();
+        f.sync_all().unwrap();
+        let map = unsafe { Mmap::map(&File::open(&path).unwrap()) }.unwrap();
+        assert_eq!(&map[..], b"hello mapping");
+        assert_eq!(map.len(), 13);
+        assert!(!map.is_empty());
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zero_length_file_is_an_empty_slice() {
+        let path = std::env::temp_dir().join(format!("memmap2-shim-empty-{}", std::process::id()));
+        File::create(&path).unwrap();
+        let map = unsafe { Mmap::map(&File::open(&path).unwrap()) }.unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&map[..], b"");
+        std::fs::remove_file(&path).unwrap();
+    }
+}
