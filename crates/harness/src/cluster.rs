@@ -5,11 +5,19 @@
 //! produces the same serde-backed [`SweepReport`] as the thread-level
 //! [`crate::ShardedDriver`] — **byte-identical**, pinned by
 //! `crates/harness/tests/cluster_differential.rs` — while the jobs
-//! themselves run out-of-process: each job opens one `ACMR-SERVE v1`
+//! themselves run out-of-process: each job runs an `ACMR-SERVE`
 //! session against a worker from an [`acmr_serve::WorkerPool`]
 //! (spawned `acmr serve` children or adopted remote addresses),
 //! replays its trace over the wire in `BATCH` frames, and reads the
-//! final [`RunReport`] back.
+//! final [`RunReport`] back. By default the pool negotiates the v2
+//! binary-frame dialect and keeps one **persistent session** per
+//! worker slot: consecutive jobs reuse the connection via `RESET`
+//! frames, the whole trace is pipelined (record-byte arrivals,
+//! batch-summary acknowledgements, one round trip per job), and the
+//! whole-trace retry contract below is unchanged — a retry always
+//! replays from the first arrival on a fresh session
+//! (`WorkerPool::proto` drops back to the v1 line protocol for
+//! fleets that predate v2; `docs/SERVING.md` specifies both).
 //!
 //! Division of labor, by design:
 //!

@@ -1,23 +1,29 @@
 //! # acmr-serve
 //!
 //! The live serving front end for the admission-control engine: a
-//! line-based TCP protocol (`ACMR-SERVE v1`, specified in
-//! `docs/SERVING.md`) that drives one streaming
-//! [`acmr_core::Session`] per connection — the production shape of
-//! the paper's online model, where requests genuinely arrive one at a
-//! time over a wire and every accept/reject decision is pushed back
-//! as it is made.
+//! TCP protocol (`ACMR-SERVE`, specified in `docs/SERVING.md`) that
+//! drives one streaming [`acmr_core::Session`] per connection — the
+//! production shape of the paper's online model, where requests
+//! genuinely arrive one at a time over a wire and every accept/reject
+//! decision is pushed back as it is made. Two wire dialects share the
+//! grammar: the v1 line protocol, and the v2 binary-frame protocol
+//! (negotiated at `OPEN` via `proto=v2`) whose arrival frames are
+//! exactly ACMR-TRACE v2 record bytes, with batch-summary
+//! acknowledgements and `RESET`-based session reuse.
 //!
 //! Three public layers, std-only (the workspace builds offline, so
 //! the server is `std::net::TcpListener` + one thread per connection
 //! rather than an async runtime):
 //!
 //! * [`protocol`] — the wire grammar: the capped [`protocol::
-//!   FrameReader`] both ends use, the stable `ERR` code table, and the
-//!   constants (`GREETING`, frame/batch caps). Arrival frames reuse
-//!   the trace grammar of `docs/TRACE_FORMAT.md` via
-//!   `acmr_workloads::trace::parse_request_line`, so the socket and
-//!   the file formats can never drift apart.
+//!   FrameReader`] both ends use, the stable `ERR` code table, the
+//!   constants (`GREETING`, frame/batch caps), and the v2 binary
+//!   codec ([`protocol::BinFrameReader`], [`protocol::BatchSummary`],
+//!   the `RESET`/`OK` payloads). v1 arrival frames reuse the trace
+//!   grammar of `docs/TRACE_FORMAT.md` via
+//!   `acmr_workloads::trace::parse_request_line`; v2 arrival frames
+//!   reuse `acmr_workloads::binfmt`'s record codec — so the socket
+//!   and the file formats can never drift apart, in either dialect.
 //! * [`serve`] / [`ServerHandle`] / [`SessionManager`] — the server:
 //!   thread-per-connection over the shared [`acmr_core::Registry`],
 //!   a concurrent session table, typed `ERR` replies for every
@@ -44,6 +50,7 @@ pub mod pool;
 pub mod protocol;
 pub mod server;
 
-pub use client::{serve_trace, ServeClient};
+pub use client::{serve_trace, serve_trace_v2, ServeClient};
 pub use pool::{is_transport_error, WorkerPool, CLUSTER_ERROR_CODE, LISTENING_PREFIX};
+pub use protocol::{BatchSummary, ProtoVersion};
 pub use server::{serve, ServeConfig, ServerHandle, SessionManager, SessionMeta, DEFAULT_ADDR};

@@ -37,7 +37,8 @@
 //!   [`AcmrError::Remote`] with code [`CLUSTER_ERROR_CODE`] naming
 //!   the last failure — never a panic, a hang, or a partial report.
 
-use crate::client::{replay_session, ServeClient};
+use crate::client::{replay_session, run_job_v2, ServeClient};
+use crate::protocol::ProtoVersion;
 use acmr_core::{AcmrError, Request, RunReport};
 use std::io::BufRead;
 use std::net::{SocketAddr, ToSocketAddrs};
@@ -81,12 +82,17 @@ pub fn is_transport_error(e: &AcmrError) -> bool {
 
 /// One worker slot: a serving endpoint, its liveness flag, and — for
 /// spawned-local workers — the child process handle.
-#[derive(Debug)]
 struct Worker {
     addr: SocketAddr,
     /// Cleared when a **connection attempt** to this worker fails
     /// (the process is gone); quarantined workers are skipped.
     alive: AtomicBool,
+    /// The slot's cached v2 session (protocol v2 pools only): after a
+    /// successful job the connection parks here post-`END`, and the
+    /// next job revives it with a pipelined `RESET` instead of paying
+    /// TCP connect + handshake again. Dropped on any failure — the
+    /// whole-trace retry contract always replays on a fresh session.
+    conn: Mutex<Option<ServeClient>>,
     /// The spawned `acmr serve` child; `None` for adopted workers.
     child: Mutex<Option<Child>>,
     /// The spawned child's stderr pipe, held open so the worker's
@@ -95,14 +101,34 @@ struct Worker {
     _stderr: Mutex<Option<std::io::BufReader<ChildStderr>>>,
 }
 
+impl std::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker")
+            .field("addr", &self.addr)
+            .field("alive", &self.alive)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Worker {
     fn adopted(addr: SocketAddr) -> Self {
         Worker {
             addr,
             alive: AtomicBool::new(true),
+            conn: Mutex::new(None),
             child: Mutex::new(None),
             _stderr: Mutex::new(None),
         }
+    }
+
+    /// Take the slot's cached session, if any.
+    fn take_conn(&self) -> Option<ServeClient> {
+        self.conn.lock().expect("worker conn lock poisoned").take()
+    }
+
+    /// Park a session for the next job on this slot.
+    fn park_conn(&self, client: ServeClient) {
+        *self.conn.lock().expect("worker conn lock poisoned") = Some(client);
     }
 
     /// Kill the spawned child, if any (idempotent; no-op for adopted
@@ -151,6 +177,7 @@ pub struct WorkerPool {
     workers: Vec<Worker>,
     retries: usize,
     io_timeout: std::time::Duration,
+    proto: ProtoVersion,
 }
 
 impl WorkerPool {
@@ -182,6 +209,7 @@ impl WorkerPool {
             workers,
             retries,
             io_timeout: DEFAULT_IO_TIMEOUT,
+            proto: ProtoVersion::V2,
         })
     }
 
@@ -209,6 +237,7 @@ impl WorkerPool {
             workers,
             retries: count,
             io_timeout: DEFAULT_IO_TIMEOUT,
+            proto: ProtoVersion::V2,
         })
     }
 
@@ -232,6 +261,18 @@ impl WorkerPool {
     /// fine as long as every individual reply keeps arriving.
     pub fn io_timeout(mut self, timeout: std::time::Duration) -> Self {
         self.io_timeout = timeout;
+        self
+    }
+
+    /// Pick the wire protocol jobs speak to the workers (default:
+    /// [`ProtoVersion::V2`] — binary frames, summary acks, and
+    /// persistent per-slot sessions revived by `RESET`). Force
+    /// [`ProtoVersion::V1`] against an old fleet that answers the v2
+    /// negotiation with its typed `ERR parse` reply — the pool never
+    /// downgrades silently, so mixed fleets fail loudly instead of
+    /// running half the sweep on a slower wire.
+    pub fn proto(mut self, proto: ProtoVersion) -> Self {
+        self.proto = proto;
         self
     }
 
@@ -284,11 +325,21 @@ impl WorkerPool {
     /// **whole trace** on the next worker after a transport failure,
     /// up to the pool's retry bound.
     ///
-    /// `source` is called once per attempt and must produce the edge
+    /// In protocol v2 (the default) the replay is pipelined — the
+    /// whole trace streams out before any acknowledgement is read —
+    /// and the slot's connection is kept across jobs: the next job on
+    /// the slot revives it with a `RESET` frame instead of a fresh
+    /// TCP connect + handshake. A stale cached connection (worker
+    /// restarted, idle timeout fired) falls back to a fresh connect
+    /// *within the same attempt* — reviving the cache never costs the
+    /// job one of its bounded attempts.
+    ///
+    /// `source` is called per replay and must produce the edge
     /// capacities plus a fresh arrival iterator from the top — that is
     /// what makes a retry a full replay rather than a half-replayed
-    /// session. An error from `source` itself (e.g. the trace file is
-    /// missing) is returned as-is, without consuming an attempt.
+    /// session (a stale-cache fallback can call it twice in one
+    /// attempt). An error from `source` itself (e.g. the trace file
+    /// is missing) is returned as-is, without consuming an attempt.
     pub fn run_job<I, F>(
         &self,
         start: usize,
@@ -318,6 +369,31 @@ impl WorkerPool {
                 return Err(self.exhausted("no alive workers left", attempt, last_failure));
             };
             let worker = &self.workers[slot];
+            // Persistent-session fast path (v2 only): revive the
+            // slot's parked connection with a pipelined RESET. A
+            // stale cached connection (the worker restarted, an idle
+            // timeout fired) surfaces as a transport error and falls
+            // through to the fresh-connect path below — same slot,
+            // same attempt.
+            if self.proto == ProtoVersion::V2 {
+                if let Some(mut client) = worker.take_conn() {
+                    let (capacities, arrivals) = source()?;
+                    let outcome = client
+                        .write_reset(spec, base_seed, &capacities)
+                        .and_then(|()| run_job_v2(&mut client, arrivals, batch, true));
+                    match outcome {
+                        Ok(report) => {
+                            worker.park_conn(client);
+                            return Ok(report);
+                        }
+                        // Stale cache: drop the client, fall through.
+                        Err(e) if is_transport_error(&e) => drop(client),
+                        // A typed answer from a live worker is the
+                        // job's real answer, cache or no cache.
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
             let (capacities, arrivals) = source()?;
             // The pool owns the TCP connect so a *connection* failure
             // (the worker process is gone — quarantine the slot) is
@@ -345,8 +421,25 @@ impl WorkerPool {
             // takes longer than the timeout means the worker is gone.
             let _ = stream.set_read_timeout(Some(self.io_timeout));
             let _ = stream.set_write_timeout(Some(self.io_timeout));
-            let outcome = ServeClient::from_stream(stream, spec, base_seed, &capacities)
-                .and_then(|client| replay_session(client, arrivals, batch, &mut |_| {}));
+            let outcome = match self.proto {
+                ProtoVersion::V1 => ServeClient::from_stream(stream, spec, base_seed, &capacities)
+                    .and_then(|client| replay_session(client, arrivals, batch, &mut |_| {})),
+                ProtoVersion::V2 => ServeClient::from_stream_with(
+                    stream,
+                    spec,
+                    base_seed,
+                    &capacities,
+                    ProtoVersion::V2,
+                    false,
+                )
+                .and_then(|mut client| {
+                    let report = run_job_v2(&mut client, arrivals, batch, false)?;
+                    // Success parks the post-END session for the next
+                    // job on this slot.
+                    worker.park_conn(client);
+                    Ok(report)
+                }),
+            };
             match outcome {
                 Ok(report) => return Ok(report),
                 Err(e) if is_transport_error(&e) => {
@@ -441,6 +534,7 @@ fn spawn_worker(binary: &Path) -> Result<Worker, AcmrError> {
     Ok(Worker {
         addr,
         alive: AtomicBool::new(true),
+        conn: Mutex::new(None),
         child: Mutex::new(Some(child)),
         _stderr: Mutex::new(reader),
     })
@@ -580,6 +674,66 @@ mod tests {
             start.elapsed()
         );
         drop(silent);
+    }
+
+    #[test]
+    fn quarantined_start_slot_is_skipped_without_burning_an_attempt() {
+        // Regression: a job whose round-robin *start* slot is already
+        // quarantined must begin on the next alive worker in its very
+        // first attempt — the quarantine exists precisely so later
+        // jobs stop paying for a worker known to be dead.
+        let mut registry = acmr_core::Registry::new();
+        acmr_core::register_core(&mut registry);
+        let dead = crate::server::serve(
+            registry,
+            crate::server::ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                ..crate::server::ServeConfig::default()
+            },
+        )
+        .expect("bind doomed worker");
+        let mut registry = acmr_core::Registry::new();
+        acmr_core::register_core(&mut registry);
+        let alive = crate::server::serve(
+            registry,
+            crate::server::ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                ..crate::server::ServeConfig::default()
+            },
+        )
+        .expect("bind surviving worker");
+        let dead_addr = dead.local_addr().to_string();
+        dead.shutdown(); // worker 0's port now refuses connections
+        let pool =
+            WorkerPool::connect(&[dead_addr, alive.local_addr().to_string()]).expect("adopt");
+        let source = || {
+            Ok((
+                vec![1u32],
+                vec![Ok(Request::unit(acmr_graph::EdgeSet::singleton(
+                    acmr_graph::EdgeId(0),
+                )))],
+            ))
+        };
+        // Job 1 starts on the dead slot: its connect fails, the slot
+        // is quarantined, and the bounded retry carries it to the
+        // survivor.
+        let report = pool
+            .run_job(0, "aag-unweighted", None, None, source)
+            .expect("job 1");
+        assert_eq!(report.requests, 1);
+        assert_eq!(pool.alive(), 1);
+        // Job 2 also *starts* at slot 0 — but with zero retries left
+        // it only succeeds if the quarantined slot is skipped when
+        // picking the first worker, not discovered again the hard way.
+        let pool = pool.retries(0);
+        let report = pool
+            .run_job(0, "aag-unweighted", None, None, source)
+            .expect(
+                "a job starting on a quarantined slot must begin on the next alive worker \
+             in its first attempt",
+            );
+        assert_eq!(report.requests, 1);
+        alive.shutdown();
     }
 
     #[test]

@@ -1,14 +1,15 @@
-//! The `ACMR-SERVE v1` wire protocol: constants, the capped line
-//! reader both ends use, and the error-reply encoding.
+//! The `ACMR-SERVE` wire protocol: constants, the capped line reader
+//! both ends use, the error-reply encoding, and the `v2` binary frame
+//! codec.
 //!
-//! The protocol is line-based on purpose — it is the trace grammar of
-//! `docs/TRACE_FORMAT.md` lifted onto a socket (request frames *are*
-//! trace request lines, parsed by the same
+//! The **v1** protocol is line-based on purpose — it is the trace
+//! grammar of `docs/TRACE_FORMAT.md` lifted onto a socket (request
+//! frames *are* trace request lines, parsed by the same
 //! [`acmr_workloads::trace::parse_request_line`] the file reader
 //! uses), so `nc` is a usable client and every framing rule is
 //! specified in one place: `docs/SERVING.md`.
 //!
-//! ## Frame summary
+//! ## v1 frame summary
 //!
 //! ```text
 //! server → client   ACMR-SERVE v1              greeting, on accept
@@ -21,16 +22,79 @@
 //!                   END                        finish the session
 //! server → client   EVENT <json>               one per arrival, in order
 //!                   REPORT <json>              reply to END, then close
-//!                   ERR <code> <message>       terminal: connection closes
+//! server → client   ERR <code> <message>       terminal: connection closes
 //! ```
+//!
+//! ## v2: binary frames, negotiated at `OPEN`
+//!
+//! The **v2** mode keeps the line-based bootstrap (greeting and the
+//! three handshake lines are unchanged) and is negotiated with an
+//! extra `OPEN` argument: `OPEN <spec> [seed=<S>] proto=v2
+//! [events=on]`. A v2-capable server replies `OK <id> <spec>
+//! proto=v2` and **both directions switch to length-prefixed binary
+//! frames** after their respective handshake line:
+//!
+//! ```text
+//! frame := type:u8  len:u32le  payload[len]
+//! ```
+//!
+//! Arrival payloads are *exactly* the `ACMR-TRACE v2` record bytes of
+//! `docs/TRACE_FORMAT.md` ([`acmr_workloads::encode_record_into`] /
+//! [`acmr_workloads::decode_record`] are the codec, shared with the
+//! trace file writer/reader — file ≡ socket by construction). A
+//! `BATCH` frame is acknowledged with **one** [`BatchSummary`] frame
+//! unless the client opted into per-event replies with `events=on`;
+//! a `RESET` frame tears the session down and opens a fresh one on
+//! the same connection — the persistent-session mode cluster sweeps
+//! use. Error replies carry the same typed codes as v1, as the
+//! payload of an [`FRAME_ERR`] frame. Full spec: `docs/SERVING.md`.
 
-use acmr_core::AcmrError;
+use acmr_core::{AcmrError, ArrivalEvent};
 use acmr_workloads::trace::LineScanner;
 use std::io::Read;
 
-/// The greeting the server writes on accept, and the protocol version
-/// a client must expect.
+/// The greeting the server writes on accept — the version of the
+/// line-based *bootstrap* grammar (`v2` sessions are negotiated per
+/// connection at `OPEN`, so the greeting never changes with them; a
+/// greeting bump would mean the bootstrap lines themselves changed).
 pub const GREETING: &str = "ACMR-SERVE v1";
+
+/// The `OPEN` (and `OK`) argument that negotiates binary-frame mode.
+pub const PROTO_V2_TOKEN: &str = "proto=v2";
+
+/// The `OPEN` argument that opts a v2 session into per-event `BATCH`
+/// replies (v1 behavior); without it a `BATCH` frame is acknowledged
+/// by one [`BatchSummary`] frame.
+pub const EVENTS_TOKEN: &str = "events=on";
+
+/// Which protocol a serving endpoint (or client) speaks after `OPEN`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtoVersion {
+    /// The line protocol: JSON `EVENT` per arrival, text frames.
+    V1,
+    /// Binary frames: trace-record arrivals, batch-summary acks,
+    /// `RESET` persistent sessions.
+    V2,
+}
+
+impl ProtoVersion {
+    /// Parse a `--proto` flag value (`"v1"` / `"v2"`).
+    pub fn parse(s: &str) -> Option<ProtoVersion> {
+        match s {
+            "v1" => Some(ProtoVersion::V1),
+            "v2" => Some(ProtoVersion::V2),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling (`"v1"` / `"v2"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtoVersion::V1 => "v1",
+            ProtoVersion::V2 => "v2",
+        }
+    }
+}
 
 /// Longest wire line either end accepts — **equal to the trace
 /// reader's [`acmr_workloads::trace::MAX_LINE_BYTES`]**, so the socket
@@ -70,10 +134,18 @@ pub fn error_code(e: &AcmrError) -> &'static str {
 /// Render an [`AcmrError`] as the single-line `ERR` reply the server
 /// sends before closing the connection (newline not included).
 pub fn error_reply(e: &AcmrError) -> String {
+    format!("ERR {}", error_reply_body(e))
+}
+
+/// The `ERR` reply without its `ERR ` keyword: `<code> <message>
+/// (<spec pointer>)` — what follows the keyword in a v1 line and the
+/// **entire payload** of a v2 [`FRAME_ERR`] frame, so both protocols
+/// share one error grammar and one decoder ([`decode_error_reply`]).
+pub fn error_reply_body(e: &AcmrError) -> String {
     // Error displays are single-line by construction; the replace is
     // belt-and-braces so a future message can never break the framing.
     let message = e.to_string().replace('\n', " ");
-    format!("ERR {} {message} ({SPEC_POINTER})", error_code(e))
+    format!("{} {message} ({SPEC_POINTER})", error_code(e))
 }
 
 /// Decode an `ERR <code> <message>` line (without the `ERR ` prefix
@@ -122,6 +194,18 @@ impl<R: Read> FrameReader<R> {
         self.scan.line_number()
     }
 
+    /// The wire line number of the line that *would come next* —
+    /// where a frame the peer never sent was expected. This is the
+    /// number a "connection closed before …" `ERR` must report:
+    /// reporting `line_number()` instead points one line off (at the
+    /// last line actually read — typically a blank line the server
+    /// skipped, since blanks between frames are ignored but still
+    /// numbered), which is exactly the drift the protocol unit tests
+    /// pin below.
+    pub fn next_line_number(&self) -> usize {
+        self.scan.line_number() + 1
+    }
+
     /// The next line as `(1-based number, trimmed content)`, `None` at
     /// end of stream. A peer that stops mid-line yields the partial
     /// line once EOF is observed, exactly like the trace reader.
@@ -131,6 +215,308 @@ impl<R: Read> FrameReader<R> {
             .next_line()?
             .map(|(n, line)| (n, line.to_string())))
     }
+
+    /// Dismantle the reader for the v2 protocol upgrade: any bytes
+    /// scanned ahead of the last yielded line (a pipelining peer's
+    /// first binary frames) plus the raw stream. Feed both to a
+    /// [`BinFrameReader`] via [`BinFrameReader::with_rest`] so no
+    /// byte is lost at the line→binary boundary.
+    pub fn into_binary(self) -> (Vec<u8>, R) {
+        self.scan.into_parts()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// v2 binary frames
+// ---------------------------------------------------------------------------
+
+/// v2 frame type: one arrival; payload is exactly one `ACMR-TRACE v2`
+/// record (client → server).
+pub const FRAME_REQ: u8 = 0x01;
+/// v2 frame type: a batch of arrivals; payload is a `u32le` count
+/// followed by that many records back-to-back (client → server).
+pub const FRAME_BATCH: u8 = 0x02;
+/// v2 frame type: finish the session; empty payload (client → server).
+pub const FRAME_END: u8 = 0x03;
+/// v2 frame type: abandon the current session and open a fresh one on
+/// the same connection; payload per [`encode_reset`] (client → server).
+pub const FRAME_RESET: u8 = 0x04;
+/// v2 frame type: session opened (reply to `RESET`); payload is the
+/// `u64le` session id followed by the canonical spec in UTF-8.
+pub const FRAME_OK: u8 = 0x80;
+/// v2 frame type: one audited decision; payload is the same JSON
+/// document a v1 `EVENT` line carries.
+pub const FRAME_EVENT: u8 = 0x81;
+/// v2 frame type: one [`BatchSummary`] acknowledging a whole `BATCH`
+/// frame (unless the session opted into per-event replies).
+pub const FRAME_SUMMARY: u8 = 0x82;
+/// v2 frame type: the final report (reply to `END`); payload is the
+/// same JSON document a v1 `REPORT` line carries.
+pub const FRAME_REPORT: u8 = 0x83;
+/// v2 frame type: terminal error; payload is the UTF-8
+/// [`error_reply_body`] text — same codes, same grammar as v1.
+pub const FRAME_ERR: u8 = 0x84;
+
+/// Reader for the v2 binary frame stream: `type:u8 len:u32le
+/// payload[len]`, with the payload capped at [`MAX_FRAME_BYTES`]
+/// (bounded memory against hostile peers, exactly like the line
+/// reader) and a frame counter for error messages.
+///
+/// Framing violations (oversized length, truncation mid-frame) are
+/// typed [`AcmrError::TraceParse`] errors whose `line` is the 1-based
+/// index of the offending *frame* — the binary stream has no lines;
+/// I/O failures surface as [`AcmrError::Io`].
+pub struct BinFrameReader<R: Read> {
+    inner: R,
+    frames: usize,
+}
+
+impl<R: Read> BinFrameReader<R> {
+    /// Read frames from `inner`.
+    pub fn new(inner: R) -> Self {
+        BinFrameReader { inner, frames: 0 }
+    }
+
+    /// Frames yielded so far.
+    pub fn frame_number(&self) -> usize {
+        self.frames
+    }
+
+    /// Read one frame into `payload` (cleared first), returning its
+    /// type byte — or `None` on a clean EOF *at a frame boundary*
+    /// (the peer hung up between frames). EOF inside a frame is a
+    /// typed truncation error.
+    pub fn read_frame(&mut self, payload: &mut Vec<u8>) -> Result<Option<u8>, AcmrError> {
+        payload.clear();
+        let mut ty = [0u8; 1];
+        if !read_full(&mut self.inner, &mut ty)? {
+            return Ok(None);
+        }
+        let frame = self.frames + 1;
+        let mut len_bytes = [0u8; 4];
+        if !read_full(&mut self.inner, &mut len_bytes)? {
+            return Err(truncated(frame));
+        }
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(AcmrError::TraceParse {
+                line: frame,
+                message: format!("frame payload of {len} bytes exceeds {MAX_FRAME_BYTES}"),
+            });
+        }
+        payload.resize(len, 0);
+        if !read_full(&mut self.inner, payload)? {
+            return Err(truncated(frame));
+        }
+        self.frames = frame;
+        Ok(Some(ty[0]))
+    }
+}
+
+impl<R: Read> BinFrameReader<std::io::Chain<std::io::Cursor<Vec<u8>>, R>> {
+    /// A frame reader over `rest` (bytes a [`FrameReader`] had
+    /// scanned past the handshake's last line) followed by the raw
+    /// stream — the receiving half of the line→binary upgrade.
+    pub fn with_rest(rest: Vec<u8>, inner: R) -> Self {
+        BinFrameReader::new(std::io::Read::chain(std::io::Cursor::new(rest), inner))
+    }
+}
+
+fn truncated(frame: usize) -> AcmrError {
+    AcmrError::TraceParse {
+        line: frame,
+        message: "connection closed mid-frame".into(),
+    }
+}
+
+/// `read_exact`, except a clean EOF **before the first byte** returns
+/// `Ok(false)` instead of an error (EOF after at least one byte is
+/// still distinguished: it surfaces as `Ok(false)` too, which callers
+/// turn into a typed truncation error — the buffer being partially
+/// filled is never observable).
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<bool, AcmrError> {
+    let mut at = 0;
+    while at < buf.len() {
+        match r.read(&mut buf[at..]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => at += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                return Err(AcmrError::Io {
+                    message: format!("frame read failed: {e}"),
+                })
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Write one frame: `type`, `u32le` length, payload. The caller
+/// flushes; payloads above [`MAX_FRAME_BYTES`] are refused (the
+/// receiver would reject them anyway).
+pub fn write_frame<W: std::io::Write>(w: &mut W, ty: u8, payload: &[u8]) -> Result<(), AcmrError> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(AcmrError::InvalidRequest {
+            reason: format!(
+                "frame payload of {} bytes exceeds {MAX_FRAME_BYTES}",
+                payload.len()
+            ),
+        });
+    }
+    w.write_all(&[ty])?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// One [`FRAME_SUMMARY`] payload: what a whole `BATCH` collapsed to.
+/// Everything a driver that discards per-arrival events still needs —
+/// progress accounting and the running objective — in 28 fixed bytes.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BatchSummary {
+    /// Arrivals the batch carried (echoed so the client can verify
+    /// the server consumed exactly the frame it sent).
+    pub n: u32,
+    /// How many of them ended the batch still accepted.
+    pub accepted: u32,
+    /// Preemptions the batch performed.
+    pub preemptions: u32,
+    /// Rejected cost the batch added to the objective.
+    pub rejected_cost_delta: f64,
+    /// Running total rejected cost after the batch — the paper's
+    /// objective so far.
+    pub total_rejected_cost: f64,
+}
+
+/// Collapse a batch's audited events into its [`BatchSummary`].
+pub fn summarize_events(events: &[ArrivalEvent]) -> BatchSummary {
+    BatchSummary {
+        n: events.len() as u32,
+        accepted: events.iter().filter(|e| e.accepted).count() as u32,
+        preemptions: events.iter().map(|e| e.preempted.len() as u32).sum(),
+        rejected_cost_delta: events.iter().map(|e| e.rejected_cost_delta).sum(),
+        total_rejected_cost: events.last().map_or(0.0, |e| e.total_rejected_cost),
+    }
+}
+
+/// Encode a [`BatchSummary`] as a [`FRAME_SUMMARY`] payload (little
+/// endian, fields in declaration order).
+pub fn encode_summary(buf: &mut Vec<u8>, s: &BatchSummary) {
+    buf.extend_from_slice(&s.n.to_le_bytes());
+    buf.extend_from_slice(&s.accepted.to_le_bytes());
+    buf.extend_from_slice(&s.preemptions.to_le_bytes());
+    buf.extend_from_slice(&s.rejected_cost_delta.to_le_bytes());
+    buf.extend_from_slice(&s.total_rejected_cost.to_le_bytes());
+}
+
+/// Decode a [`FRAME_SUMMARY`] payload.
+pub fn decode_summary(payload: &[u8]) -> Result<BatchSummary, AcmrError> {
+    let bytes: &[u8; 28] = payload.try_into().map_err(|_| AcmrError::Remote {
+        code: "proto".into(),
+        message: format!("summary frame must be 28 bytes, got {}", payload.len()),
+    })?;
+    let u32at = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().expect("4 bytes"));
+    let f64at = |i: usize| f64::from_le_bytes(bytes[i..i + 8].try_into().expect("8 bytes"));
+    Ok(BatchSummary {
+        n: u32at(0),
+        accepted: u32at(4),
+        preemptions: u32at(8),
+        rejected_cost_delta: f64at(12),
+        total_rejected_cost: f64at(20),
+    })
+}
+
+/// Decoded [`FRAME_RESET`] payload: everything the v1 handshake
+/// carries, in one binary frame — so a persistent connection can hop
+/// to a new `(spec, seed, capacities)` session without reconnecting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResetFrame {
+    /// Algorithm spec for the fresh session (the `OPEN <spec>` slot).
+    pub spec: String,
+    /// Base seed, when given (the `seed=<S>` slot).
+    pub base_seed: Option<u64>,
+    /// Edge capacities of the fresh session (the `edges`/`caps`
+    /// lines).
+    pub capacities: Vec<u32>,
+}
+
+/// Encode a [`FRAME_RESET`] payload: `u32le` spec length, spec UTF-8,
+/// `u8` seed flag, `u64le` seed (zero when absent), `u32le` edge
+/// count, then one `u32le` capacity per edge.
+pub fn encode_reset(buf: &mut Vec<u8>, spec: &str, base_seed: Option<u64>, capacities: &[u32]) {
+    buf.extend_from_slice(&(spec.len() as u32).to_le_bytes());
+    buf.extend_from_slice(spec.as_bytes());
+    buf.push(base_seed.is_some() as u8);
+    buf.extend_from_slice(&base_seed.unwrap_or(0).to_le_bytes());
+    buf.extend_from_slice(&(capacities.len() as u32).to_le_bytes());
+    for &c in capacities {
+        buf.extend_from_slice(&c.to_le_bytes());
+    }
+}
+
+/// Decode a [`FRAME_RESET`] payload. Every violation — truncation,
+/// non-UTF-8 spec, trailing bytes — is a typed error naming the
+/// malformed field.
+pub fn decode_reset(payload: &[u8]) -> Result<ResetFrame, AcmrError> {
+    let bad = |what: &str| AcmrError::TraceParse {
+        line: 0,
+        message: format!("malformed RESET frame: {what}"),
+    };
+    let take = |at: &mut usize, n: usize| -> Result<&[u8], AcmrError> {
+        let slice = payload.get(*at..*at + n).ok_or_else(|| bad("truncated"))?;
+        *at += n;
+        Ok(slice)
+    };
+    let mut at = 0;
+    let spec_len = u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes")) as usize;
+    if spec_len > MAX_FRAME_BYTES {
+        return Err(bad("spec length overflows the frame"));
+    }
+    let spec = std::str::from_utf8(take(&mut at, spec_len)?)
+        .map_err(|_| bad("spec is not valid UTF-8"))?
+        .to_string();
+    let seed_flag = take(&mut at, 1)?[0];
+    let seed = u64::from_le_bytes(take(&mut at, 8)?.try_into().expect("8 bytes"));
+    let base_seed = match seed_flag {
+        0 => None,
+        1 => Some(seed),
+        other => return Err(bad(&format!("seed flag must be 0 or 1, got {other}"))),
+    };
+    let m = u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes")) as usize;
+    let mut capacities = Vec::with_capacity(m.min(1 << 20));
+    for _ in 0..m {
+        capacities.push(u32::from_le_bytes(
+            take(&mut at, 4)?.try_into().expect("4 bytes"),
+        ));
+    }
+    if at != payload.len() {
+        return Err(bad("trailing bytes"));
+    }
+    Ok(ResetFrame {
+        spec,
+        base_seed,
+        capacities,
+    })
+}
+
+/// Encode a [`FRAME_OK`] payload: `u64le` session id + canonical spec.
+pub fn encode_ok(buf: &mut Vec<u8>, id: u64, spec: &str) {
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.extend_from_slice(spec.as_bytes());
+}
+
+/// Decode a [`FRAME_OK`] payload into `(session id, canonical spec)`.
+pub fn decode_ok(payload: &[u8]) -> Result<(u64, String), AcmrError> {
+    let bad = |what: &str| AcmrError::Remote {
+        code: "proto".into(),
+        message: format!("malformed OK frame: {what}"),
+    };
+    let id_bytes = payload.get(..8).ok_or_else(|| bad("truncated"))?;
+    let id = u64::from_le_bytes(id_bytes.try_into().expect("8 bytes"));
+    let spec = std::str::from_utf8(&payload[8..])
+        .map_err(|_| bad("spec is not valid UTF-8"))?
+        .to_string();
+    Ok((id, spec))
 }
 
 #[cfg(test)]
@@ -187,6 +573,157 @@ mod tests {
             }
             other => panic!("expected Remote, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn line_numbers_stay_exact_across_blank_and_whitespace_lines() {
+        // The satellite-3 regression: blank and whitespace-only lines
+        // are skipped *between* frames but still numbered on the wire,
+        // so the number of a missing frame is next_line_number() — not
+        // line_number(), which points one line off (at the last blank
+        // actually consumed).
+        let input = "OPEN greedy\n\n   \t \nedges 2\n\n";
+        let mut frames = FrameReader::new(input.as_bytes());
+        assert_eq!(frames.next_line_number(), 1);
+        assert_eq!(frames.next_line().unwrap(), Some((1, "OPEN greedy".into())));
+        assert_eq!(frames.next_line().unwrap(), Some((2, String::new())));
+        // Whitespace-only trims to blank but still owns its number.
+        assert_eq!(frames.next_line().unwrap(), Some((3, String::new())));
+        assert_eq!(frames.next_line().unwrap(), Some((4, "edges 2".into())));
+        assert_eq!(frames.next_line().unwrap(), Some((5, String::new())));
+        assert_eq!(frames.next_line().unwrap(), None);
+        // The peer stopped before its `caps` line: that line would
+        // have been wire line 6, and that is what an ERR must report.
+        assert_eq!(frames.line_number(), 5);
+        assert_eq!(frames.next_line_number(), 6);
+    }
+
+    #[test]
+    fn bin_frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FRAME_REQ, &[1, 2, 3]).unwrap();
+        write_frame(&mut wire, FRAME_END, &[]).unwrap();
+        let mut reader = BinFrameReader::new(&wire[..]);
+        let mut payload = Vec::new();
+        assert_eq!(reader.read_frame(&mut payload).unwrap(), Some(FRAME_REQ));
+        assert_eq!(payload, [1, 2, 3]);
+        assert_eq!(reader.read_frame(&mut payload).unwrap(), Some(FRAME_END));
+        assert!(payload.is_empty());
+        assert_eq!(reader.read_frame(&mut payload).unwrap(), None); // clean EOF
+        assert_eq!(reader.frame_number(), 2);
+    }
+
+    #[test]
+    fn bin_frame_reader_rejects_truncation_and_oversize() {
+        // Truncated mid-payload.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FRAME_REQ, &[9; 10]).unwrap();
+        wire.truncate(wire.len() - 3);
+        let mut payload = Vec::new();
+        let err = BinFrameReader::new(&wire[..])
+            .read_frame(&mut payload)
+            .unwrap_err();
+        assert!(
+            matches!(&err, AcmrError::TraceParse { line: 1, message } if message.contains("mid-frame")),
+            "{err}"
+        );
+        // Truncated inside the length prefix.
+        let err = BinFrameReader::new(&[FRAME_REQ, 0xff][..])
+            .read_frame(&mut payload)
+            .unwrap_err();
+        assert!(
+            matches!(err, AcmrError::TraceParse { line: 1, .. }),
+            "{err}"
+        );
+        // A length beyond the cap is refused before any allocation.
+        let mut wire = vec![FRAME_REQ];
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = BinFrameReader::new(&wire[..])
+            .read_frame(&mut payload)
+            .unwrap_err();
+        assert!(
+            matches!(&err, AcmrError::TraceParse { line: 1, message } if message.contains("exceeds")),
+            "{err}"
+        );
+        // And the writer refuses to emit one.
+        let huge = vec![0u8; MAX_FRAME_BYTES + 1];
+        let err = write_frame(&mut Vec::new(), FRAME_REQ, &huge).unwrap_err();
+        assert!(matches!(err, AcmrError::InvalidRequest { .. }), "{err}");
+    }
+
+    #[test]
+    fn reset_frames_round_trip() {
+        for (spec, seed, caps) in [
+            ("greedy", None, vec![1u32, 2, 3]),
+            ("aag-weighted?seed=7", Some(42), vec![5; 100]),
+            ("x", Some(0), vec![]),
+        ] {
+            let mut buf = Vec::new();
+            encode_reset(&mut buf, spec, seed, &caps);
+            let decoded = decode_reset(&buf).unwrap();
+            assert_eq!(decoded.spec, spec);
+            assert_eq!(decoded.base_seed, seed);
+            assert_eq!(decoded.capacities, caps);
+            // Any truncation is a typed error, never a panic.
+            for cut in 0..buf.len() {
+                let err = decode_reset(&buf[..cut]).unwrap_err();
+                assert!(matches!(err, AcmrError::TraceParse { .. }), "{err}");
+            }
+            // Trailing bytes are refused too.
+            let mut long = buf.clone();
+            long.push(0);
+            assert!(decode_reset(&long).is_err());
+        }
+    }
+
+    #[test]
+    fn summaries_round_trip_and_summarize_events() {
+        let events = vec![
+            ArrivalEvent {
+                id: acmr_core::RequestId(0),
+                accepted: true,
+                preempted: vec![],
+                cost: 2.0,
+                rejected_cost_delta: 0.0,
+                total_rejected_cost: 0.0,
+            },
+            ArrivalEvent {
+                id: acmr_core::RequestId(1),
+                accepted: true,
+                preempted: vec![acmr_core::RequestId(0)],
+                cost: 4.0,
+                rejected_cost_delta: 2.0,
+                total_rejected_cost: 2.0,
+            },
+        ];
+        let s = summarize_events(&events);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.accepted, 2);
+        assert_eq!(s.preemptions, 1);
+        assert_eq!(s.rejected_cost_delta, 2.0);
+        assert_eq!(s.total_rejected_cost, 2.0);
+        let mut buf = Vec::new();
+        encode_summary(&mut buf, &s);
+        assert_eq!(buf.len(), 28);
+        assert_eq!(decode_summary(&buf).unwrap(), s);
+        assert!(decode_summary(&buf[..27]).is_err());
+        assert_eq!(summarize_events(&[]), BatchSummary::default());
+    }
+
+    #[test]
+    fn ok_frames_round_trip() {
+        let mut buf = Vec::new();
+        encode_ok(&mut buf, 17, "aag-weighted?seed=7");
+        assert_eq!(decode_ok(&buf).unwrap(), (17, "aag-weighted?seed=7".into()));
+        assert!(decode_ok(&buf[..5]).is_err());
+    }
+
+    #[test]
+    fn proto_version_parses_flag_values() {
+        assert_eq!(ProtoVersion::parse("v1"), Some(ProtoVersion::V1));
+        assert_eq!(ProtoVersion::parse("v2"), Some(ProtoVersion::V2));
+        assert_eq!(ProtoVersion::parse("v3"), None);
+        assert_eq!(ProtoVersion::V2.label(), "v2");
     }
 
     #[test]

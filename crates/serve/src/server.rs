@@ -1,14 +1,20 @@
 //! The serving front end: a thread-per-connection TCP server driving
 //! one [`acmr_core::Session`] per connection.
 //!
-//! Every connection is one admission-control session: handshake, any
-//! number of arrival frames (single request lines or `BATCH n`
-//! frames, mapped onto [`acmr_core::Session::push`] /
+//! Every connection starts as one admission-control session:
+//! handshake, any number of arrival frames (single request lines or
+//! `BATCH n` frames, mapped onto [`acmr_core::Session::push`] /
 //! [`acmr_core::Session::push_batch_into`]), then `END` for the final
-//! [`acmr_core::RunReport`]. The [`SessionManager`] is the concurrent
-//! session table — it tracks live sessions, hands out ids, and owns
-//! the socket handles graceful shutdown needs to unblock reader
-//! threads.
+//! [`acmr_core::RunReport`]. A client that negotiates `proto=v2` at
+//! `OPEN` switches the connection to length-prefixed binary frames
+//! after the `OK` reply ([`crate::protocol`] has the grammar): arrival
+//! payloads are ACMR-TRACE v2 record bytes, batches acknowledge with
+//! one [`crate::protocol::BatchSummary`] frame unless the client
+//! opted into per-arrival events, and a `RESET` frame starts a fresh
+//! session on the same connection — the mechanism behind persistent
+//! worker pools. The [`SessionManager`] is the concurrent session
+//! table — it tracks live sessions, hands out ids, and owns the
+//! socket handles graceful shutdown needs to unblock reader threads.
 //!
 //! Error handling is the streaming `Session` contract lifted onto the
 //! wire: every failure — malformed frame, unknown algorithm, contract
@@ -18,8 +24,14 @@
 //! *process* never dies on a bad stream; the protocol fuzz suite pins
 //! that.
 
-use crate::protocol::{error_reply, FrameReader, GREETING, MAX_BATCH};
-use acmr_core::{AcmrError, AlgorithmSpec, Registry, Request, Session};
+use crate::protocol::{
+    decode_reset, encode_ok, encode_summary, error_reply, error_reply_body, summarize_events,
+    write_frame, BinFrameReader, FrameReader, ProtoVersion, EVENTS_TOKEN, FRAME_BATCH, FRAME_END,
+    FRAME_ERR, FRAME_EVENT, FRAME_OK, FRAME_REPORT, FRAME_REQ, FRAME_RESET, FRAME_SUMMARY,
+    GREETING, MAX_BATCH, PROTO_V2_TOKEN,
+};
+use acmr_core::{AcmrError, AlgorithmSpec, ArrivalEvent, Registry, Request, Session};
+use acmr_workloads::binfmt::decode_record;
 use acmr_workloads::trace::{parse_caps_line, parse_edges_line, parse_request_line};
 use std::collections::HashMap;
 use std::io::{BufWriter, Write};
@@ -48,6 +60,12 @@ pub struct ServeConfig {
     /// stalled peer can pin a `max_connections` slot; a timeout
     /// surfaces as a terminal `ERR io` reply.
     pub idle_timeout: Option<std::time::Duration>,
+    /// Highest protocol version this server negotiates. The default
+    /// ([`ProtoVersion::V2`]) accepts both plain-line v1 sessions and
+    /// `proto=v2` binary-frame sessions; forcing [`ProtoVersion::V1`]
+    /// makes the server answer `proto=v2` requests with the v1 typed
+    /// `ERR parse` reply — the downgrade signal old fleets emit.
+    pub max_proto: ProtoVersion,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +74,7 @@ impl Default for ServeConfig {
             addr: DEFAULT_ADDR.to_string(),
             max_connections: 1024,
             idle_timeout: None,
+            max_proto: ProtoVersion::V2,
         }
     }
 }
@@ -380,8 +399,9 @@ fn accept_loop(
             continue;
         }
         let registry = Arc::clone(&registry);
+        let max_proto = config.max_proto;
         workers.push(std::thread::spawn(move || {
-            serve_connection(stream, &registry, &manager);
+            serve_connection(stream, &registry, &manager, max_proto);
             if let Some(id) = conn_id {
                 manager.untrack_connection(id);
             }
@@ -395,7 +415,12 @@ fn accept_loop(
 /// Run one connection to completion. Never panics on peer input: any
 /// error becomes one `ERR` reply (best-effort — the peer may already
 /// be gone) and the connection closes.
-fn serve_connection(stream: TcpStream, registry: &Registry, manager: &SessionManager) {
+fn serve_connection(
+    stream: TcpStream,
+    registry: &Registry,
+    manager: &SessionManager,
+    max_proto: ProtoVersion,
+) {
     let peer = stream
         .peer_addr()
         .map(|a| a.to_string())
@@ -410,19 +435,23 @@ fn serve_connection(stream: TcpStream, registry: &Registry, manager: &SessionMan
     {
         return;
     }
-    let mut frames = FrameReader::new(&stream);
+    let frames = FrameReader::new(&stream);
     let mut session_id = None;
     let outcome = run_session(
-        &mut frames,
+        frames,
         &mut writer,
         registry,
         manager,
         &stream,
         &peer,
         &mut session_id,
+        max_proto,
     );
     if let Err(e) = outcome {
         // Best-effort typed reply; the peer may have disconnected.
+        // Errors raised after the v2 upgrade were already delivered as
+        // an `ERR` frame inside `run_session`; only line-phase errors
+        // reach this path.
         let _ = writeln!(writer, "{}", error_reply(&e));
         let _ = writer.flush();
     }
@@ -455,19 +484,26 @@ fn drain_then_close(stream: &TcpStream) {
 /// The per-connection state machine: handshake, arrival frames, `END`.
 /// `Ok(())` is a clean close (END served, or the client hung up
 /// between frames); any `Err` is sent back as the terminal `ERR`.
+///
+/// A `proto=v2` handshake hands the connection to [`run_session_v2`]
+/// after the `OK` line; errors past that point are delivered as `ERR`
+/// *frames* in there, so this function only returns `Err` while the
+/// wire is still line-oriented.
+#[allow(clippy::too_many_arguments)]
 fn run_session(
-    frames: &mut FrameReader<&TcpStream>,
+    mut frames: FrameReader<&TcpStream>,
     writer: &mut BufWriter<TcpStream>,
     registry: &Registry,
     manager: &SessionManager,
     stream: &TcpStream,
     peer: &str,
     session_id: &mut Option<u64>,
+    max_proto: ProtoVersion,
 ) -> Result<(), AcmrError> {
     let proto_err = |line: usize, message: String| AcmrError::TraceParse { line, message };
 
-    // Handshake line 1: OPEN <spec> [seed=<S>].
-    let Some((open_ln, open)) = next_content_line(frames)? else {
+    // Handshake line 1: OPEN <spec> [seed=<S>] [proto=v2 [events=on]].
+    let Some((open_ln, open)) = next_content_line(&mut frames)? else {
         return Ok(()); // connected and left: not an error
     };
     let mut toks = open.split_whitespace();
@@ -482,28 +518,55 @@ fn run_session(
         .ok_or_else(|| proto_err(open_ln, "OPEN is missing an algorithm spec".into()))?;
     let spec = AlgorithmSpec::parse(spec_str)?;
     let mut base_seed = 0u64;
+    let mut proto = ProtoVersion::V1;
+    let mut events_optin = false;
     for tok in toks {
-        let Some(seed) = tok.strip_prefix("seed=").and_then(|s| s.parse().ok()) else {
-            return Err(proto_err(
-                open_ln,
-                format!("unexpected OPEN argument {tok:?} (only seed=<S> is allowed)"),
-            ));
+        if let Some(seed) = tok.strip_prefix("seed=").and_then(|s| s.parse().ok()) {
+            base_seed = seed;
+            continue;
+        }
+        // A v1-capped server answers `proto=v2` with this same typed
+        // parse error — the deterministic downgrade signal the v2
+        // client turns into "use --proto v1 against this fleet".
+        if max_proto == ProtoVersion::V2 && tok == PROTO_V2_TOKEN {
+            proto = ProtoVersion::V2;
+            continue;
+        }
+        if max_proto == ProtoVersion::V2 && tok == EVENTS_TOKEN {
+            events_optin = true;
+            continue;
+        }
+        let allowed = match max_proto {
+            ProtoVersion::V1 => "only seed=<S> is allowed",
+            ProtoVersion::V2 => "seed=<S>, proto=v2 and events=on are allowed",
         };
-        base_seed = seed;
+        return Err(proto_err(
+            open_ln,
+            format!("unexpected OPEN argument {tok:?} ({allowed})"),
+        ));
+    }
+    if events_optin && proto != ProtoVersion::V2 {
+        return Err(proto_err(
+            open_ln,
+            "events=on requires proto=v2 (v1 always streams events)".into(),
+        ));
     }
 
     // Handshake lines 2–3: the trace header's edge universe, parsed by
-    // the exact grammar functions the file reader uses.
-    let (ln, edges_line) = next_content_line(frames)?.ok_or_else(|| {
+    // the exact grammar functions the file reader uses. A hangup here
+    // points at the line the missing frame was *expected* on
+    // (`next_line_number`), not the last line consumed — skipped blank
+    // lines must not drag the reported position backwards.
+    let (ln, edges_line) = next_content_line(&mut frames)?.ok_or_else(|| {
         proto_err(
-            frames.line_number(),
+            frames.next_line_number(),
             "connection closed before `edges`".into(),
         )
     })?;
     let m = parse_edges_line(ln, &edges_line)?;
-    let (ln, caps_line) = next_content_line(frames)?.ok_or_else(|| {
+    let (ln, caps_line) = next_content_line(&mut frames)?.ok_or_else(|| {
         proto_err(
-            frames.line_number(),
+            frames.next_line_number(),
             "connection closed before `caps`".into(),
         )
     })?;
@@ -513,14 +576,41 @@ fn run_session(
     let canonical = spec.canonical();
     let id = manager.register(peer.to_string(), canonical.clone(), stream.try_clone().ok());
     *session_id = Some(id);
-    writeln!(writer, "OK {id} {canonical}")?;
+    match proto {
+        ProtoVersion::V1 => writeln!(writer, "OK {id} {canonical}")?,
+        ProtoVersion::V2 => writeln!(writer, "OK {id} {canonical} {PROTO_V2_TOKEN}")?,
+    }
     writer.flush()?;
 
-    // Arrival frames until END or hangup.
+    if proto == ProtoVersion::V2 {
+        // Switch the read side to binary frames, carrying over any
+        // bytes a pipelining client already sent past the handshake.
+        let (rest, stream_ref) = frames.into_binary();
+        let bin = BinFrameReader::with_rest(rest, stream_ref);
+        let v2 = V2SessionState {
+            registry,
+            manager,
+            stream,
+            peer,
+            session_id,
+            session,
+            capacities,
+            events_optin,
+        };
+        if let Err(e) = run_session_v2(bin, writer, v2) {
+            // Terminal typed reply, framed: same body as the v1 ERR
+            // line. Best-effort — the peer may already be gone.
+            let _ = write_frame(writer, FRAME_ERR, error_reply_body(&e).as_bytes());
+            let _ = writer.flush();
+        }
+        return Ok(());
+    }
+
+    // v1: arrival frames until END or hangup.
     let mut batch: Vec<Request> = Vec::new();
     let mut events = Vec::new();
     loop {
-        let Some((ln, line)) = next_content_line(frames)? else {
+        let Some((ln, line)) = next_content_line(&mut frames)? else {
             return Ok(()); // client hung up between frames: clean close
         };
         if line == "END" {
@@ -547,7 +637,7 @@ fn run_session(
             for _ in 0..n {
                 let (ln, line) = frames.next_line()?.ok_or_else(|| {
                     proto_err(
-                        frames.line_number(),
+                        frames.next_line_number(),
                         format!(
                             "connection closed mid-batch ({} of {n} requests)",
                             batch.len()
@@ -572,6 +662,203 @@ fn run_session(
         write_event(writer, &event)?;
         writer.flush()?;
     }
+}
+
+/// Everything the v2 binary loop needs besides the two wire halves.
+struct V2SessionState<'a> {
+    registry: &'a Registry,
+    manager: &'a SessionManager,
+    stream: &'a TcpStream,
+    peer: &'a str,
+    session_id: &'a mut Option<u64>,
+    session: Session,
+    capacities: Vec<u32>,
+    events_optin: bool,
+}
+
+/// The v2 binary-frame loop, entered after a `proto=v2` handshake.
+///
+/// Arrival payloads are ACMR-TRACE v2 record bytes; `BATCH` frames
+/// acknowledge with one [`BatchSummary`] unless the session opted
+/// into per-arrival `EVENT` frames; `END` answers with the `REPORT`
+/// frame and parks the session until a `RESET` frame (same
+/// connection, fresh [`Session`]) or a hangup. `Ok(())` is a clean
+/// close at a frame boundary; any `Err` becomes the terminal `ERR`
+/// frame in the caller.
+fn run_session_v2<R: std::io::Read>(
+    mut frames: BinFrameReader<R>,
+    writer: &mut BufWriter<TcpStream>,
+    mut st: V2SessionState<'_>,
+) -> Result<(), AcmrError> {
+    let frame_err = |frame: usize, message: String| AcmrError::TraceParse {
+        line: frame,
+        message,
+    };
+    let mut payload = Vec::new();
+    let mut reply = Vec::new();
+    let mut batch: Vec<Request> = Vec::new();
+    let mut events: Vec<ArrivalEvent> = Vec::new();
+    // False between END and the next RESET: the session has reported
+    // and only RESET (or hangup) is meaningful.
+    let mut active = true;
+    loop {
+        let Some(ty) = frames.read_frame(&mut payload)? else {
+            return Ok(()); // hangup at a frame boundary: clean close
+        };
+        let fno = frames.frame_number();
+        let num_edges = st.capacities.len() as u32;
+        match ty {
+            FRAME_REQ if active => {
+                let (request, end) = decode_record(&payload, 0, fno, num_edges)?;
+                if end != payload.len() {
+                    return Err(frame_err(
+                        fno,
+                        format!(
+                            "{} trailing bytes after the REQ record",
+                            payload.len() - end
+                        ),
+                    ));
+                }
+                let event = st.session.push(&request)?;
+                write_event_frame(writer, &event)?;
+                writer.flush()?;
+            }
+            FRAME_BATCH if active => {
+                let n = decode_batch_into(&payload, fno, num_edges, &mut batch)?;
+                // A mid-batch contract violation still delivers the
+                // acknowledgement for the arrivals that preceded it
+                // (events, or a summary over the applied prefix),
+                // then the ERR frame — same contract as v1.
+                let result = st.session.push_batch_into(&batch, &mut events);
+                if st.events_optin {
+                    for event in &events {
+                        write_event_frame(writer, event)?;
+                    }
+                } else {
+                    let mut summary = summarize_events(&events);
+                    // `n` is the count *requested*; on a violation the
+                    // summary covers only the applied prefix, and its
+                    // `n` says how many actually landed.
+                    debug_assert!(events.len() <= n);
+                    summary.n = events.len() as u32;
+                    reply.clear();
+                    encode_summary(&mut reply, &summary);
+                    write_frame(writer, FRAME_SUMMARY, &reply)?;
+                }
+                result?;
+                writer.flush()?;
+            }
+            FRAME_END if active => {
+                if !payload.is_empty() {
+                    return Err(frame_err(fno, "END frame carries a payload".into()));
+                }
+                let report = st.session.report();
+                let json = serde_json::to_string(&report).map_err(|e| AcmrError::Io {
+                    message: format!("cannot serialize report: {e}"),
+                })?;
+                write_frame(writer, FRAME_REPORT, json.as_bytes())?;
+                writer.flush()?;
+                active = false;
+            }
+            FRAME_RESET => {
+                let reset = decode_reset(&payload).map_err(|e| match e {
+                    AcmrError::TraceParse { message, .. } => frame_err(fno, message),
+                    other => other,
+                })?;
+                let spec = AlgorithmSpec::parse(&reset.spec)?;
+                if !reset.capacities.is_empty() {
+                    st.capacities = reset.capacities;
+                }
+                let seed = reset.base_seed.unwrap_or(0);
+                st.session = Session::from_registry(st.registry, &spec, &st.capacities, seed)?;
+                let canonical = spec.canonical();
+                // A RESET is a fresh session in the table: new id, new
+                // spec, same connection.
+                if let Some(old) = st.session_id.take() {
+                    st.manager.deregister(old);
+                }
+                let id = st.manager.register(
+                    st.peer.to_string(),
+                    canonical.clone(),
+                    st.stream.try_clone().ok(),
+                );
+                *st.session_id = Some(id);
+                reply.clear();
+                encode_ok(&mut reply, id, &canonical);
+                write_frame(writer, FRAME_OK, &reply)?;
+                writer.flush()?;
+                active = true;
+            }
+            FRAME_REQ | FRAME_BATCH | FRAME_END => {
+                return Err(frame_err(
+                    fno,
+                    "session already ended: only RESET (or hangup) may follow END".into(),
+                ));
+            }
+            other => {
+                return Err(frame_err(
+                    fno,
+                    format!("unexpected frame type 0x{other:02x}"),
+                ));
+            }
+        }
+    }
+}
+
+/// Decode a `BATCH` frame payload (`u32le` count, then that many
+/// ACMR-TRACE v2 records back to back) into `batch`; returns the
+/// declared count. Shares the byte-level record decoder with the
+/// binary trace file reader.
+fn decode_batch_into(
+    payload: &[u8],
+    frame: usize,
+    num_edges: u32,
+    batch: &mut Vec<Request>,
+) -> Result<usize, AcmrError> {
+    let frame_err = |message: String| AcmrError::TraceParse {
+        line: frame,
+        message,
+    };
+    let count = payload
+        .get(..4)
+        .ok_or_else(|| frame_err("BATCH frame shorter than its 4-byte count".into()))?;
+    let n = u32::from_le_bytes(count.try_into().expect("4 bytes")) as usize;
+    if n > MAX_BATCH {
+        return Err(frame_err(format!(
+            "BATCH {n} exceeds the {MAX_BATCH}-request frame cap"
+        )));
+    }
+    batch.clear();
+    let mut at = 4;
+    for i in 0..n {
+        let (request, next) = decode_record(payload, at, i, num_edges).map_err(|e| match e {
+            AcmrError::TraceParse { message, .. } => {
+                frame_err(format!("batch record {i}: {message}"))
+            }
+            other => other,
+        })?;
+        batch.push(request);
+        at = next;
+    }
+    if at != payload.len() {
+        return Err(frame_err(format!(
+            "{} trailing bytes after {n} batch records",
+            payload.len() - at
+        )));
+    }
+    Ok(n)
+}
+
+/// Serialize one arrival event as a v2 `EVENT` frame — the payload is
+/// the same JSON the v1 `EVENT` line carries.
+fn write_event_frame(
+    writer: &mut BufWriter<TcpStream>,
+    event: &ArrivalEvent,
+) -> Result<(), AcmrError> {
+    let json = serde_json::to_string(event).map_err(|e| AcmrError::Io {
+        message: format!("cannot serialize event: {e}"),
+    })?;
+    write_frame(writer, FRAME_EVENT, json.as_bytes())
 }
 
 fn write_event(

@@ -1,0 +1,283 @@
+//! Protocol v2 differential suite: the binary wire is pinned to the
+//! line wire, which the v1 suite pins to the engine — so
+//! **v2 ≡ v1 ≡ in-memory**, event for event and byte for byte.
+//!
+//! For every algorithm in the default registry over hostile traces, a
+//! v2 session (events mode and summary mode, single REQ frames and
+//! BATCH frames, fresh connections and `RESET`-reused ones) must
+//! produce the identical audited [`ArrivalEvent`] stream and a
+//! [`RunReport`] whose JSON serialization is byte-identical to the v1
+//! and in-memory runs. Any divergence fails here naming the
+//! algorithm, trace, and framing.
+
+use acmr_core::{AdmissionInstance, AlgorithmSpec, ArrivalEvent, RunReport, Session};
+use acmr_harness::default_registry;
+use acmr_serve::protocol::summarize_events;
+use acmr_serve::{
+    serve, serve_trace, serve_trace_v2, BatchSummary, ProtoVersion, ServeClient, ServeConfig,
+    ServerHandle,
+};
+use acmr_workloads::{
+    dyadic_admission_instance, nested_intervals, repeated_hot_edge, two_phase_squeeze,
+};
+
+fn start_server() -> ServerHandle {
+    serve(
+        default_registry(),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback server")
+}
+
+/// Reference decision stream and report: per-push over the in-memory
+/// instance, exactly like the engine differential suite.
+fn reference(inst: &AdmissionInstance, spec_str: &str) -> (Vec<ArrivalEvent>, RunReport) {
+    let registry = default_registry();
+    let spec = AlgorithmSpec::parse(spec_str).unwrap();
+    let mut session = Session::from_registry(&registry, &spec, &inst.capacities, 0).unwrap();
+    let events = inst
+        .requests
+        .iter()
+        .map(|r| session.push(r).unwrap())
+        .collect();
+    (events, session.report())
+}
+
+fn hostile_traces() -> Vec<(&'static str, AdmissionInstance)> {
+    vec![
+        ("nested", nested_intervals(16, 2, 2, 2)),
+        ("hot-edge", repeated_hot_edge(4, 3, 12)),
+        ("squeeze", two_phase_squeeze(12, 3, 4, 3)),
+        ("dyadic", dyadic_admission_instance(4, 3, 2)),
+    ]
+}
+
+/// The PR's acceptance bar is *byte*-identical reports, not merely
+/// `PartialEq`: serialize both and compare the JSON itself.
+fn assert_report_bytes_equal(a: &RunReport, b: &RunReport, context: &str) {
+    assert_eq!(a, b, "{context}");
+    let a = serde_json::to_string(a).unwrap();
+    let b = serde_json::to_string(b).unwrap();
+    assert_eq!(a, b, "{context}: JSON bytes diverge");
+}
+
+#[test]
+fn v2_equals_v1_equals_in_memory_for_every_algorithm() {
+    let handle = start_server();
+    let registry = default_registry();
+    for (family, inst) in &hostile_traces() {
+        for name in registry.names() {
+            let spec_str = format!("{name}?seed=5");
+            let (expected_events, expected_report) = reference(inst, &spec_str);
+
+            // The v1 leg (already pinned to the engine by the v1
+            // differential suite) — re-run here so the byte-identity
+            // chain v2 ≡ v1 ≡ in-memory is closed in one test.
+            let mut v1_events = Vec::new();
+            let v1_report = serve_trace(
+                handle.local_addr(),
+                &spec_str,
+                None,
+                &inst.capacities,
+                inst.requests.iter().cloned().map(Ok),
+                Some(7),
+                |e| v1_events.push(e.clone()),
+            )
+            .expect("v1 run");
+            assert_eq!(v1_events, expected_events, "{family}/{spec_str}: v1 events");
+            assert_report_bytes_equal(
+                &v1_report,
+                &expected_report,
+                &format!("{family}/{spec_str}: v1"),
+            );
+
+            for batch in [None, Some(7)] {
+                // v2, events mode: the full audited stream.
+                let mut v2_events = Vec::new();
+                let v2_report = serve_trace_v2(
+                    handle.local_addr(),
+                    &spec_str,
+                    None,
+                    &inst.capacities,
+                    inst.requests.iter().cloned().map(Ok),
+                    batch,
+                    true,
+                    |e| v2_events.push(e.clone()),
+                )
+                .expect("v2 events run");
+                assert_eq!(
+                    v2_events, expected_events,
+                    "{family}/{spec_str}: v2 event stream diverges (batch {batch:?})"
+                );
+                assert_report_bytes_equal(
+                    &v2_report,
+                    &expected_report,
+                    &format!("{family}/{spec_str}: v2 events mode (batch {batch:?})"),
+                );
+
+                // v2, summary mode: one pipelined pass, no events.
+                let mut event_calls = 0usize;
+                let v2_report = serve_trace_v2(
+                    handle.local_addr(),
+                    &spec_str,
+                    None,
+                    &inst.capacities,
+                    inst.requests.iter().cloned().map(Ok),
+                    batch,
+                    false,
+                    |_| event_calls += 1,
+                )
+                .expect("v2 summary run");
+                assert_eq!(event_calls, 0, "summary mode must not fabricate events");
+                assert_report_bytes_equal(
+                    &v2_report,
+                    &expected_report,
+                    &format!("{family}/{spec_str}: v2 summary mode (batch {batch:?})"),
+                );
+            }
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn v2_mixed_single_and_batch_frames_share_one_session() {
+    // The binary twin of the v1 mixed-frame differential: alternating
+    // REQ and BATCH frames over one events-mode session agree with the
+    // pure per-push reference — frame boundaries never leak into
+    // algorithm state.
+    let handle = start_server();
+    let inst = two_phase_squeeze(10, 2, 3, 2);
+    for name in default_registry().names() {
+        let spec_str = format!("{name}?seed=9");
+        let (expected_events, expected_report) = reference(&inst, &spec_str);
+
+        let mut client =
+            ServeClient::connect_v2(handle.local_addr(), &spec_str, None, &inst.capacities, true)
+                .unwrap();
+        assert_eq!(client.proto(), ProtoVersion::V2);
+        let mut events = Vec::new();
+        let mut rest = inst.requests.as_slice();
+        while !rest.is_empty() {
+            events.push(client.push(&rest[0]).unwrap());
+            rest = &rest[1..];
+            let take = rest.len().min(3);
+            events.extend(client.push_batch(&rest[..take]).unwrap());
+            rest = &rest[take..];
+        }
+        let report = client.finish().unwrap();
+        assert_eq!(events, expected_events, "{name}: v2 mixed frames diverge");
+        assert_report_bytes_equal(
+            &report,
+            &expected_report,
+            &format!("{name}: v2 mixed frames"),
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn v2_batch_summaries_aggregate_the_v1_event_stream() {
+    // Summary mode's per-batch acknowledgement must be exactly
+    // `summarize_events` of the events the same batch produces in
+    // events mode — the summary is a projection of the stream, not a
+    // second bookkeeping path.
+    let handle = start_server();
+    let inst = repeated_hot_edge(4, 3, 12);
+    for name in default_registry().names() {
+        let spec_str = format!("{name}?seed=2");
+        let (expected_events, expected_report) = reference(&inst, &spec_str);
+
+        let mut client = ServeClient::connect_v2(
+            handle.local_addr(),
+            &spec_str,
+            None,
+            &inst.capacities,
+            false,
+        )
+        .unwrap();
+        let mut at = 0usize;
+        for chunk in inst.requests.chunks(5) {
+            let summary = client.push_batch_summary(chunk).unwrap();
+            let expected: BatchSummary = summarize_events(&expected_events[at..at + chunk.len()]);
+            assert_eq!(summary, expected, "{name}: batch summary at offset {at}");
+            at += chunk.len();
+        }
+        let report = client.finish().unwrap();
+        assert_report_bytes_equal(&report, &expected_report, &format!("{name}: summary mode"));
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn reset_reuses_one_connection_with_fresh_session_semantics() {
+    // The persistent-session seam the pool relies on: many jobs over
+    // one connection via RESET must report exactly what the same jobs
+    // report over fresh connections — no state bleed across RESET, no
+    // drift in session accounting.
+    let handle = start_server();
+    let jobs: Vec<(String, AdmissionInstance)> = {
+        let registry = default_registry();
+        let mut jobs = Vec::new();
+        for (i, (_, inst)) in hostile_traces().into_iter().enumerate() {
+            let name = registry.names()[i % registry.names().len()];
+            jobs.push((format!("{name}?seed={i}"), inst));
+        }
+        jobs
+    };
+
+    let (spec0, inst0) = &jobs[0];
+    let mut client =
+        ServeClient::connect_v2(handle.local_addr(), spec0, None, &inst0.capacities, false)
+            .unwrap();
+    let mut session_ids = vec![client.session_id()];
+    for (i, (spec_str, inst)) in jobs.iter().enumerate() {
+        if i > 0 {
+            let id = client.reset(spec_str, None, &inst.capacities).unwrap();
+            assert_eq!(id, client.session_id());
+            session_ids.push(id);
+        }
+        for chunk in inst.requests.chunks(4) {
+            client.push_batch_summary(chunk).unwrap();
+        }
+        let report = client.end_session().unwrap();
+
+        // Fresh-connection twin of the same job.
+        let fresh = serve_trace_v2(
+            handle.local_addr(),
+            spec_str,
+            None,
+            &inst.capacities,
+            inst.requests.iter().cloned().map(Ok),
+            Some(4),
+            false,
+            |_| {},
+        )
+        .unwrap();
+        assert_report_bytes_equal(
+            &report,
+            &fresh,
+            &format!("job {i} ({spec_str}): RESET vs fresh"),
+        );
+
+        let (_, expected) = reference(inst, spec_str);
+        assert_report_bytes_equal(
+            &report,
+            &expected,
+            &format!("job {i} ({spec_str}): vs in-memory"),
+        );
+    }
+    drop(client);
+
+    // Every RESET opened a genuinely fresh session in the table.
+    session_ids.dedup();
+    assert_eq!(
+        session_ids.len(),
+        jobs.len(),
+        "RESET must mint new session ids"
+    );
+    handle.shutdown();
+}

@@ -14,15 +14,20 @@
 //! 3. a fresh, well-formed session on the same server still works —
 //!    the process survived.
 
+use acmr_core::Request;
+use acmr_graph::{EdgeId, EdgeSet};
 use acmr_harness::default_registry;
-use acmr_serve::protocol::{GREETING, MAX_FRAME_BYTES};
+use acmr_serve::protocol::{
+    write_frame, FRAME_BATCH, FRAME_END, FRAME_REQ, GREETING, MAX_FRAME_BYTES,
+};
 use acmr_serve::{
-    is_transport_error, serve, ServeClient, ServeConfig, ServerHandle, WorkerPool,
+    is_transport_error, serve, ProtoVersion, ServeClient, ServeConfig, ServerHandle, WorkerPool,
     CLUSTER_ERROR_CODE,
 };
+use acmr_workloads::binfmt::encode_record_into;
 use acmr_workloads::repeated_hot_edge;
 use proptest::prelude::*;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -445,8 +450,11 @@ fn exhausted_retries_against_a_dropping_server_surface_one_cluster_error() {
     let handle = start_server();
     let inst = repeated_hot_edge(4, 3, 12);
     let proxy = dropping_proxy(handle.local_addr(), 2, usize::MAX);
+    // The line-counting proxy pins the v1 wire; the v2 twin of this
+    // scenario lives in `severing_proxy`-based tests below.
     let pool = WorkerPool::connect(&[proxy.to_string()])
         .expect("adopt proxy")
+        .proto(ProtoVersion::V1)
         .retries(2);
     let err = pool_job(&pool, &inst, None).expect_err("retries must exhaust");
     match &err {
@@ -479,15 +487,21 @@ proptest! {
     ) {
         let handle = start_server();
         let inst = repeated_hot_edge(4, 3, 12);
-        // The undisturbed reference, straight against the server.
-        let direct_pool = WorkerPool::connect(&[handle.local_addr().to_string()]).unwrap();
+        // The line-counting proxy pins the v1 wire on both pools; the
+        // v2 twin (byte-boundary cuts) is its own proptest below.
+        let direct_pool = WorkerPool::connect(&[handle.local_addr().to_string()])
+            .unwrap()
+            .proto(ProtoVersion::V1);
         let expected = pool_job(&direct_pool, &inst, batch).expect("direct replay");
         prop_assert_eq!(expected.requests, inst.requests.len());
 
         // First connection dies after `cut_after` reply lines; the
         // retry's fresh connection is piped cleanly.
         let proxy = dropping_proxy(handle.local_addr(), cut_after, 1);
-        let pool = WorkerPool::connect(&[proxy.to_string()]).unwrap().retries(2);
+        let pool = WorkerPool::connect(&[proxy.to_string()])
+            .unwrap()
+            .proto(ProtoVersion::V1)
+            .retries(2);
         let report = pool_job(&pool, &inst, batch).expect("retried replay");
         prop_assert_eq!(&report, &expected, "retried report diverges");
         prop_assert_eq!(report.requests, inst.requests.len());
@@ -534,4 +548,283 @@ proptest! {
         assert_server_alive(&handle);
         handle.shutdown();
     }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v2: the same hostile-peer invariants over the binary frame
+// dialect. Replies past the line handshake are binary, so these
+// helpers drain raw bytes instead of lines.
+// ---------------------------------------------------------------------------
+
+/// Raw-byte twin of [`raw_exchange`]: write `payload`, half-close, and
+/// drain every reply **byte** until the server closes. Panics on
+/// timeout — a wedged v2 session is exactly the bug under test.
+fn raw_exchange_bytes(handle: &ServerHandle, payload: &[u8]) -> Vec<u8> {
+    let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+    let mut write_half = stream.try_clone().expect("clone");
+    let payload = payload.to_vec();
+    let writer = std::thread::spawn(move || {
+        for chunk in payload.chunks(64 * 1024) {
+            if write_half.write_all(chunk).is_err() {
+                break;
+            }
+        }
+        let _ = write_half.flush();
+        let _ = write_half.shutdown(std::net::Shutdown::Write);
+    });
+    let mut replies = Vec::new();
+    let mut reader = BufReader::new(stream);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match reader.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => replies.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                panic!("v2 server wedged: no reply or close within {READ_TIMEOUT:?}")
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = writer.join();
+    replies
+}
+
+/// A canonical valid **v2** session byte script (line handshake with
+/// `proto=v2`, then binary frames: one REQ, one 2-record BATCH, END),
+/// plus the offset of every client-side frame boundary — including
+/// "handshake only" — for the truncation sweep.
+fn v2_script() -> (Vec<u8>, Vec<usize>) {
+    let req = |ids: &[u32], cost: f64| {
+        Request::new(EdgeSet::new(ids.iter().map(|&i| EdgeId(i)).collect()), cost)
+    };
+    let mut script = Vec::new();
+    script.extend_from_slice(b"OPEN greedy proto=v2\nedges 2\ncaps 2 1\n");
+    let mut boundaries = vec![script.len()];
+    // REQ frame: one record.
+    let mut payload = Vec::new();
+    encode_record_into(&mut payload, &req(&[0, 1], 1.0), 2).unwrap();
+    write_frame(&mut script, FRAME_REQ, &payload).unwrap();
+    boundaries.push(script.len());
+    // BATCH frame: u32le count, then records back to back.
+    payload.clear();
+    payload.extend_from_slice(&2u32.to_le_bytes());
+    encode_record_into(&mut payload, &req(&[1], 2.5), 2).unwrap();
+    encode_record_into(&mut payload, &req(&[0], 1.0), 2).unwrap();
+    write_frame(&mut script, FRAME_BATCH, &payload).unwrap();
+    boundaries.push(script.len());
+    write_frame(&mut script, FRAME_END, &[]).unwrap();
+    boundaries.push(script.len());
+    (script, boundaries)
+}
+
+#[test]
+fn valid_v2_script_round_trips() {
+    let handle = start_server();
+    let (script, _) = v2_script();
+    let reply = raw_exchange_bytes(&handle, &script);
+    // Line bootstrap: greeting, then an OK acknowledging the upgrade.
+    let text = String::from_utf8_lossy(&reply);
+    assert!(text.starts_with(GREETING), "{text:?}");
+    assert!(text.contains(" proto=v2\n"), "{text:?}");
+    // The binary tail carries a REPORT frame (0x83) — spot-check the
+    // JSON payload it wraps rather than re-implementing frame parsing.
+    assert!(text.contains("\"requests\":3"), "{text:?}");
+    wait_for_drained(&handle);
+    handle.shutdown();
+}
+
+#[test]
+fn v2_truncation_at_every_frame_boundary_never_wedges_the_server() {
+    // The client vanishes exactly between frames: after the handshake,
+    // after the REQ, after the BATCH, after END. The server must
+    // answer every prefix (typed ERR for a mid-session hangup, a full
+    // run for the complete script), drain, and survive.
+    let handle = start_server();
+    let (script, boundaries) = v2_script();
+    for &cut in &boundaries {
+        let reply = raw_exchange_bytes(&handle, &script[..cut]);
+        let text = String::from_utf8_lossy(&reply);
+        assert!(text.starts_with(GREETING), "cut at {cut}: {text:?}");
+        wait_for_drained(&handle);
+    }
+    assert_server_alive(&handle);
+    handle.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Corrupting any single byte of a valid v2 session — handshake
+    /// text, frame headers, length prefixes, record payloads — never
+    /// wedges or kills the server. (A corrupted length prefix that
+    /// promises more bytes than the peer sends must be cut off by the
+    /// peer's EOF, not waited on forever.)
+    #[test]
+    fn v2_corrupting_any_byte_never_wedges_the_server(
+        pos in 0usize..103, // v2_script length; pinned below
+        byte in 0u8..=255u8,
+    ) {
+        let handle = start_server();
+        let (mut script, _) = v2_script();
+        prop_assert_eq!(script.len(), 103, "v2_script changed: update the pos range");
+        script[pos] ^= byte | 1; // guarantee the byte actually changes
+        let reply = raw_exchange_bytes(&handle, &script);
+        let text = String::from_utf8_lossy(&reply);
+        prop_assert!(text.starts_with(GREETING), "{:?}", text);
+        wait_for_drained(&handle);
+        assert_server_alive(&handle);
+        handle.shutdown();
+    }
+
+    /// Truncating the v2 script at **any byte** (not just frame
+    /// boundaries): mid-handshake, mid-header, mid-record. Never
+    /// wedges, never kills.
+    #[test]
+    fn v2_truncation_anywhere_never_wedges_the_server(len in 0usize..103) {
+        let handle = start_server();
+        let (script, _) = v2_script();
+        prop_assert_eq!(script.len(), 103, "v2_script changed: update the len range");
+        let reply = raw_exchange_bytes(&handle, &script[..len]);
+        let text = String::from_utf8_lossy(&reply);
+        prop_assert!(text.starts_with(GREETING), "{:?}", text);
+        wait_for_drained(&handle);
+        assert_server_alive(&handle);
+        handle.shutdown();
+    }
+}
+
+/// Byte-counting twin of [`dropping_proxy`] for the v2 wire: severs
+/// its first `drop_conns` connections after relaying `cut_after_bytes`
+/// server reply **bytes** — which lands before the greeting, inside
+/// the OK line, or anywhere inside a binary frame.
+fn severing_proxy(backend: SocketAddr, cut_after_bytes: usize, drop_conns: usize) -> SocketAddr {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+    let addr = listener.local_addr().expect("proxy addr");
+    std::thread::spawn(move || {
+        let mut dropped = 0usize;
+        for conn in listener.incoming() {
+            let Ok(client) = conn else { break };
+            let Ok(server) = TcpStream::connect(backend) else {
+                break;
+            };
+            let cut = dropped < drop_conns;
+            if cut {
+                dropped += 1;
+            }
+            let mut up_read = client.try_clone().expect("clone client");
+            let mut up_write = server.try_clone().expect("clone server");
+            let upstream = std::thread::spawn(move || {
+                let _ = std::io::copy(&mut up_read, &mut up_write);
+                let _ = up_write.shutdown(std::net::Shutdown::Write);
+            });
+            let mut reader = server.try_clone().expect("clone server");
+            let mut client_write = client.try_clone().expect("clone client");
+            if cut {
+                let mut left = cut_after_bytes;
+                let mut chunk = [0u8; 256];
+                while left > 0 {
+                    let want = left.min(chunk.len());
+                    let n = reader.read(&mut chunk[..want]).unwrap_or(0);
+                    if n == 0 || client_write.write_all(&chunk[..n]).is_err() {
+                        break;
+                    }
+                    left -= n;
+                }
+                let _ = client.shutdown(std::net::Shutdown::Both);
+                let _ = server.shutdown(std::net::Shutdown::Both);
+            } else {
+                let _ = std::io::copy(&mut reader, &mut client_write);
+                let _ = client.shutdown(std::net::Shutdown::Both);
+            }
+            let _ = upstream.join();
+        }
+    });
+    addr
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The v2 whole-trace-retry twin of the v1 proptest above: the
+    /// first connection dies after an **arbitrary number of reply
+    /// bytes** — before the greeting, mid-OK, inside a SUMMARY or
+    /// REPORT frame. The pool's retry replays the whole trace over a
+    /// fresh v2 session and the report is byte-identical to an
+    /// undisturbed v2 run.
+    #[test]
+    fn v2_pool_replays_the_whole_trace_when_severed_at_any_reply_byte(
+        cut_after in 0usize..200,
+        batch in prop_oneof![Just(None), Just(Some(5))],
+    ) {
+        let handle = start_server();
+        let inst = repeated_hot_edge(4, 3, 12);
+        let direct_pool = WorkerPool::connect(&[handle.local_addr().to_string()]).unwrap();
+        let expected = pool_job(&direct_pool, &inst, batch).expect("direct v2 replay");
+        prop_assert_eq!(expected.requests, inst.requests.len());
+
+        let proxy = severing_proxy(handle.local_addr(), cut_after, 1);
+        let pool = WorkerPool::connect(&[proxy.to_string()]).unwrap().retries(2);
+        let report = pool_job(&pool, &inst, batch).expect("retried v2 replay");
+        prop_assert_eq!(&report, &expected, "retried v2 report diverges");
+
+        assert_server_alive(&handle);
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn negotiation_matrix_always_gets_a_typed_answer() {
+    // All four client×server pairings resolve with a typed answer —
+    // a working session or a typed ERR — never a hang or a silent
+    // downgrade.
+    let caps = [2u32, 1];
+    let v2_server = start_server();
+    let v1_server = serve(
+        default_registry(),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            max_proto: ProtoVersion::V1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind v1-capped server");
+
+    // v1 client × v1 server and v1 client × v2 server: plain sessions.
+    for srv in [&v1_server, &v2_server] {
+        let client = ServeClient::connect(srv.local_addr(), "greedy", None, &caps).unwrap();
+        assert_eq!(client.proto(), ProtoVersion::V1);
+        let report = client.finish().unwrap();
+        assert_eq!(report.requests, 0);
+    }
+
+    // v2 client × v2 server: the upgrade is acknowledged.
+    let client = ServeClient::connect_v2(v2_server.local_addr(), "greedy", None, &caps, false)
+        .expect("v2 negotiation");
+    assert_eq!(client.proto(), ProtoVersion::V2);
+    let report = client.finish().unwrap();
+    assert_eq!(report.requests, 0);
+
+    // v2 client × v1-capped server: the negotiation token is answered
+    // with the server's typed parse error — no hang, and no silent
+    // fallback to v1 (the operator must choose `--proto v1`).
+    let err = match ServeClient::connect_v2(v1_server.local_addr(), "greedy", None, &caps, false) {
+        Err(e) => e,
+        Ok(_) => panic!("a v1-capped server must refuse proto=v2"),
+    };
+    match &err {
+        acmr_core::AcmrError::Remote { code, message } => {
+            assert_eq!(code, "parse", "{message}");
+            assert!(message.contains("proto=v2"), "{message}");
+        }
+        other => panic!("expected a typed remote error, got {other:?}"),
+    }
+
+    wait_for_drained(&v1_server);
+    wait_for_drained(&v2_server);
+    v1_server.shutdown();
+    v2_server.shutdown();
 }

@@ -62,7 +62,9 @@ const TEXT_MAGIC: &[u8] = b"ACMR-TRACE";
 const FIXED_PREFIX: usize = 16;
 
 /// Bytes of one record before its edge ids: cost (8) + edge count (2).
-const RECORD_PREFIX: usize = 10;
+/// Public because the `ACMR-SERVE v2` wire reuses record bytes as
+/// arrival frames and sizes its reads with this.
+pub const RECORD_PREFIX: usize = 10;
 
 /// Typed binary-trace error: `line` is the 1-based record index (0 for
 /// header errors) — binary traces have no lines.
@@ -227,12 +229,51 @@ fn request_from_parts(
     Ok(Request::new(EdgeSet::from_sorted(edges), cost))
 }
 
+/// Encode one request as an `ACMR-TRACE v2` record, appending the
+/// bytes to `buf`: cost (`f64` LE), edge count (`u16` LE), then the
+/// footprint's edge ids (`u32` LE each, strictly increasing — the
+/// canonical [`EdgeSet`] order, which the footprint already is).
+///
+/// This is the byte image [`BinTraceWriter::push`] writes to a trace
+/// file **and** the arrival-frame payload of the `ACMR-SERVE v2`
+/// socket protocol — one codec, so file ≡ socket holds by
+/// construction (`docs/SERVING.md` specifies the wire use).
+pub fn encode_record_into(buf: &mut Vec<u8>, r: &Request, num_edges: u32) -> io::Result<()> {
+    let ids = r.footprint.as_slice();
+    let k = u16::try_from(ids.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "binary trace format caps a footprint at {} edges (got {})",
+                u16::MAX,
+                ids.len()
+            ),
+        )
+    })?;
+    if let Some(out) = ids.iter().find(|e| e.0 >= num_edges) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("edge id {} out of range for {num_edges} edges", out.0),
+        ));
+    }
+    buf.reserve(RECORD_PREFIX + 4 * ids.len());
+    buf.extend_from_slice(&r.cost.to_le_bytes());
+    buf.extend_from_slice(&k.to_le_bytes());
+    for e in ids {
+        buf.extend_from_slice(&e.0.to_le_bytes());
+    }
+    Ok(())
+}
+
 /// Decode the record at byte offset `at` of `bytes`, returning the
 /// request and the offset just past it — the one record decoder shared
-/// by [`BinTraceMap`] iteration and the in-memory paths. Bounds are
-/// checked on every access; truncation is a typed error.
+/// by [`BinTraceMap`] iteration, the in-memory paths, **and** the
+/// `ACMR-SERVE v2` wire (arrival frames are exactly these record
+/// bytes — the inverse of [`encode_record_into`]). Bounds are
+/// checked on every access; truncation is a typed error naming
+/// `record` (0-based; wire callers pass the arrival index).
 #[inline]
-fn decode_record(
+pub fn decode_record(
     bytes: &[u8],
     at: usize,
     record: usize,
@@ -306,32 +347,8 @@ impl<W: Write> BinTraceWriter<W> {
                 ),
             ));
         }
-        let ids = r.footprint.as_slice();
-        let k = u16::try_from(ids.len()).map_err(|_| {
-            io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "binary trace format caps a footprint at {} edges (got {})",
-                    u16::MAX,
-                    ids.len()
-                ),
-            )
-        })?;
-        if let Some(out) = ids.iter().find(|e| e.0 >= self.num_edges) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "edge id {} out of range for {} edges",
-                    out.0, self.num_edges
-                ),
-            ));
-        }
         self.buf.clear();
-        self.buf.extend_from_slice(&r.cost.to_le_bytes());
-        self.buf.extend_from_slice(&k.to_le_bytes());
-        for e in ids {
-            self.buf.extend_from_slice(&e.0.to_le_bytes());
-        }
+        encode_record_into(&mut self.buf, r, self.num_edges)?;
         self.sink.write_all(&self.buf)?;
         self.written += 1;
         Ok(())

@@ -34,8 +34,9 @@ pub mod trace;
 pub use admission::{random_path_workload, PathWorkloadSpec, Topology};
 pub use adversarial::{nested_intervals, repeated_hot_edge, two_phase_squeeze};
 pub use binfmt::{
-    open_trace, read_bin_trace, sniff_bytes, sniff_path, write_bin_trace, AnyTraceReader,
-    BinMapReader, BinTraceMap, BinTraceReader, BinTraceWriter, TraceFormat,
+    decode_record, encode_record_into, open_trace, read_bin_trace, sniff_bytes, sniff_path,
+    write_bin_trace, AnyTraceReader, BinMapReader, BinTraceMap, BinTraceReader, BinTraceWriter,
+    TraceFormat,
 };
 pub use cost::CostModel;
 pub use lower_bound::{adaptive_least_covered_schedule, dyadic_admission_instance, dyadic_system};

@@ -224,6 +224,18 @@ impl<R: Read> LineScanner<R> {
         self.line
     }
 
+    /// Dismantle the scanner into the bytes it has buffered but not
+    /// yet yielded plus the inner reader — the protocol-upgrade hook:
+    /// when a peer negotiates a binary framing mid-stream (the
+    /// `ACMR-SERVE v2` `OPEN … proto=v2` handshake), any bytes the
+    /// scanner read ahead of the last line belong to the *binary*
+    /// stream and must be replayed in front of the raw reader, or a
+    /// pipelining peer would lose its first frames.
+    pub fn into_parts(mut self) -> (Vec<u8>, R) {
+        let rest = self.buf.split_off(self.start);
+        (rest, self.inner)
+    }
+
     /// The next line as `(1-based number, trimmed content)`, or `None`
     /// at end of input. The returned string borrows from the scanner's
     /// buffer — no allocation per line. A source that ends mid-line

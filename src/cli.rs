@@ -30,7 +30,10 @@ use crate::harness::{
     default_registry, run_report, run_report_batched, run_report_from_path, run_report_spooled,
     BoundBudget, ClusterDriver, SweepJob, TraceSource,
 };
-use crate::serve::{serve_trace, ServeConfig, WorkerPool, DEFAULT_ADDR, LISTENING_PREFIX};
+use crate::serve::{
+    serve_trace, serve_trace_v2, ProtoVersion, ServeConfig, WorkerPool, DEFAULT_ADDR,
+    LISTENING_PREFIX,
+};
 use crate::workloads::trace::{read_trace, write_trace, TraceReader, TraceWriter};
 use crate::workloads::{
     dyadic_admission_instance, nested_intervals, open_trace, random_path_workload, read_bin_trace,
@@ -298,6 +301,19 @@ pub fn cmd_convert(args: &[String]) -> Result<String, CliError> {
             "convert needs an input and an output path: acmr convert <in> <out> [--to text|binary]",
         ));
     };
+    // In-place conversion would truncate the input (File::create)
+    // before a single record is read — refuse it up front. Canonical
+    // paths, so `t.bin` vs `./t.bin` vs a symlink all count as "same
+    // file"; a not-yet-existing output cannot collide with an existing
+    // input, so its canonicalize failure is fine to ignore.
+    if let (Ok(a), Ok(b)) = (std::fs::canonicalize(input), std::fs::canonicalize(output)) {
+        if a == b {
+            return Err(err(format!(
+                "convert cannot write its output over its input ({input}): the output is \
+                 truncated before the input is read. Convert to a new path, then rename"
+            )));
+        }
+    }
     let reader = open_trace(input).map_err(|e| err(e.to_string()))?;
     let from = reader.format();
     let to = match flags.get("to").map(String::as_str) {
@@ -389,6 +405,20 @@ fn batch_flag(flags: &HashMap<String, String>) -> Result<Option<usize>, CliError
     }
 }
 
+/// The `--proto v1|v2` wire dialect (`acmr serve`, `acmr client`,
+/// `acmr run --cluster/--workers`). Defaults to v2 — the binary-frame
+/// fast path; force `v1` against fleets that predate it (a v2 request
+/// to a v1-only server is answered with its typed `ERR parse` reply,
+/// never silently downgraded — see `docs/OPERATIONS.md`).
+fn proto_flag(flags: &HashMap<String, String>) -> Result<ProtoVersion, CliError> {
+    match flags.get("proto").map(String::as_str) {
+        None => Ok(ProtoVersion::V2),
+        Some(s) => {
+            ProtoVersion::parse(s).ok_or_else(|| err(format!("unknown --proto {s:?} (v1 or v2)")))
+        }
+    }
+}
+
 /// Build the optional worker pool the `--cluster N` / `--workers
 /// addr,addr,...` flags ask for: `--cluster` spawns N local `acmr
 /// serve` worker processes from this very binary (each announcing its
@@ -396,6 +426,7 @@ fn batch_flag(flags: &HashMap<String, String>) -> Result<Option<usize>, CliError
 /// parses); `--workers` adopts pre-started serving endpoints instead.
 /// `None` when neither flag is present — the in-process paths.
 fn cluster_pool(flags: &HashMap<String, String>) -> Result<Option<WorkerPool>, CliError> {
+    let proto = proto_flag(flags)?;
     match (flags.get("cluster"), flags.get("workers")) {
         (Some(_), Some(_)) => Err(err(
             "--cluster and --workers are mutually exclusive (spawn local workers OR adopt remote ones)",
@@ -408,7 +439,7 @@ fn cluster_pool(flags: &HashMap<String, String>) -> Result<Option<WorkerPool>, C
             let binary = std::env::current_exe()
                 .map_err(|e| err(format!("cannot locate the acmr binary to spawn workers: {e}")))?;
             WorkerPool::spawn_local(&binary, count)
-                .map(Some)
+                .map(|p| Some(p.proto(proto)))
                 .map_err(|e| err(e.to_string()))
         }
         (None, Some(list)) => {
@@ -418,7 +449,9 @@ fn cluster_pool(flags: &HashMap<String, String>) -> Result<Option<WorkerPool>, C
                     "--workers needs a comma-separated address list, e.g. --workers 10.0.0.1:4790,10.0.0.2:4790",
                 ));
             }
-            WorkerPool::connect(&addrs).map(Some).map_err(|e| err(e.to_string()))
+            WorkerPool::connect(&addrs)
+                .map(|p| Some(p.proto(proto)))
+                .map_err(|e| err(e.to_string()))
         }
         (None, None) => Ok(None),
     }
@@ -552,9 +585,12 @@ pub fn cmd_run_stream(
 pub fn serve_options(args: &[String]) -> Result<ServeConfig, CliError> {
     let flags = parse_flags(args)?;
     for key in flags.keys() {
-        if !matches!(key.as_str(), "addr" | "max-conns" | "idle-timeout") {
+        if !matches!(
+            key.as_str(),
+            "addr" | "max-conns" | "idle-timeout" | "proto"
+        ) {
             return Err(err(format!(
-                "unknown serve flag --{key} (--addr, --max-conns, --idle-timeout)"
+                "unknown serve flag --{key} (--addr, --max-conns, --idle-timeout, --proto)"
             )));
         }
     }
@@ -578,10 +614,14 @@ pub fn serve_options(args: &[String]) -> Result<ServeConfig, CliError> {
             Some(std::time::Duration::from_secs(secs))
         }
     };
+    // --proto v1 caps the server at the line protocol: v2 negotiation
+    // attempts get the typed `ERR parse` reply instead of an upgrade.
+    let max_proto = proto_flag(&flags)?;
     Ok(ServeConfig {
         addr,
         max_connections,
         idle_timeout,
+        max_proto,
     })
 }
 
@@ -642,6 +682,7 @@ pub fn cmd_client(
         Some(_) => Some(get(&flags, "seed", 0)?),
     };
     let batch = batch_flag(&flags)?;
+    let proto = proto_flag(&flags)?;
     let print_events = flags.contains_key("events");
 
     let mut write_error: Option<std::io::Error> = None;
@@ -657,31 +698,43 @@ pub fn cmd_client(
                 write_error = Some(e);
             }
         };
-        if target == "-" {
-            let reader = TraceReader::new(stdin).map_err(|e| err(e.to_string()))?;
-            let capacities = reader.capacities().to_vec();
-            serve_trace(
+        // One replay body for either source; --proto picks the wire.
+        // v2 without --events runs in batch-summary mode (the server
+        // never serializes per-arrival events at all); with --events
+        // it negotiates events=on and streams them exactly like v1.
+        let mut replay = |arrivals: &mut dyn Iterator<
+            Item = Result<crate::core::Request, crate::core::AcmrError>,
+        >,
+                          capacities: &[u32]| match proto {
+            ProtoVersion::V1 => serve_trace(
                 addr.as_str(),
                 alg_spec,
                 base_seed,
-                &capacities,
-                reader,
+                capacities,
+                arrivals,
                 batch,
                 &mut on_event,
-            )
+            ),
+            ProtoVersion::V2 => serve_trace_v2(
+                addr.as_str(),
+                alg_spec,
+                base_seed,
+                capacities,
+                arrivals,
+                batch,
+                print_events,
+                &mut on_event,
+            ),
+        };
+        if target == "-" {
+            let reader = TraceReader::new(stdin).map_err(|e| err(e.to_string()))?;
+            let capacities = reader.capacities().to_vec();
+            replay(&mut reader.into_iter(), &capacities)
         } else {
             // Either trace format: sniffed, binary replays off an mmap.
             let reader = open_trace(&target).map_err(|e| err(e.to_string()))?;
             let capacities = reader.capacities().to_vec();
-            serve_trace(
-                addr.as_str(),
-                alg_spec,
-                base_seed,
-                &capacities,
-                reader,
-                batch,
-                &mut on_event,
-            )
+            replay(&mut reader.into_iter(), &capacities)
         }
         .map_err(|e| err(e.to_string()))?
     };
@@ -770,11 +823,13 @@ USAGE:
   acmr convert IN OUT [--to text|binary]               # rewrite a trace
             losslessly converts between the text and binary formats,
             streaming (traces larger than memory convert fine); --to
-            defaults to the opposite of the input's format
+            defaults to the opposite of the input's format; IN and OUT
+            must be different files (in-place would truncate the input)
   acmr opt                                             # trace from stdin
   acmr algs                                            # list algorithms
   acmr run  [--alg SPEC] [--seed S] [--batch N] [--format text|json]
             [--stream FILE|-] [--cluster N | --workers ADDR,ADDR]
+            [--proto v1|v2]
             SPEC: a registry name with optional options, e.g.
             'aag-unweighted?seed=7&no-prune' — see `acmr algs`
             --batch N feeds arrivals through the batched session path
@@ -788,19 +843,25 @@ USAGE:
             adopts pre-started serving endpoints instead. Worker
             failures retry on survivors, bounded, with typed errors
   acmr serve  [--addr HOST:PORT] [--max-conns N]       # live front end
-            [--idle-timeout SECS]
-            serves the ACMR-SERVE v1 socket protocol: one admission
+            [--idle-timeout SECS] [--proto v1|v2]
+            serves the ACMR-SERVE socket protocol: one admission
             session per connection, one audited decision event per
             arrival (default addr 127.0.0.1:4790; --addr HOST:0 picks
             an ephemeral port; stderr's first line is the machine-
             parseable `LISTENING HOST:PORT`; --idle-timeout bounds
-            how long a silent peer may hold a connection slot)
+            how long a silent peer may hold a connection slot;
+            --proto v1 caps sessions at the line protocol — by default
+            clients may negotiate the v2 binary-frame dialect)
   acmr client --stream FILE|- [--addr HOST:PORT] [--alg SPEC]
             [--seed S] [--batch N] [--format text|json] [--events]
+            [--proto v1|v2]
             replays a trace through a serving endpoint and prints the
             session's final report (--events also prints every decision
             event as a JSON line); served reports carry no offline
-            OPT bound — replay the trace through `acmr run` for one
+            OPT bound — replay the trace through `acmr run` for one.
+            --proto defaults to v2 (binary frames, batch-summary acks;
+            arrival frames are exactly ACMR-TRACE v2 record bytes);
+            force v1 against servers that predate the v2 dialect
 
 Traces come in two interconvertible dialects, both specified in
 docs/TRACE_FORMAT.md: the plain-text `ACMR-TRACE v1` grammar `acmr gen`

@@ -110,3 +110,42 @@ fn golden_corpus_converts_losslessly_in_both_directions() {
         }
     }
 }
+
+#[test]
+fn in_place_conversion_is_refused_and_the_input_survives() {
+    // `acmr convert t.bin t.bin` used to truncate the input via
+    // File::create before a single record was read — destroying the
+    // trace and "converting" an empty file. Now it must refuse with a
+    // typed flag error, leave the input untouched, and catch spelling
+    // variants of the same path (./x, symlinks) too.
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let src = golden_trace_paths().remove(0);
+    let input = tmp.join(format!("acmr-inplace-{pid}.trace"));
+    std::fs::copy(&src, &input).unwrap();
+    let original = std::fs::read(&input).unwrap();
+    let input_str = input.to_str().unwrap().to_string();
+
+    // Same literal path.
+    let e = cmd_convert(&argv(&[&input_str, &input_str])).unwrap_err();
+    assert!(e.to_string().contains("over its input"), "{e}");
+    assert_eq!(std::fs::read(&input).unwrap(), original, "input truncated");
+
+    // Same file, different spelling: a `.`-segment alias.
+    let dotted = tmp
+        .join(".")
+        .join(format!("acmr-inplace-{pid}.trace"))
+        .to_str()
+        .unwrap()
+        .to_string();
+    let e = cmd_convert(&argv(&[&input_str, &dotted, "--to", "text"])).unwrap_err();
+    assert!(e.to_string().contains("over its input"), "{e}");
+    assert_eq!(std::fs::read(&input).unwrap(), original, "input truncated");
+
+    // A genuinely different output path still works.
+    let out = tmp.join(format!("acmr-inplace-{pid}.bin"));
+    cmd_convert(&argv(&[&input_str, out.to_str().unwrap()])).unwrap();
+    assert_eq!(std::fs::read(&input).unwrap(), original);
+    std::fs::remove_file(&input).unwrap();
+    std::fs::remove_file(&out).unwrap();
+}
