@@ -73,6 +73,15 @@ pub enum AcmrError {
         /// Human-readable description including the OS error.
         message: String,
     },
+    /// A serving endpoint refused new work because it is over its
+    /// configured capacity (connection cap, accept-queue cap). Clients
+    /// should treat this as transient back-pressure — retry later or
+    /// against another worker — unlike the other variants, which are
+    /// either permanent or caller bugs.
+    Busy {
+        /// What capacity was exhausted.
+        message: String,
+    },
     /// An `acmr serve` peer replied with a protocol-level `ERR` frame
     /// (see `docs/SERVING.md`). The server maps its own [`AcmrError`]
     /// onto a stable wire code; the client surfaces the reply as this
@@ -118,6 +127,9 @@ impl fmt::Display for AcmrError {
             }
             AcmrError::Io { message } => {
                 write!(f, "trace i/o error: {message}")
+            }
+            AcmrError::Busy { message } => {
+                write!(f, "server over capacity: {message}")
             }
             AcmrError::Remote { code, message } => {
                 write!(f, "server error [{code}]: {message}")

@@ -19,9 +19,9 @@
 
 use crate::protocol::{
     decode_error_reply, decode_ok, decode_summary, encode_reset, write_frame, BatchSummary,
-    BinFrameReader, FrameReader, ProtoVersion, EVENTS_TOKEN, FRAME_BATCH, FRAME_END, FRAME_ERR,
-    FRAME_EVENT, FRAME_OK, FRAME_REPORT, FRAME_REQ, FRAME_RESET, FRAME_SUMMARY, GREETING,
-    MAX_BATCH, PROTO_V2_TOKEN,
+    BinFrameReader, FrameReader, ProtoVersion, StatsReport, EVENTS_TOKEN, FRAME_BATCH, FRAME_END,
+    FRAME_ERR, FRAME_EVENT, FRAME_OK, FRAME_REPORT, FRAME_REQ, FRAME_RESET, FRAME_STATS,
+    FRAME_STATS_REPLY, FRAME_SUMMARY, GREETING, MAX_BATCH, PROTO_V2_TOKEN,
 };
 use acmr_core::{AcmrError, ArrivalEvent, Request, RunReport};
 use acmr_workloads::binfmt::encode_record_into;
@@ -359,6 +359,33 @@ impl ServeClient {
         self.read_reset_ok()
     }
 
+    /// Ask the server for its counters: one [`StatsReport`] pairing
+    /// the server-wide totals with this connection's own tallies.
+    /// Works mid-session in both protocols (v1 sends the `STATS`
+    /// line, v2 the `STATS` frame) and never perturbs the session —
+    /// for a sessionless probe of a remote server, see [`fetch_stats`].
+    pub fn stats(&mut self) -> Result<StatsReport, AcmrError> {
+        match self.read {
+            ReadHalf::V1(_) => {
+                writeln!(self.writer, "STATS")?;
+                self.writer.flush()?;
+                let (_, line) = self.reply_line_v1()?;
+                let json = decode_reply(&line, "STATS")?;
+                serde_json::from_str(json)
+                    .map_err(|e| proto_error(format!("malformed STATS reply: {e}")))
+            }
+            ReadHalf::V2(_) => {
+                write_frame(&mut self.writer, FRAME_STATS, &[])?;
+                self.writer.flush()?;
+                self.expect_frame(FRAME_STATS_REPLY, "STATS")?;
+                let json = std::str::from_utf8(&self.scratch)
+                    .map_err(|e| proto_error(format!("malformed STATS reply: {e}")))?;
+                serde_json::from_str(json)
+                    .map_err(|e| proto_error(format!("malformed STATS reply: {e}")))
+            }
+        }
+    }
+
     /// End the session: the server replies with the final
     /// [`RunReport`] (no offline-optimum context — a live session
     /// cannot see the future; replay the saved trace through `acmr
@@ -539,6 +566,33 @@ impl ServeClient {
         let json = decode_reply(&line, "EVENT")?;
         serde_json::from_str(json).map_err(|e| proto_error(format!("malformed EVENT: {e}")))
     }
+}
+
+/// Probe a serving endpoint for its counters without opening a
+/// session: connect, read the greeting, send one `STATS` line, decode
+/// the [`StatsReport`] reply — what `acmr stats --addr` (and `acmr
+/// client --stats`) runs. The connection carries nothing else, so the
+/// `connection` half of the report reflects only the probe itself;
+/// the `server` half is the interesting part.
+pub fn fetch_stats(addr: impl ToSocketAddrs) -> Result<StatsReport, AcmrError> {
+    let stream = connect_stream(addr)?;
+    let _ = stream.set_nodelay(true);
+    let write_half = stream.try_clone().map_err(|e| AcmrError::Io {
+        message: format!("cannot clone socket: {e}"),
+    })?;
+    let mut frames = FrameReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    let (_, greeting) = reply_line(&mut frames)?;
+    if greeting != GREETING {
+        return Err(proto_error(format!(
+            "unexpected greeting {greeting:?} (expected {GREETING:?})"
+        )));
+    }
+    writeln!(writer, "STATS")?;
+    writer.flush()?;
+    let (_, line) = reply_line(&mut frames)?;
+    let json = decode_reply(&line, "STATS")?;
+    serde_json::from_str(json).map_err(|e| proto_error(format!("malformed STATS reply: {e}")))
 }
 
 fn connect_stream(addr: impl ToSocketAddrs) -> Result<TcpStream, AcmrError> {

@@ -11,9 +11,9 @@
 //! exactly ACMR-TRACE v2 record bytes, with batch-summary
 //! acknowledgements and `RESET`-based session reuse.
 //!
-//! Three public layers, std-only (the workspace builds offline, so
-//! the server is `std::net::TcpListener` + one thread per connection
-//! rather than an async runtime):
+//! The crate is split along a sans-I/O seam, std-only (the workspace
+//! builds offline, so polling comes from the vendored `polling` shim
+//! — epoll on Linux — rather than an async runtime):
 //!
 //! * [`protocol`] — the wire grammar: the capped [`protocol::
 //!   FrameReader`] both ends use, the stable `ERR` code table, the
@@ -24,11 +24,19 @@
 //!   `acmr_workloads::trace::parse_request_line`; v2 arrival frames
 //!   reuse `acmr_workloads::binfmt`'s record codec — so the socket
 //!   and the file formats can never drift apart, in either dialect.
-//! * [`serve`] / [`ServerHandle`] / [`SessionManager`] — the server:
-//!   thread-per-connection over the shared [`acmr_core::Registry`],
-//!   a concurrent session table, typed `ERR` replies for every
-//!   failure, graceful shutdown that closes live sockets and joins
-//!   every worker.
+//! * [`machine`] / [`Connection`] — the sans-I/O protocol state
+//!   machine: feed it bytes, drain reply bytes; both dialects, every
+//!   typed `ERR`, the `STATS` counters — with no socket type in
+//!   sight, so the fuzz and differential suites drive the full wire
+//!   semantics in-process.
+//! * [`serve`] / [`ServerHandle`] / [`SessionManager`] — the reactor:
+//!   sharded event-loop threads ([`ServeConfig::reactor_threads`])
+//!   pumping nonblocking sockets through one machine per connection
+//!   over the shared [`acmr_core::Registry`], with a concurrent
+//!   session table, an explicit overload policy (`ERR busy` past
+//!   [`ServeConfig::max_connections`]), idle timeouts, backpressure,
+//!   and graceful shutdown that closes live sockets and joins every
+//!   shard.
 //! * [`ServeClient`] / [`serve_trace`] — the client: mirrors the
 //!   local `Session` API (`push` / `push_batch` / `finish`), so the
 //!   differential suite pins *served ≡ streamed ≡ in-memory* decision
@@ -46,11 +54,13 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod machine;
 pub mod pool;
 pub mod protocol;
 pub mod server;
 
-pub use client::{serve_trace, serve_trace_v2, ServeClient};
+pub use client::{fetch_stats, serve_trace, serve_trace_v2, ServeClient};
+pub use machine::{Connection, MachineConfig, ServerCounters};
 pub use pool::{is_transport_error, WorkerPool, CLUSTER_ERROR_CODE, LISTENING_PREFIX};
-pub use protocol::{BatchSummary, ProtoVersion};
+pub use protocol::{BatchSummary, ProtoVersion, StatsReport};
 pub use server::{serve, ServeConfig, ServerHandle, SessionManager, SessionMeta, DEFAULT_ADDR};

@@ -36,6 +36,14 @@
 //!   extra attempt per worker). Exhaustion surfaces one typed
 //!   [`AcmrError::Remote`] with code [`CLUSTER_ERROR_CODE`] naming
 //!   the last failure — never a panic, a hang, or a partial report.
+//! * An `ERR busy` reply (the reactor's overload policy: the worker
+//!   is past its `--max-conns` accept-queue cap) arrives as a typed
+//!   remote error *before* any arrival is replayed. It is a reply
+//!   from a live worker, not a transport drop, so it does **not**
+//!   retry — size worker `--max-conns` above the driver's
+//!   concurrency, and watch `busy_rejections` in the workers'
+//!   `STATS` counters (`acmr stats --addr`) if sweeps start failing
+//!   with it.
 
 use crate::client::{replay_session, run_job_v2, ServeClient};
 use crate::protocol::ProtoVersion;

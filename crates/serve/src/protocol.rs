@@ -51,6 +51,7 @@
 
 use acmr_core::{AcmrError, ArrivalEvent};
 use acmr_workloads::trace::LineScanner;
+use serde::{Deserialize, Serialize};
 use std::io::Read;
 
 /// The greeting the server writes on accept — the version of the
@@ -127,6 +128,7 @@ pub fn error_code(e: &AcmrError) -> &'static str {
         AcmrError::InvalidRequest { .. } => "invalid",
         AcmrError::TraceParse { .. } => "parse",
         AcmrError::Io { .. } => "io",
+        AcmrError::Busy { .. } => "busy",
         AcmrError::Remote { .. } => "proto",
     }
 }
@@ -241,6 +243,14 @@ pub const FRAME_END: u8 = 0x03;
 /// v2 frame type: abandon the current session and open a fresh one on
 /// the same connection; payload per [`encode_reset`] (client → server).
 pub const FRAME_RESET: u8 = 0x04;
+/// v2 frame type: request the server's counters; empty payload
+/// (client → server). Answered with one [`FRAME_STATS_REPLY`] frame.
+/// Valid at any frame boundary — mid-session, or after `END` while
+/// the connection waits for a `RESET`. The v1 twin is the bare
+/// `STATS` request line, answered by a `STATS <json>` line with the
+/// same payload (also accepted *instead of* `OPEN`, so a monitoring
+/// probe needs no session).
+pub const FRAME_STATS: u8 = 0x05;
 /// v2 frame type: session opened (reply to `RESET`); payload is the
 /// `u64le` session id followed by the canonical spec in UTF-8.
 pub const FRAME_OK: u8 = 0x80;
@@ -256,6 +266,10 @@ pub const FRAME_REPORT: u8 = 0x83;
 /// v2 frame type: terminal error; payload is the UTF-8
 /// [`error_reply_body`] text — same codes, same grammar as v1.
 pub const FRAME_ERR: u8 = 0x84;
+/// v2 frame type: reply to [`FRAME_STATS`]; payload is the UTF-8 JSON
+/// serialization of one [`StatsReport`] — byte-identical to what
+/// follows `STATS ` in the v1 reply line.
+pub const FRAME_STATS_REPLY: u8 = 0x85;
 
 /// Reader for the v2 binary frame stream: `type:u8 len:u32le
 /// payload[len]`, with the payload capped at [`MAX_FRAME_BYTES`]
@@ -320,6 +334,162 @@ impl<R: Read> BinFrameReader<std::io::Chain<std::io::Cursor<Vec<u8>>, R>> {
     pub fn with_rest(rest: Vec<u8>, inner: R) -> Self {
         BinFrameReader::new(std::io::Read::chain(std::io::Cursor::new(rest), inner))
     }
+}
+
+/// The pure, push-fed core of the v2 binary framing: bytes go in via
+/// [`FrameBuffer::feed`], whole frames come out of
+/// [`FrameBuffer::next_frame`] — no reader, no I/O, no blocking. This
+/// is what the sans-I/O [`crate::machine::Connection`] carves frames
+/// with; [`BinFrameReader`] is its pull-based twin for blocking
+/// streams (the client), and the two enforce the same grammar:
+/// `type:u8 len:u32le payload[len]`, payloads capped at
+/// [`MAX_FRAME_BYTES`], truncation and oversize typed by 1-based
+/// frame number.
+#[derive(Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+    frames: usize,
+    eof: bool,
+}
+
+impl FrameBuffer {
+    /// An empty frame buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Append input bytes (compacting the consumed prefix first).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Signal end of input: a partial frame still buffered becomes a
+    /// typed truncation error on the next [`FrameBuffer::next_frame`];
+    /// an empty buffer is a clean end at a frame boundary.
+    pub fn set_eof(&mut self) {
+        self.eof = true;
+    }
+
+    /// Whether end of input was signalled.
+    pub fn is_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// Frames yielded so far.
+    pub fn frame_number(&self) -> usize {
+        self.frames
+    }
+
+    /// Carve the next complete frame into `payload` (cleared first),
+    /// returning its type byte. `Ok(None)` means *no complete frame
+    /// buffered*: feed more input — unless [`FrameBuffer::is_eof`], in
+    /// which case the stream ended cleanly at a frame boundary (EOF
+    /// mid-frame is the typed truncation error instead, exactly like
+    /// [`BinFrameReader`]). An oversized declared length is refused
+    /// from the 5 header bytes alone, before any payload arrives.
+    pub fn next_frame(&mut self, payload: &mut Vec<u8>) -> Result<Option<u8>, AcmrError> {
+        let pending = self.buf.len() - self.start;
+        if pending == 0 {
+            return Ok(None);
+        }
+        let frame = self.frames + 1;
+        if pending < 5 {
+            return if self.eof {
+                Err(truncated(frame))
+            } else {
+                Ok(None)
+            };
+        }
+        let head = &self.buf[self.start..];
+        let ty = head[0];
+        let len = u32::from_le_bytes(head[1..5].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(AcmrError::TraceParse {
+                line: frame,
+                message: format!("frame payload of {len} bytes exceeds {MAX_FRAME_BYTES}"),
+            });
+        }
+        if pending < 5 + len {
+            return if self.eof {
+                Err(truncated(frame))
+            } else {
+                Ok(None)
+            };
+        }
+        payload.clear();
+        payload.extend_from_slice(&self.buf[self.start + 5..self.start + 5 + len]);
+        self.start += 5 + len;
+        self.frames = frame;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        Ok(Some(ty))
+    }
+}
+
+/// Server-wide counters in a `STATS` reply: the lifetime totals of
+/// the whole process, across every connection and shard. All counts
+/// are monotonic except the two `*_active` gauges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Milliseconds since the server started listening (0 when the
+    /// machine is driven without a clock, e.g. in-process tests).
+    pub uptime_ms: u64,
+    /// Connections accepted since start (including busy-rejected ones).
+    pub connections_opened: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Sessions opened since start (`OPEN` handshakes plus `RESET`s).
+    pub sessions_opened: u64,
+    /// Sessions currently live (opened, not yet ended or torn down).
+    pub sessions_active: u64,
+    /// Arrival requests admitted to a session (single or in batches).
+    pub arrivals: u64,
+    /// `BATCH` frames processed.
+    pub batches: u64,
+    /// Payload bytes read from clients.
+    pub bytes_in: u64,
+    /// Reply bytes written to clients (greetings included).
+    pub bytes_out: u64,
+    /// Typed `ERR` replies emitted.
+    pub errors: u64,
+    /// Connections refused with `ERR busy` by the overload policy.
+    pub busy_rejections: u64,
+}
+
+/// Per-connection counters in a `STATS` reply: what *this* connection
+/// has done since it was accepted.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnStats {
+    /// Sessions opened on this connection (`OPEN` plus `RESET`s).
+    pub sessions: u64,
+    /// Arrival requests processed on this connection.
+    pub arrivals: u64,
+    /// `BATCH` frames processed on this connection.
+    pub batches: u64,
+    /// Bytes received on this connection.
+    pub bytes_in: u64,
+    /// Bytes sent on this connection.
+    pub bytes_out: u64,
+    /// Typed `ERR` replies emitted on this connection.
+    pub errors: u64,
+}
+
+/// The payload of a `STATS` reply — one JSON object on the wire,
+/// byte-identical between the v1 `STATS <json>` line and the v2
+/// [`FRAME_STATS_REPLY`] frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Server-wide totals.
+    pub server: ServerStats,
+    /// The asking connection's own counters.
+    pub connection: ConnStats,
 }
 
 fn truncated(frame: usize) -> AcmrError {
@@ -743,5 +913,117 @@ mod tests {
             }),
             "proto"
         );
+    }
+
+    #[test]
+    fn frame_buffer_matches_bin_frame_reader_under_any_chunking() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FRAME_REQ, &[1, 2, 3]).unwrap();
+        write_frame(&mut wire, FRAME_BATCH, &[0; 17]).unwrap();
+        write_frame(&mut wire, FRAME_END, &[]).unwrap();
+        write_frame(&mut wire, FRAME_STATS, &[]).unwrap();
+        for chunk in [1, 2, 3, 5, 7, wire.len()] {
+            let mut fb = FrameBuffer::new();
+            let mut payload = Vec::new();
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                fb.feed(piece);
+                while let Some(ty) = fb.next_frame(&mut payload).unwrap() {
+                    got.push((ty, payload.clone()));
+                }
+            }
+            fb.set_eof();
+            assert_eq!(fb.next_frame(&mut payload).unwrap(), None); // clean end
+            assert_eq!(fb.frame_number(), 4);
+            assert_eq!(
+                got,
+                vec![
+                    (FRAME_REQ, vec![1, 2, 3]),
+                    (FRAME_BATCH, vec![0; 17]),
+                    (FRAME_END, vec![]),
+                    (FRAME_STATS, vec![]),
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn frame_buffer_types_truncation_and_oversize() {
+        // EOF mid-payload: same typed error as BinFrameReader.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FRAME_REQ, &[9; 10]).unwrap();
+        let mut fb = FrameBuffer::new();
+        let mut payload = Vec::new();
+        fb.feed(&wire[..wire.len() - 3]);
+        assert_eq!(fb.next_frame(&mut payload).unwrap(), None); // just needs more
+        fb.set_eof();
+        let err = fb.next_frame(&mut payload).unwrap_err();
+        assert!(
+            matches!(&err, AcmrError::TraceParse { line: 1, message } if message.contains("mid-frame")),
+            "{err}"
+        );
+        // EOF inside the 5-byte header.
+        let mut fb = FrameBuffer::new();
+        fb.feed(&[FRAME_REQ, 0xff]);
+        fb.set_eof();
+        let err = fb.next_frame(&mut payload).unwrap_err();
+        assert!(
+            matches!(err, AcmrError::TraceParse { line: 1, .. }),
+            "{err}"
+        );
+        // An oversized declared length is refused from the header
+        // alone, before any payload bytes arrive or EOF is known.
+        let mut fb = FrameBuffer::new();
+        let mut head = vec![FRAME_REQ];
+        head.extend_from_slice(&u32::MAX.to_le_bytes());
+        fb.feed(&head);
+        let err = fb.next_frame(&mut payload).unwrap_err();
+        assert!(
+            matches!(&err, AcmrError::TraceParse { line: 1, message } if message.contains("exceeds")),
+            "{err}"
+        );
+        // Frame numbers keep counting across carves: frame 2 truncated.
+        let mut fb = FrameBuffer::new();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FRAME_END, &[]).unwrap();
+        wire.extend_from_slice(&[FRAME_REQ, 4, 0]);
+        fb.feed(&wire);
+        fb.set_eof();
+        assert_eq!(fb.next_frame(&mut payload).unwrap(), Some(FRAME_END));
+        let err = fb.next_frame(&mut payload).unwrap_err();
+        assert!(
+            matches!(err, AcmrError::TraceParse { line: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn stats_reports_round_trip_as_json() {
+        let report = StatsReport {
+            server: ServerStats {
+                uptime_ms: 1234,
+                connections_opened: 9,
+                connections_active: 3,
+                sessions_opened: 7,
+                sessions_active: 2,
+                arrivals: 100,
+                batches: 4,
+                bytes_in: 2048,
+                bytes_out: 4096,
+                errors: 1,
+                busy_rejections: 5,
+            },
+            connection: ConnStats {
+                sessions: 2,
+                arrivals: 40,
+                batches: 1,
+                bytes_in: 512,
+                bytes_out: 768,
+                errors: 0,
+            },
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: StatsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
     }
 }

@@ -1,47 +1,67 @@
-//! The serving front end: a thread-per-connection TCP server driving
-//! one [`acmr_core::Session`] per connection.
+//! The serving front end: a sharded nonblocking reactor driving one
+//! sans-I/O [`Connection`] machine per socket.
 //!
-//! Every connection starts as one admission-control session:
-//! handshake, any number of arrival frames (single request lines or
-//! `BATCH n` frames, mapped onto [`acmr_core::Session::push`] /
-//! [`acmr_core::Session::push_batch_into`]), then `END` for the final
-//! [`acmr_core::RunReport`]. A client that negotiates `proto=v2` at
-//! `OPEN` switches the connection to length-prefixed binary frames
-//! after the `OK` reply ([`crate::protocol`] has the grammar): arrival
-//! payloads are ACMR-TRACE v2 record bytes, batches acknowledge with
-//! one [`crate::protocol::BatchSummary`] frame unless the client
-//! opted into per-arrival events, and a `RESET` frame starts a fresh
-//! session on the same connection — the mechanism behind persistent
-//! worker pools. The [`SessionManager`] is the concurrent session
-//! table — it tracks live sessions, hands out ids, and owns the
-//! socket handles graceful shutdown needs to unblock reader threads.
+//! All protocol logic — handshake, both wire dialects, `STATS`, the
+//! typed `ERR` surface — lives in [`crate::machine`]; this module is
+//! the *driver*: it owns the listener, the accept thread, and N
+//! event-loop shards (`--reactor-threads`), and its whole job is to
+//! move bytes between nonblocking `TcpStream`s and machines. Each
+//! shard blocks in a level-triggered [`polling::Poller`] (epoll on
+//! Linux, with portable fallbacks — see the vendored shim), feeds
+//! whatever arrives into the owning machine, ships whatever the
+//! machine queued, and mirrors the machine's live session into the
+//! [`SessionManager`]. One shard multiplexes thousands of
+//! connections on one thread — the front-door shape the
+//! thread-per-connection server could not take past a few hundred
+//! peers (`BENCH_connections.json` is the receipt).
 //!
-//! Error handling is the streaming `Session` contract lifted onto the
-//! wire: every failure — malformed frame, unknown algorithm, contract
-//! violation — becomes one typed `ERR` reply (reusing
-//! [`AcmrError`] via the stable wire codes of
-//! [`crate::protocol::error_code`]) and the connection closes. The
-//! *process* never dies on a bad stream; the protocol fuzz suite pins
-//! that.
+//! Overload is an explicit accept-queue policy now: past
+//! [`ServeConfig::max_connections`] open connections, an accepted
+//! socket gets the greeting, one typed `ERR busy` reply, the polite
+//! drain-before-close — and never a thread. The same drain courtesy
+//! ends every connection: closing with unread peer bytes pending
+//! makes the OS send RST, which can discard the final
+//! `ERR`/`REPORT` the peer has not read yet, so the reactor
+//! half-closes, keeps reading (bounded in time and bytes), then
+//! closes. Error handling is unchanged from the thread server — the
+//! machine turns every failure into one typed `ERR` reply and the
+//! *process* never dies on a bad stream; the protocol fuzz suite
+//! still pins that, byte for byte.
 
-use crate::protocol::{
-    decode_reset, encode_ok, encode_summary, error_reply, error_reply_body, summarize_events,
-    write_frame, BinFrameReader, FrameReader, ProtoVersion, EVENTS_TOKEN, FRAME_BATCH, FRAME_END,
-    FRAME_ERR, FRAME_EVENT, FRAME_OK, FRAME_REPORT, FRAME_REQ, FRAME_RESET, FRAME_SUMMARY,
-    GREETING, MAX_BATCH, PROTO_V2_TOKEN,
-};
-use acmr_core::{AcmrError, AlgorithmSpec, ArrivalEvent, Registry, Request, Session};
-use acmr_workloads::binfmt::decode_record;
-use acmr_workloads::trace::{parse_caps_line, parse_edges_line, parse_request_line};
+use crate::machine::{Connection, MachineConfig, ServerCounters};
+use crate::protocol::ProtoVersion;
+use acmr_core::{AcmrError, Registry};
+use polling::{Event, Poller};
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::io::{BufWriter, Write};
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// The address `acmr serve` and `acmr client` default to.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:4790";
+
+/// How long (and how many bytes) the drain-before-close phase reads
+/// a peer's leftover bytes before closing for real.
+const DRAIN_DEADLINE: Duration = Duration::from_millis(500);
+const DRAIN_BUDGET: usize = 8 * 1024 * 1024;
+
+/// Stop feeding a machine more input while this much reply output is
+/// still queued — backpressure against a peer that writes fast and
+/// reads slowly, bounding per-connection memory.
+const HIGH_WATERMARK: usize = 1024 * 1024;
+
+/// Most bytes one connection may read per readiness wake-up, so a
+/// firehose peer cannot starve its shard siblings (the poller is
+/// level-triggered: leftover bytes re-arm immediately).
+const READ_QUANTUM: usize = 256 * 1024;
+
+/// A shard re-checks its stop flag and timers at least this often.
+const TICK: Duration = Duration::from_millis(500);
 
 /// Tuning knobs for [`serve`].
 #[derive(Clone, Debug)]
@@ -49,23 +69,30 @@ pub struct ServeConfig {
     /// Address to bind (`host:port`; port `0` picks an ephemeral one —
     /// read it back from [`ServerHandle::local_addr`]).
     pub addr: String,
-    /// Maximum concurrent connections; one thread per connection, so
-    /// this is also the worker-thread cap. Further connections get a
-    /// typed `ERR io … capacity` reply and are closed immediately.
+    /// Maximum concurrent connections — the accept-queue cap. Further
+    /// connections get the greeting and a typed `ERR busy` reply,
+    /// then are closed (with the usual drain courtesy); never a
+    /// silent drop, and never a thread.
     pub max_connections: usize,
-    /// Optional per-read socket timeout. `None` (the default) lets a
-    /// session idle forever — right for genuinely sparse live traffic,
-    /// but it means a silent peer holds its connection slot until it
-    /// hangs up or the server shuts down. Set it to bound how long a
-    /// stalled peer can pin a `max_connections` slot; a timeout
+    /// Optional idle cutoff. `None` (the default) lets a session
+    /// idle forever — right for genuinely sparse live traffic, but it
+    /// means a silent peer holds its connection slot until it hangs
+    /// up or the server shuts down. Set it to bound how long a
+    /// stalled peer can pin a `max_connections` slot; the cutoff
     /// surfaces as a terminal `ERR io` reply.
-    pub idle_timeout: Option<std::time::Duration>,
+    pub idle_timeout: Option<Duration>,
     /// Highest protocol version this server negotiates. The default
     /// ([`ProtoVersion::V2`]) accepts both plain-line v1 sessions and
     /// `proto=v2` binary-frame sessions; forcing [`ProtoVersion::V1`]
     /// makes the server answer `proto=v2` requests with the v1 typed
     /// `ERR parse` reply — the downgrade signal old fleets emit.
     pub max_proto: ProtoVersion,
+    /// Event-loop shards. `0` (the default) sizes to the host's
+    /// available parallelism, capped at 8 — each shard is one thread
+    /// multiplexing its share of the connections, so more shards only
+    /// help while there are cores to run them (`docs/OPERATIONS.md`
+    /// has the tuning guidance).
+    pub reactor_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -75,8 +102,19 @@ impl Default for ServeConfig {
             max_connections: 1024,
             idle_timeout: None,
             max_proto: ProtoVersion::V2,
+            reactor_threads: 0,
         }
     }
+}
+
+fn effective_reactor_threads(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
 }
 
 /// Metadata snapshot of one live session.
@@ -92,14 +130,14 @@ pub struct SessionMeta {
 
 struct SessionEntry {
     meta: SessionMeta,
-    /// Reader-half clone, kept so shutdown can unblock the thread.
+    /// Socket clone, kept so shutdown can close live sessions.
     stream: Option<TcpStream>,
 }
 
 /// The concurrent session table: every live connection registers its
 /// session here and deregisters on close, so an operator (or a test)
 /// can observe the serving state, and graceful shutdown can close
-/// every live socket to unblock its thread.
+/// every live socket to unblock its reactor shard.
 ///
 /// ```
 /// use acmr_serve::SessionManager;
@@ -114,12 +152,14 @@ struct SessionEntry {
 /// ```
 #[derive(Default)]
 pub struct SessionManager {
-    next_id: AtomicU64,
+    /// Shared with every shard's machines (via [`SessionManager::
+    /// ids`]) so session ids stay unique no matter who allocates.
+    next_id: Arc<AtomicU64>,
     opened: AtomicU64,
     sessions: Mutex<HashMap<u64, SessionEntry>>,
     /// Every live connection's socket, tracked from **accept time** —
     /// before the handshake, so [`SessionManager::close_all`] can
-    /// unblock a thread still waiting for `OPEN` (a session only
+    /// close a connection still waiting for `OPEN` (a session only
     /// enters `sessions` once the handshake succeeds).
     conns: Mutex<HashMap<u64, TcpStream>>,
     /// Set (permanently) by [`SessionManager::close_all`]: a
@@ -135,19 +175,55 @@ impl SessionManager {
         SessionManager::default()
     }
 
+    /// The session-id allocator, shared with the sans-I/O machines
+    /// (see [`crate::machine::MachineConfig::ids`]) so the id a
+    /// machine echoes in its `OK` reply is the id this table files
+    /// the session under.
+    pub fn ids(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.next_id)
+    }
+
     /// Register a live session; returns its id. `stream` is the
     /// connection's socket (a clone), kept so [`SessionManager::
-    /// close_all`] can unblock the serving thread; pass `None` when
-    /// there is no socket (tests, embedding).
+    /// close_all`] can end the session; pass `None` when there is no
+    /// socket (tests, embedding).
     pub fn register(&self, peer: String, spec: String, stream: Option<TcpStream>) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.register_assigned(id, peer, spec, stream);
+        id
+    }
+
+    /// Register a live session whose id was already allocated from
+    /// [`SessionManager::ids`] — how the reactor mirrors the session
+    /// a machine opened (the machine hands out the id in its `OK`
+    /// reply; the driver files it here).
+    pub fn register_assigned(
+        &self,
+        id: u64,
+        peer: String,
+        spec: String,
+        stream: Option<TcpStream>,
+    ) {
         self.opened.fetch_add(1, Ordering::Relaxed);
         let meta = SessionMeta { id, peer, spec };
         self.sessions
             .lock()
             .expect("session table poisoned")
             .insert(id, SessionEntry { meta, stream });
-        id
+        // Registered after close_all's sweep started? Close it here —
+        // otherwise nothing ever would (the sweep is one-shot).
+        if self.closing.load(Ordering::SeqCst) {
+            if let Some(entry) = self
+                .sessions
+                .lock()
+                .expect("session table poisoned")
+                .get(&id)
+            {
+                if let Some(stream) = &entry.stream {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+        }
     }
 
     /// Remove a session from the table (idempotent).
@@ -180,8 +256,8 @@ impl SessionManager {
 
     /// Track a connection's socket from accept time; returns a handle
     /// for [`SessionManager::untrack_connection`]. This is what lets
-    /// [`SessionManager::close_all`] unblock a reader thread that is
-    /// still mid-handshake and therefore not yet in the session table.
+    /// [`SessionManager::close_all`] end a connection that is still
+    /// mid-handshake and therefore not yet in the session table.
     pub fn track_connection(&self, stream: TcpStream) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.conns
@@ -211,11 +287,11 @@ impl SessionManager {
             .remove(&id);
     }
 
-    /// Shut down every live connection's socket (both halves),
-    /// unblocking any thread parked in a read — pre-handshake
-    /// connections included — the teeth of graceful shutdown. Also
-    /// flips the table into closing mode: sockets tracked from now on
-    /// are shut down at registration.
+    /// Shut down every live connection's socket (both halves) —
+    /// pre-handshake connections included — so every reactor shard
+    /// sees EOF on its next wake-up: the teeth of graceful shutdown.
+    /// Also flips the table into closing mode: sockets tracked from
+    /// now on are shut down at registration.
     pub fn close_all(&self) {
         self.closing.store(true, Ordering::SeqCst);
         for stream in self
@@ -240,11 +316,12 @@ impl SessionManager {
 }
 
 /// Handle to a running server: its bound address, its
-/// [`SessionManager`], and the shutdown switch. Dropping the handle
-/// shuts the server down.
+/// [`SessionManager`], its [`ServerCounters`], and the shutdown
+/// switch. Dropping the handle shuts the server down.
 pub struct ServerHandle {
     addr: SocketAddr,
     manager: Arc<SessionManager>,
+    counters: Arc<ServerCounters>,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
 }
@@ -260,6 +337,11 @@ impl ServerHandle {
         &self.manager
     }
 
+    /// The server-wide counters a `STATS` request reports.
+    pub fn counters(&self) -> &Arc<ServerCounters> {
+        &self.counters
+    }
+
     /// Block until the server exits (i.e. until another thread calls
     /// [`ServerHandle::shutdown`] or the process dies) — what `acmr
     /// serve` does after printing the listening line.
@@ -269,8 +351,8 @@ impl ServerHandle {
         }
     }
 
-    /// Graceful shutdown: stop accepting, close every live session's
-    /// socket, and join every connection thread before returning.
+    /// Graceful shutdown: stop accepting, close every live
+    /// connection, and join every reactor shard before returning.
     /// In-flight frames that already reached the engine stay applied;
     /// clients see their connection close.
     pub fn shutdown(mut self) {
@@ -283,7 +365,7 @@ impl ServerHandle {
         // the stop flag before serving anything. A wildcard bind
         // (0.0.0.0 / ::) is not self-connectable on every platform,
         // so fall back to loopback on the same port.
-        let wake = std::time::Duration::from_secs(2);
+        let wake = Duration::from_secs(2);
         if TcpStream::connect_timeout(&self.addr, wake).is_err() {
             let loopback = SocketAddr::new(std::net::Ipv4Addr::LOCALHOST.into(), self.addr.port());
             let _ = TcpStream::connect_timeout(&loopback, wake);
@@ -304,9 +386,9 @@ impl Drop for ServerHandle {
 }
 
 /// Bind `config.addr` and serve the registry's algorithms until
-/// [`ServerHandle::shutdown`]. Each accepted connection runs one
-/// session on its own thread; the returned handle owns the listener
-/// thread.
+/// [`ServerHandle::shutdown`]. Connections are multiplexed across
+/// [`ServeConfig::reactor_threads`] event-loop shards; the returned
+/// handle owns the accept thread (which in turn owns the shards).
 ///
 /// ```
 /// use acmr_core::{register_core, Registry};
@@ -317,7 +399,7 @@ impl Drop for ServerHandle {
 /// let config = ServeConfig { addr: "127.0.0.1:0".into(), ..ServeConfig::default() };
 /// let handle = serve(registry, config)?;
 /// assert_ne!(handle.local_addr().port(), 0); // ephemeral port resolved
-/// handle.shutdown(); // graceful: joins every connection thread
+/// handle.shutdown(); // graceful: joins every reactor shard
 /// # Ok::<(), acmr_core::AcmrError>(())
 /// ```
 pub fn serve(registry: Registry, config: ServeConfig) -> Result<ServerHandle, AcmrError> {
@@ -328,32 +410,78 @@ pub fn serve(registry: Registry, config: ServeConfig) -> Result<ServerHandle, Ac
         message: format!("cannot read bound address: {e}"),
     })?;
     let manager = Arc::new(SessionManager::new());
+    let counters = Arc::new(ServerCounters::default());
     let stop = Arc::new(AtomicBool::new(false));
     let registry = Arc::new(registry);
+    let started = Instant::now();
+
+    let mut shards = Vec::new();
+    for _ in 0..effective_reactor_threads(config.reactor_threads) {
+        let poller = Arc::new(Poller::new().map_err(|e| AcmrError::Io {
+            message: format!("cannot create poller: {e}"),
+        })?);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let shard = ShardCtx {
+            poller: Arc::clone(&poller),
+            rx,
+            registry: Arc::clone(&registry),
+            manager: Arc::clone(&manager),
+            counters: Arc::clone(&counters),
+            stop: Arc::clone(&stop),
+            idle_timeout: config.idle_timeout,
+            max_proto: config.max_proto,
+            max_connections: config.max_connections,
+            started,
+            draining_conns: Cell::new(0),
+        };
+        let thread = std::thread::spawn(move || shard.run());
+        shards.push(ShardHandle { poller, tx, thread });
+    }
 
     let accept = {
         let manager = Arc::clone(&manager);
+        let counters = Arc::clone(&counters);
         let stop = Arc::clone(&stop);
-        std::thread::spawn(move || accept_loop(listener, registry, manager, stop, config))
+        let max_connections = config.max_connections;
+        std::thread::spawn(move || {
+            accept_loop(listener, manager, counters, stop, max_connections, shards)
+        })
     };
 
     Ok(ServerHandle {
         addr,
         manager,
+        counters,
         stop,
         accept: Some(accept),
     })
 }
 
+/// A freshly accepted connection on its way to a shard.
+struct NewConn {
+    stream: TcpStream,
+    /// Over the accept-queue cap: the shard delivers the typed busy
+    /// reply and closes — the machine never sees peer input.
+    busy: bool,
+    /// [`SessionManager::track_connection`] handle.
+    track: Option<u64>,
+}
+
+struct ShardHandle {
+    poller: Arc<Poller>,
+    tx: Sender<NewConn>,
+    thread: JoinHandle<()>,
+}
+
 fn accept_loop(
     listener: TcpListener,
-    registry: Arc<Registry>,
     manager: Arc<SessionManager>,
+    counters: Arc<ServerCounters>,
     stop: Arc<AtomicBool>,
-    config: ServeConfig,
+    max_connections: usize,
+    shards: Vec<ShardHandle>,
 ) {
-    let max_connections = config.max_connections;
-    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_shard = 0usize;
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -366,522 +494,413 @@ fn accept_loop(
         // Nagle + delayed ACK would add ~40 ms stalls per batched
         // reply, so turn it off (the serving bench pins throughput).
         let _ = stream.set_nodelay(true);
-        // Optional stall bound: a peer that goes silent longer than
-        // the idle timeout gets a terminal `ERR io` instead of
-        // pinning its connection slot forever.
-        let _ = stream.set_read_timeout(config.idle_timeout);
-        // Reap finished workers so a long-lived server does not
-        // accumulate dead join handles.
-        workers.retain(|h| !h.is_finished());
-        // Track the socket *before* spawning, so graceful shutdown can
-        // unblock the thread even while it is still mid-handshake.
-        let conn_id = stream.try_clone().ok().map(|s| manager.track_connection(s));
-        let manager = Arc::clone(&manager);
-        if workers.len() >= max_connections {
-            // Over capacity: a short-lived worker delivers the typed
-            // busy reply (with the same drain-before-close that keeps
-            // it from dying to a TCP reset), never a silent drop. It
-            // joins the same pool so shutdown reaps it too.
-            workers.push(std::thread::spawn(move || {
-                let mut w = BufWriter::new(&stream);
-                let busy = AcmrError::Io {
-                    message: format!("server at its {max_connections}-connection capacity"),
-                };
-                let _ = writeln!(w, "{GREETING}");
-                let _ = writeln!(w, "{}", error_reply(&busy));
-                let _ = w.flush();
-                drop(w);
-                drain_then_close(&stream);
-                if let Some(id) = conn_id {
-                    manager.untrack_connection(id);
-                }
-            }));
-            continue;
+        if stream.set_nonblocking(true).is_err() {
+            continue; // cannot be reactor-driven; drop it
         }
-        let registry = Arc::clone(&registry);
-        let max_proto = config.max_proto;
-        workers.push(std::thread::spawn(move || {
-            serve_connection(stream, &registry, &manager, max_proto);
-            if let Some(id) = conn_id {
-                manager.untrack_connection(id);
-            }
-        }));
+        counters.connections_opened.fetch_add(1, Ordering::Relaxed);
+        // The overload policy: past the cap, the connection exists
+        // only to carry its `ERR busy` reply. Busy connections do not
+        // count toward the active gauge (they never occupy a slot).
+        let busy = counters.connections_active.load(Ordering::Relaxed) >= max_connections as u64;
+        if busy {
+            counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        } else {
+            counters.connections_active.fetch_add(1, Ordering::Relaxed);
+        }
+        // Track the socket *before* handing it over, so graceful
+        // shutdown can close it even while it is still mid-handshake.
+        let track = stream.try_clone().ok().map(|s| manager.track_connection(s));
+        let shard = &shards[next_shard % shards.len()];
+        next_shard += 1;
+        if shard
+            .tx
+            .send(NewConn {
+                stream,
+                busy,
+                track,
+            })
+            .is_ok()
+        {
+            let _ = shard.poller.notify();
+        }
     }
-    for h in workers {
-        let _ = h.join();
+    // Stop: wake every shard (each also re-checks its flag at least
+    // once per tick) and join them; their teardown closes what the
+    // manager's sweep did not already reach.
+    for shard in &shards {
+        let _ = shard.poller.notify();
+    }
+    for shard in shards {
+        drop(shard.tx);
+        let _ = shard.thread.join();
     }
 }
 
-/// Run one connection to completion. Never panics on peer input: any
-/// error becomes one `ERR` reply (best-effort — the peer may already
-/// be gone) and the connection closes.
-fn serve_connection(
+/// Everything one event-loop shard owns.
+struct ShardCtx {
+    poller: Arc<Poller>,
+    rx: Receiver<NewConn>,
+    registry: Arc<Registry>,
+    manager: Arc<SessionManager>,
+    counters: Arc<ServerCounters>,
+    stop: Arc<AtomicBool>,
+    idle_timeout: Option<Duration>,
+    max_proto: ProtoVersion,
+    max_connections: usize,
+    started: Instant,
+    /// How many of this shard's connections are in the drain phase.
+    /// Kept so `next_wakeup`/`sweep` can skip their whole-table scans
+    /// when no timer can possibly be pending — the difference between
+    /// O(ready) and O(connections) per wakeup once thousands of idle
+    /// connections are parked on the shard (see the E17 bench).
+    draining_conns: Cell<usize>,
+}
+
+/// One connection as the shard sees it: the socket, its machine, and
+/// the driver-side bookkeeping the machine must not know about.
+struct Conn {
     stream: TcpStream,
-    registry: &Registry,
-    manager: &SessionManager,
-    max_proto: ProtoVersion,
-) {
-    let peer = stream
-        .peer_addr()
-        .map(|a| a.to_string())
-        .unwrap_or_else(|_| "unknown".to_string());
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut writer = BufWriter::new(write_half);
-    if writeln!(writer, "{GREETING}")
-        .and_then(|_| writer.flush())
-        .is_err()
-    {
-        return;
-    }
-    let frames = FrameReader::new(&stream);
-    let mut session_id = None;
-    let outcome = run_session(
-        frames,
-        &mut writer,
-        registry,
-        manager,
-        &stream,
-        &peer,
-        &mut session_id,
-        max_proto,
-    );
-    if let Err(e) = outcome {
-        // Best-effort typed reply; the peer may have disconnected.
-        // Errors raised after the v2 upgrade were already delivered as
-        // an `ERR` frame inside `run_session`; only line-phase errors
-        // reach this path.
-        let _ = writeln!(writer, "{}", error_reply(&e));
-        let _ = writer.flush();
-    }
-    if let Some(id) = session_id {
-        manager.deregister(id);
-    }
-    drain_then_close(&stream);
+    /// Poller key; allocated per shard, never reused.
+    key: usize,
+    machine: Connection,
+    /// [`SessionManager::track_connection`] handle.
+    track: Option<u64>,
+    /// The machine session currently mirrored into the manager.
+    session: Option<u64>,
+    peer: String,
+    last_activity: Instant,
+    /// Set once the peer's read half returned EOF.
+    peer_eof: bool,
+    /// Set when the transport errored; the connection closes without
+    /// further courtesy.
+    dead: bool,
+    /// Non-`None` once the machine finished and its output flushed:
+    /// the half-closed drain-before-close phase.
+    draining: Option<Drain>,
+    /// Interest currently registered with the poller.
+    interest: (bool, bool),
+    /// Whether this connection holds a `connections_active` slot.
+    counted: bool,
 }
 
-/// Close the connection without losing the final reply: closing a
-/// socket while unread peer bytes are pending makes the OS send RST,
-/// which can discard the `ERR`/`REPORT` the peer has not read yet. So
-/// first drain (bounded in bytes and time — a firehose peer cannot
-/// pin the thread), then shut down.
-fn drain_then_close(stream: &TcpStream) {
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
-    let mut buf = [0u8; 64 * 1024];
-    let mut budget: usize = 8 * 1024 * 1024;
-    let mut reader = stream;
-    while budget > 0 {
-        match std::io::Read::read(&mut reader, &mut buf) {
-            Ok(0) => break,
-            Ok(n) => budget = budget.saturating_sub(n),
-            Err(_) => break,
-        }
-    }
-    let _ = stream.shutdown(Shutdown::Both);
+struct Drain {
+    deadline: Instant,
+    budget: usize,
 }
 
-/// The per-connection state machine: handshake, arrival frames, `END`.
-/// `Ok(())` is a clean close (END served, or the client hung up
-/// between frames); any `Err` is sent back as the terminal `ERR`.
-///
-/// A `proto=v2` handshake hands the connection to [`run_session_v2`]
-/// after the `OK` line; errors past that point are delivered as `ERR`
-/// *frames* in there, so this function only returns `Err` while the
-/// wire is still line-oriented.
-#[allow(clippy::too_many_arguments)]
-fn run_session(
-    mut frames: FrameReader<&TcpStream>,
-    writer: &mut BufWriter<TcpStream>,
-    registry: &Registry,
-    manager: &SessionManager,
-    stream: &TcpStream,
-    peer: &str,
-    session_id: &mut Option<u64>,
-    max_proto: ProtoVersion,
-) -> Result<(), AcmrError> {
-    let proto_err = |line: usize, message: String| AcmrError::TraceParse { line, message };
-
-    // Handshake line 1: OPEN <spec> [seed=<S>] [proto=v2 [events=on]].
-    let Some((open_ln, open)) = next_content_line(&mut frames)? else {
-        return Ok(()); // connected and left: not an error
-    };
-    let mut toks = open.split_whitespace();
-    if toks.next() != Some("OPEN") {
-        return Err(proto_err(
-            open_ln,
-            format!("expected `OPEN <spec> [seed=<S>]`, got {open:?}"),
-        ));
-    }
-    let spec_str = toks
-        .next()
-        .ok_or_else(|| proto_err(open_ln, "OPEN is missing an algorithm spec".into()))?;
-    let spec = AlgorithmSpec::parse(spec_str)?;
-    let mut base_seed = 0u64;
-    let mut proto = ProtoVersion::V1;
-    let mut events_optin = false;
-    for tok in toks {
-        if let Some(seed) = tok.strip_prefix("seed=").and_then(|s| s.parse().ok()) {
-            base_seed = seed;
-            continue;
-        }
-        // A v1-capped server answers `proto=v2` with this same typed
-        // parse error — the deterministic downgrade signal the v2
-        // client turns into "use --proto v1 against this fleet".
-        if max_proto == ProtoVersion::V2 && tok == PROTO_V2_TOKEN {
-            proto = ProtoVersion::V2;
-            continue;
-        }
-        if max_proto == ProtoVersion::V2 && tok == EVENTS_TOKEN {
-            events_optin = true;
-            continue;
-        }
-        let allowed = match max_proto {
-            ProtoVersion::V1 => "only seed=<S> is allowed",
-            ProtoVersion::V2 => "seed=<S>, proto=v2 and events=on are allowed",
-        };
-        return Err(proto_err(
-            open_ln,
-            format!("unexpected OPEN argument {tok:?} ({allowed})"),
-        ));
-    }
-    if events_optin && proto != ProtoVersion::V2 {
-        return Err(proto_err(
-            open_ln,
-            "events=on requires proto=v2 (v1 always streams events)".into(),
-        ));
-    }
-
-    // Handshake lines 2–3: the trace header's edge universe, parsed by
-    // the exact grammar functions the file reader uses. A hangup here
-    // points at the line the missing frame was *expected* on
-    // (`next_line_number`), not the last line consumed — skipped blank
-    // lines must not drag the reported position backwards.
-    let (ln, edges_line) = next_content_line(&mut frames)?.ok_or_else(|| {
-        proto_err(
-            frames.next_line_number(),
-            "connection closed before `edges`".into(),
-        )
-    })?;
-    let m = parse_edges_line(ln, &edges_line)?;
-    let (ln, caps_line) = next_content_line(&mut frames)?.ok_or_else(|| {
-        proto_err(
-            frames.next_line_number(),
-            "connection closed before `caps`".into(),
-        )
-    })?;
-    let capacities = parse_caps_line(ln, &caps_line, m)?;
-
-    let mut session = Session::from_registry(registry, &spec, &capacities, base_seed)?;
-    let canonical = spec.canonical();
-    let id = manager.register(peer.to_string(), canonical.clone(), stream.try_clone().ok());
-    *session_id = Some(id);
-    match proto {
-        ProtoVersion::V1 => writeln!(writer, "OK {id} {canonical}")?,
-        ProtoVersion::V2 => writeln!(writer, "OK {id} {canonical} {PROTO_V2_TOKEN}")?,
-    }
-    writer.flush()?;
-
-    if proto == ProtoVersion::V2 {
-        // Switch the read side to binary frames, carrying over any
-        // bytes a pipelining client already sent past the handshake.
-        let (rest, stream_ref) = frames.into_binary();
-        let bin = BinFrameReader::with_rest(rest, stream_ref);
-        let v2 = V2SessionState {
-            registry,
-            manager,
-            stream,
-            peer,
-            session_id,
-            session,
-            capacities,
-            events_optin,
-        };
-        if let Err(e) = run_session_v2(bin, writer, v2) {
-            // Terminal typed reply, framed: same body as the v1 ERR
-            // line. Best-effort — the peer may already be gone.
-            let _ = write_frame(writer, FRAME_ERR, error_reply_body(&e).as_bytes());
-            let _ = writer.flush();
-        }
-        return Ok(());
-    }
-
-    // v1: arrival frames until END or hangup.
-    let mut batch: Vec<Request> = Vec::new();
-    let mut events = Vec::new();
-    loop {
-        let Some((ln, line)) = next_content_line(&mut frames)? else {
-            return Ok(()); // client hung up between frames: clean close
-        };
-        if line == "END" {
-            let report = session.report();
-            let json = serde_json::to_string(&report).map_err(|e| AcmrError::Io {
-                message: format!("cannot serialize report: {e}"),
-            })?;
-            writeln!(writer, "REPORT {json}")?;
-            writer.flush()?;
-            return Ok(());
-        }
-        if let Some(count) = line.strip_prefix("BATCH") {
-            let n: usize = count
-                .trim()
-                .parse()
-                .map_err(|_| proto_err(ln, format!("expected `BATCH <n>`, got {line:?}")))?;
-            if n > MAX_BATCH {
-                return Err(proto_err(
-                    ln,
-                    format!("BATCH {n} exceeds the {MAX_BATCH}-request frame cap"),
-                ));
+impl ShardCtx {
+    fn run(self) {
+        let mut conns: HashMap<usize, Conn> = HashMap::new();
+        let mut next_key = 0usize;
+        let mut events: Vec<Event> = Vec::new();
+        let mut touched: Vec<usize> = Vec::new();
+        loop {
+            self.counters
+                .uptime_ms
+                .store(self.started.elapsed().as_millis() as u64, Ordering::Relaxed);
+            // Adopt newly accepted connections.
+            while let Ok(new_conn) = self.rx.try_recv() {
+                self.install(new_conn, &mut conns, &mut next_key);
             }
-            batch.clear();
-            for _ in 0..n {
-                let (ln, line) = frames.next_line()?.ok_or_else(|| {
-                    proto_err(
-                        frames.next_line_number(),
-                        format!(
-                            "connection closed mid-batch ({} of {n} requests)",
-                            batch.len()
-                        ),
-                    )
-                })?;
-                batch.push(parse_request_line(ln, &line, capacities.len())?);
+            if self.stop.load(Ordering::SeqCst) {
+                break;
             }
-            // On a mid-batch contract violation the events preceding
-            // the violation are still delivered, then the ERR.
-            let result = session.push_batch_into(&batch, &mut events);
+            let timeout = self.next_wakeup(&conns);
+            let _ = self.poller.wait(&mut events, Some(timeout));
+            let now = Instant::now();
+            touched.clear();
             for event in &events {
-                write_event(writer, event)?;
-            }
-            result?;
-            writer.flush()?;
-            continue;
-        }
-        // Anything else must be a request line of the trace grammar.
-        let request = parse_request_line(ln, &line, capacities.len())?;
-        let event = session.push(&request)?;
-        write_event(writer, &event)?;
-        writer.flush()?;
-    }
-}
-
-/// Everything the v2 binary loop needs besides the two wire halves.
-struct V2SessionState<'a> {
-    registry: &'a Registry,
-    manager: &'a SessionManager,
-    stream: &'a TcpStream,
-    peer: &'a str,
-    session_id: &'a mut Option<u64>,
-    session: Session,
-    capacities: Vec<u32>,
-    events_optin: bool,
-}
-
-/// The v2 binary-frame loop, entered after a `proto=v2` handshake.
-///
-/// Arrival payloads are ACMR-TRACE v2 record bytes; `BATCH` frames
-/// acknowledge with one [`BatchSummary`] unless the session opted
-/// into per-arrival `EVENT` frames; `END` answers with the `REPORT`
-/// frame and parks the session until a `RESET` frame (same
-/// connection, fresh [`Session`]) or a hangup. `Ok(())` is a clean
-/// close at a frame boundary; any `Err` becomes the terminal `ERR`
-/// frame in the caller.
-fn run_session_v2<R: std::io::Read>(
-    mut frames: BinFrameReader<R>,
-    writer: &mut BufWriter<TcpStream>,
-    mut st: V2SessionState<'_>,
-) -> Result<(), AcmrError> {
-    let frame_err = |frame: usize, message: String| AcmrError::TraceParse {
-        line: frame,
-        message,
-    };
-    let mut payload = Vec::new();
-    let mut reply = Vec::new();
-    let mut batch: Vec<Request> = Vec::new();
-    let mut events: Vec<ArrivalEvent> = Vec::new();
-    // False between END and the next RESET: the session has reported
-    // and only RESET (or hangup) is meaningful.
-    let mut active = true;
-    loop {
-        let Some(ty) = frames.read_frame(&mut payload)? else {
-            return Ok(()); // hangup at a frame boundary: clean close
-        };
-        let fno = frames.frame_number();
-        let num_edges = st.capacities.len() as u32;
-        match ty {
-            FRAME_REQ if active => {
-                let (request, end) = decode_record(&payload, 0, fno, num_edges)?;
-                if end != payload.len() {
-                    return Err(frame_err(
-                        fno,
-                        format!(
-                            "{} trailing bytes after the REQ record",
-                            payload.len() - end
-                        ),
-                    ));
+                let Some(conn) = conns.get_mut(&event.key) else {
+                    continue; // closed earlier in this very batch
+                };
+                if event.readable {
+                    read_some(conn, now);
                 }
-                let event = st.session.push(&request)?;
-                write_event_frame(writer, &event)?;
-                writer.flush()?;
+                touched.push(event.key);
             }
-            FRAME_BATCH if active => {
-                let n = decode_batch_into(&payload, fno, num_edges, &mut batch)?;
-                // A mid-batch contract violation still delivers the
-                // acknowledgement for the arrivals that preceded it
-                // (events, or a summary over the applied prefix),
-                // then the ERR frame — same contract as v1.
-                let result = st.session.push_batch_into(&batch, &mut events);
-                if st.events_optin {
-                    for event in &events {
-                        write_event_frame(writer, event)?;
+            for &key in &touched {
+                if let Some(conn) = conns.get_mut(&key) {
+                    self.settle(conn, now);
+                    if conn_finished(conn, now) {
+                        self.close(conns.remove(&key).expect("settled conn"), key);
                     }
-                } else {
-                    let mut summary = summarize_events(&events);
-                    // `n` is the count *requested*; on a violation the
-                    // summary covers only the applied prefix, and its
-                    // `n` says how many actually landed.
-                    debug_assert!(events.len() <= n);
-                    summary.n = events.len() as u32;
-                    reply.clear();
-                    encode_summary(&mut reply, &summary);
-                    write_frame(writer, FRAME_SUMMARY, &reply)?;
                 }
-                result?;
-                writer.flush()?;
             }
-            FRAME_END if active => {
-                if !payload.is_empty() {
-                    return Err(frame_err(fno, "END frame carries a payload".into()));
+            self.sweep(&mut conns, now);
+        }
+        // Shard teardown (graceful shutdown): close everything.
+        for (key, conn) in conns.drain() {
+            self.close(conn, key);
+        }
+    }
+
+    /// The earliest reason to wake without I/O: idle cutoffs, drain
+    /// deadlines, or the regular stop-flag tick.
+    fn next_wakeup(&self, conns: &HashMap<usize, Conn>) -> Duration {
+        let mut timeout = TICK;
+        if self.idle_timeout.is_none() && self.draining_conns.get() == 0 {
+            return timeout; // no per-connection timer can be pending
+        }
+        for conn in conns.values() {
+            let deadline = match (&conn.draining, self.idle_timeout) {
+                (Some(drain), _) => Some(drain.deadline),
+                (None, Some(idle)) => Some(conn.last_activity + idle),
+                (None, None) => None,
+            };
+            if let Some(deadline) = deadline {
+                timeout = timeout.min(deadline.saturating_duration_since(Instant::now()));
+            }
+        }
+        timeout
+    }
+
+    fn install(&self, new_conn: NewConn, conns: &mut HashMap<usize, Conn>, next_key: &mut usize) {
+        let NewConn {
+            stream,
+            busy,
+            track,
+        } = new_conn;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "unknown".to_string());
+        let mut machine = Connection::new(
+            Arc::clone(&self.registry),
+            MachineConfig {
+                max_proto: self.max_proto,
+                server: Arc::clone(&self.counters),
+                ids: self.manager.ids(),
+            },
+        );
+        if busy {
+            machine.fail(&AcmrError::Busy {
+                message: format!("server at its {}-connection capacity", self.max_connections),
+            });
+        }
+        let key = *next_key;
+        *next_key += 1;
+        // Greeting (and possibly the busy reply) is already queued, so
+        // the initial interest is read+write; the first settle rights
+        // it.
+        let interest = (true, true);
+        if self.poller.add(&stream, Event::all(key)).is_err() {
+            // Cannot poll it — close immediately (best effort: the
+            // greeting was never written).
+            if let Some(track) = track {
+                self.manager.untrack_connection(track);
+            }
+            if !busy {
+                self.counters
+                    .connections_active
+                    .fetch_sub(1, Ordering::Relaxed);
+            }
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        conns.insert(
+            key,
+            Conn {
+                stream,
+                key,
+                machine,
+                track,
+                session: None,
+                peer,
+                last_activity: Instant::now(),
+                peer_eof: false,
+                dead: false,
+                draining: None,
+                interest,
+                counted: !busy,
+            },
+        );
+    }
+
+    /// Post-I/O bookkeeping for one connection: flush queued output,
+    /// mirror the machine's session into the manager, enter the drain
+    /// phase when the machine finishes, and re-register interest.
+    fn settle(&self, conn: &mut Conn, now: Instant) {
+        // Mirror before flushing: a peer that has read its `OK` must
+        // find the session already in the manager's table.
+        self.sync_session(conn);
+        flush(conn);
+        if conn.machine.is_done()
+            && conn.machine.pending_output().is_empty()
+            && conn.draining.is_none()
+            && !conn.dead
+        {
+            // Reply delivered: half-close and politely drain whatever
+            // the peer was still sending, so the kernel never RSTs
+            // away a reply the peer has not read yet.
+            let _ = conn.stream.shutdown(Shutdown::Write);
+            conn.draining = Some(Drain {
+                deadline: now + DRAIN_DEADLINE,
+                budget: DRAIN_BUDGET,
+            });
+            self.draining_conns.set(self.draining_conns.get() + 1);
+        }
+        let desired = (
+            !conn.peer_eof && !conn.dead,
+            !conn.machine.pending_output().is_empty() && !conn.dead,
+        );
+        if desired != conn.interest {
+            let event = Event {
+                key: conn.key,
+                readable: desired.0,
+                writable: desired.1,
+            };
+            if self.poller.modify(&conn.stream, event).is_ok() {
+                conn.interest = desired;
+            }
+        }
+    }
+
+    /// Mirror `machine.session()` into the [`SessionManager`] — a
+    /// `RESET` swaps ids on the same connection, and a finished
+    /// machine drops its session.
+    fn sync_session(&self, conn: &mut Conn) {
+        let current = conn.machine.session();
+        match (conn.session, current) {
+            (Some(old), Some((new, _))) if old == new => {}
+            (old, current) => {
+                if let Some(old) = old {
+                    self.manager.deregister(old);
                 }
-                let report = st.session.report();
-                let json = serde_json::to_string(&report).map_err(|e| AcmrError::Io {
-                    message: format!("cannot serialize report: {e}"),
-                })?;
-                write_frame(writer, FRAME_REPORT, json.as_bytes())?;
-                writer.flush()?;
-                active = false;
+                conn.session = current.map(|(id, spec)| {
+                    // No socket clone here: every reactor connection is
+                    // already in the connection table from accept time
+                    // (`track_connection`), which is what `close_all`
+                    // uses to end it. A per-session clone would cost a
+                    // third fd per connection — real money at the
+                    // connection scale E17 benchmarks.
+                    self.manager
+                        .register_assigned(id, conn.peer.clone(), spec.to_string(), None);
+                    id
+                });
             }
-            FRAME_RESET => {
-                let reset = decode_reset(&payload).map_err(|e| match e {
-                    AcmrError::TraceParse { message, .. } => frame_err(fno, message),
-                    other => other,
-                })?;
-                let spec = AlgorithmSpec::parse(&reset.spec)?;
-                if !reset.capacities.is_empty() {
-                    st.capacities = reset.capacities;
+        }
+    }
+
+    /// Idle cutoffs and expired drains, checked once per loop.
+    fn sweep(&self, conns: &mut HashMap<usize, Conn>, now: Instant) {
+        if self.idle_timeout.is_none() && self.draining_conns.get() == 0 {
+            return; // nothing time-driven to find: skip the scan
+        }
+        let mut expired: Vec<usize> = Vec::new();
+        for (&key, conn) in conns.iter_mut() {
+            if let Some(drain) = &conn.draining {
+                if now >= drain.deadline || conn.peer_eof || conn.dead {
+                    expired.push(key);
                 }
-                let seed = reset.base_seed.unwrap_or(0);
-                st.session = Session::from_registry(st.registry, &spec, &st.capacities, seed)?;
-                let canonical = spec.canonical();
-                // A RESET is a fresh session in the table: new id, new
-                // spec, same connection.
-                if let Some(old) = st.session_id.take() {
-                    st.manager.deregister(old);
+                continue;
+            }
+            if let Some(idle) = self.idle_timeout {
+                if !conn.machine.is_done() && now.duration_since(conn.last_activity) >= idle {
+                    conn.machine.fail(&AcmrError::Io {
+                        message: format!(
+                            "idle timeout: no bytes received for {} ms",
+                            idle.as_millis()
+                        ),
+                    });
+                    self.settle(conn, now);
+                    if conn_finished(conn, now) {
+                        expired.push(key);
+                    }
                 }
-                let id = st.manager.register(
-                    st.peer.to_string(),
-                    canonical.clone(),
-                    st.stream.try_clone().ok(),
-                );
-                *st.session_id = Some(id);
-                reply.clear();
-                encode_ok(&mut reply, id, &canonical);
-                write_frame(writer, FRAME_OK, &reply)?;
-                writer.flush()?;
-                active = true;
             }
-            FRAME_REQ | FRAME_BATCH | FRAME_END => {
-                return Err(frame_err(
-                    fno,
-                    "session already ended: only RESET (or hangup) may follow END".into(),
-                ));
+        }
+        for key in expired {
+            if let Some(conn) = conns.remove(&key) {
+                self.close(conn, key);
             }
-            other => {
-                return Err(frame_err(
-                    fno,
-                    format!("unexpected frame type 0x{other:02x}"),
-                ));
+        }
+    }
+
+    fn close(&self, mut conn: Conn, key: usize) {
+        if conn.draining.is_some() {
+            self.draining_conns
+                .set(self.draining_conns.get().saturating_sub(1));
+        }
+        let _ = self.poller.delete(&conn.stream, key);
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        if let Some(session) = conn.session.take() {
+            self.manager.deregister(session);
+        }
+        if let Some(track) = conn.track.take() {
+            self.manager.untrack_connection(track);
+        }
+        if conn.counted {
+            self.counters
+                .connections_active
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Whether a settled connection has nothing left to do.
+fn conn_finished(conn: &Conn, now: Instant) -> bool {
+    if conn.dead {
+        return true;
+    }
+    match &conn.draining {
+        Some(drain) => conn.peer_eof || now >= drain.deadline || drain.budget == 0,
+        None => false,
+    }
+}
+
+/// Read as much as fairness allows into the machine (or the drain
+/// sink). Level-triggered polling re-arms leftover bytes.
+fn read_some(conn: &mut Conn, now: Instant) {
+    let mut buf = [0u8; 64 * 1024];
+    let mut taken = 0usize;
+    loop {
+        if conn.draining.is_none() && conn.machine.pending_output().len() > HIGH_WATERMARK {
+            return; // backpressure: flush before reading more
+        }
+        if taken >= READ_QUANTUM {
+            return; // fairness: let shard siblings run
+        }
+        match (&conn.stream).read(&mut buf) {
+            Ok(0) => {
+                conn.peer_eof = true;
+                if conn.draining.is_none() {
+                    conn.machine.feed_eof();
+                }
+                return;
+            }
+            Ok(n) => {
+                taken += n;
+                conn.last_activity = now;
+                match &mut conn.draining {
+                    Some(drain) => drain.budget = drain.budget.saturating_sub(n),
+                    None => conn.machine.feed(&buf[..n]),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
             }
         }
     }
 }
 
-/// Decode a `BATCH` frame payload (`u32le` count, then that many
-/// ACMR-TRACE v2 records back to back) into `batch`; returns the
-/// declared count. Shares the byte-level record decoder with the
-/// binary trace file reader.
-fn decode_batch_into(
-    payload: &[u8],
-    frame: usize,
-    num_edges: u32,
-    batch: &mut Vec<Request>,
-) -> Result<usize, AcmrError> {
-    let frame_err = |message: String| AcmrError::TraceParse {
-        line: frame,
-        message,
-    };
-    let count = payload
-        .get(..4)
-        .ok_or_else(|| frame_err("BATCH frame shorter than its 4-byte count".into()))?;
-    let n = u32::from_le_bytes(count.try_into().expect("4 bytes")) as usize;
-    if n > MAX_BATCH {
-        return Err(frame_err(format!(
-            "BATCH {n} exceeds the {MAX_BATCH}-request frame cap"
-        )));
-    }
-    batch.clear();
-    let mut at = 4;
-    for i in 0..n {
-        let (request, next) = decode_record(payload, at, i, num_edges).map_err(|e| match e {
-            AcmrError::TraceParse { message, .. } => {
-                frame_err(format!("batch record {i}: {message}"))
+/// Ship queued machine output until the socket pushes back.
+fn flush(conn: &mut Conn) {
+    while !conn.machine.pending_output().is_empty() && !conn.dead {
+        match (&conn.stream).write(conn.machine.pending_output()) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
             }
-            other => other,
-        })?;
-        batch.push(request);
-        at = next;
-    }
-    if at != payload.len() {
-        return Err(frame_err(format!(
-            "{} trailing bytes after {n} batch records",
-            payload.len() - at
-        )));
-    }
-    Ok(n)
-}
-
-/// Serialize one arrival event as a v2 `EVENT` frame — the payload is
-/// the same JSON the v1 `EVENT` line carries.
-fn write_event_frame(
-    writer: &mut BufWriter<TcpStream>,
-    event: &ArrivalEvent,
-) -> Result<(), AcmrError> {
-    let json = serde_json::to_string(event).map_err(|e| AcmrError::Io {
-        message: format!("cannot serialize event: {e}"),
-    })?;
-    write_frame(writer, FRAME_EVENT, json.as_bytes())
-}
-
-fn write_event(
-    writer: &mut BufWriter<TcpStream>,
-    event: &acmr_core::ArrivalEvent,
-) -> Result<(), AcmrError> {
-    let json = serde_json::to_string(event).map_err(|e| AcmrError::Io {
-        message: format!("cannot serialize event: {e}"),
-    })?;
-    writeln!(writer, "EVENT {json}")?;
-    Ok(())
-}
-
-/// Next non-blank line (blank lines between frames are ignored, which
-/// keeps hand-driven `nc` sessions pleasant).
-fn next_content_line<R: std::io::Read>(
-    frames: &mut FrameReader<R>,
-) -> Result<Option<(usize, String)>, AcmrError> {
-    loop {
-        match frames.next_line()? {
-            None => return Ok(None),
-            Some((_, line)) if line.is_empty() => continue,
-            Some(found) => return Ok(Some(found)),
+            Ok(n) => conn.machine.consume_output(n),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
         }
     }
 }

@@ -1,0 +1,328 @@
+//! Machine differential suite: the sans-I/O [`Connection`] is pinned
+//! to the engine **without a socket in sight**.
+//!
+//! The loopback differential suites (`differential.rs`,
+//! `differential_v2.rs`) pin *served ≡ streamed ≡ in-memory* through
+//! the whole reactor; this suite pins the layer below them: for every
+//! algorithm in the default registry over the same hostile corpus, a
+//! [`Connection`] fed the session's wire bytes in one `feed` call must
+//! reproduce the identical audited [`ArrivalEvent`] stream and the
+//! identical final [`RunReport`] as a plain in-memory
+//! [`Session`] — in both dialects (v1 lines, v2 binary frames) and
+//! both v2 acknowledgement modes (per-arrival events, batch
+//! summaries). A divergence here names the algorithm, trace, dialect,
+//! and framing, and cannot be blamed on the transport: there is none.
+
+use acmr_core::{AdmissionInstance, AlgorithmSpec, ArrivalEvent, RunReport, Session};
+use acmr_harness::default_registry;
+use acmr_serve::protocol::{
+    decode_summary, summarize_events, BatchSummary, FrameBuffer, FRAME_BATCH, FRAME_END,
+    FRAME_EVENT, FRAME_REPORT, FRAME_REQ, FRAME_SUMMARY, GREETING,
+};
+use acmr_serve::{Connection, MachineConfig};
+use acmr_workloads::binfmt::encode_record_into;
+use acmr_workloads::trace::write_request_line;
+use acmr_workloads::{
+    dyadic_admission_instance, nested_intervals, repeated_hot_edge, two_phase_squeeze,
+};
+use std::sync::Arc;
+
+fn machine() -> Connection {
+    Connection::new(Arc::new(default_registry()), MachineConfig::default())
+}
+
+fn hostile_traces() -> Vec<(&'static str, AdmissionInstance)> {
+    vec![
+        ("nested", nested_intervals(16, 2, 2, 2)),
+        ("hot-edge", repeated_hot_edge(4, 3, 12)),
+        ("squeeze", two_phase_squeeze(12, 3, 4, 3)),
+        ("dyadic", dyadic_admission_instance(4, 3, 2)),
+    ]
+}
+
+/// Reference decision stream and report: per-push over the in-memory
+/// instance, exactly like the loopback differential suites.
+fn reference(inst: &AdmissionInstance, spec_str: &str) -> (Vec<ArrivalEvent>, RunReport) {
+    let registry = default_registry();
+    let spec = AlgorithmSpec::parse(spec_str).unwrap();
+    let mut session = Session::from_registry(&registry, &spec, &inst.capacities, 0).unwrap();
+    let events = inst
+        .requests
+        .iter()
+        .map(|r| session.push(r).unwrap())
+        .collect();
+    (events, session.report())
+}
+
+/// The v1 wire bytes of a whole session: handshake, arrivals (single
+/// lines, or `BATCH n` groups of `batch`), `END`.
+fn v1_script(inst: &AdmissionInstance, spec_str: &str, batch: Option<usize>) -> Vec<u8> {
+    let mut s = Vec::new();
+    use std::io::Write;
+    writeln!(s, "OPEN {spec_str}").unwrap();
+    writeln!(s, "edges {}", inst.capacities.len()).unwrap();
+    write!(s, "caps").unwrap();
+    for c in &inst.capacities {
+        write!(s, " {c}").unwrap();
+    }
+    writeln!(s).unwrap();
+    match batch {
+        None => {
+            for r in &inst.requests {
+                write_request_line(&mut s, r).unwrap();
+            }
+        }
+        Some(n) => {
+            for chunk in inst.requests.chunks(n) {
+                writeln!(s, "BATCH {}", chunk.len()).unwrap();
+                for r in chunk {
+                    write_request_line(&mut s, r).unwrap();
+                }
+            }
+        }
+    }
+    writeln!(s, "END").unwrap();
+    s
+}
+
+/// The v2 wire bytes of a whole session: the line handshake with the
+/// negotiation tokens, then binary frames — `REQ` per arrival or
+/// `BATCH` frames of `batch` — and the empty `END`.
+fn v2_script(
+    inst: &AdmissionInstance,
+    spec_str: &str,
+    batch: Option<usize>,
+    events_on: bool,
+) -> Vec<u8> {
+    let mut s = Vec::new();
+    use acmr_serve::protocol::write_frame;
+    use std::io::Write;
+    write!(s, "OPEN {spec_str} proto=v2").unwrap();
+    if events_on {
+        write!(s, " events=on").unwrap();
+    }
+    writeln!(s).unwrap();
+    writeln!(s, "edges {}", inst.capacities.len()).unwrap();
+    write!(s, "caps").unwrap();
+    for c in &inst.capacities {
+        write!(s, " {c}").unwrap();
+    }
+    writeln!(s).unwrap();
+    let m = inst.capacities.len() as u32;
+    let mut payload = Vec::new();
+    match batch {
+        None => {
+            for r in &inst.requests {
+                payload.clear();
+                encode_record_into(&mut payload, r, m).unwrap();
+                write_frame(&mut s, FRAME_REQ, &payload).unwrap();
+            }
+        }
+        Some(n) => {
+            for chunk in inst.requests.chunks(n) {
+                payload.clear();
+                payload.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+                for r in chunk {
+                    encode_record_into(&mut payload, r, m).unwrap();
+                }
+                write_frame(&mut s, FRAME_BATCH, &payload).unwrap();
+            }
+        }
+    }
+    write_frame(&mut s, FRAME_END, &[]).unwrap();
+    s
+}
+
+/// Run a whole script through a fresh machine (single `feed`, then
+/// EOF) and return its raw output bytes. Panics if the machine is not
+/// done afterwards — every script here is a complete session.
+fn drive(script: &[u8]) -> Vec<u8> {
+    let mut c = machine();
+    c.feed(script);
+    c.feed_eof();
+    assert!(c.is_done(), "machine still mid-session after a full script");
+    c.drain_output()
+}
+
+/// Decode a v1 output byte stream: greeting, `OK`, the `EVENT` lines,
+/// the final `REPORT`. Any `ERR` fails the test.
+fn decode_v1_output(out: &[u8], ctx: &str) -> (Vec<ArrivalEvent>, RunReport) {
+    let text = std::str::from_utf8(out).unwrap_or_else(|e| panic!("{ctx}: non-UTF-8 v1 out: {e}"));
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some(GREETING), "{ctx}: greeting");
+    let ok = lines.next().unwrap_or_else(|| panic!("{ctx}: missing OK"));
+    assert!(ok.starts_with("OK "), "{ctx}: expected OK, got {ok:?}");
+    let mut events = Vec::new();
+    let mut report = None;
+    for line in lines {
+        if let Some(json) = line.strip_prefix("EVENT ") {
+            events.push(serde_json::from_str(json).unwrap());
+        } else if let Some(json) = line.strip_prefix("REPORT ") {
+            report = Some(serde_json::from_str(json).unwrap());
+        } else {
+            panic!("{ctx}: unexpected reply line {line:?}");
+        }
+    }
+    (events, report.unwrap_or_else(|| panic!("{ctx}: no REPORT")))
+}
+
+/// Decode a v2 output byte stream: the line-dialect greeting and `OK
+/// … proto=v2`, then binary frames — `EVENT`s and/or `SUMMARY`s, then
+/// the `REPORT`. Any `ERR` frame fails the test.
+fn decode_v2_output(out: &[u8], ctx: &str) -> (Vec<ArrivalEvent>, Vec<BatchSummary>, RunReport) {
+    // The handshake replies are lines; everything after the OK line's
+    // newline is frames.
+    let mut cut = 0usize;
+    let mut newlines = 0;
+    for (i, b) in out.iter().enumerate() {
+        if *b == b'\n' {
+            newlines += 1;
+            if newlines == 2 {
+                cut = i + 1;
+                break;
+            }
+        }
+    }
+    assert_eq!(newlines, 2, "{ctx}: incomplete v2 handshake output");
+    let head = std::str::from_utf8(&out[..cut]).unwrap();
+    let mut lines = head.lines();
+    assert_eq!(lines.next(), Some(GREETING), "{ctx}: greeting");
+    let ok = lines.next().unwrap();
+    assert!(
+        ok.starts_with("OK ") && ok.ends_with(" proto=v2"),
+        "{ctx}: v2 OK line, got {ok:?}"
+    );
+    let mut frames = FrameBuffer::new();
+    frames.feed(&out[cut..]);
+    frames.set_eof();
+    let mut payload = Vec::new();
+    let mut events = Vec::new();
+    let mut summaries = Vec::new();
+    let mut report = None;
+    while let Some(ty) = frames.next_frame(&mut payload).unwrap() {
+        match ty {
+            FRAME_EVENT => {
+                events.push(serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap())
+            }
+            FRAME_SUMMARY => summaries.push(decode_summary(&payload).unwrap()),
+            FRAME_REPORT => {
+                report = Some(serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap())
+            }
+            other => panic!("{ctx}: unexpected frame type 0x{other:02x}"),
+        }
+    }
+    (
+        events,
+        summaries,
+        report.unwrap_or_else(|| panic!("{ctx}: no REPORT frame")),
+    )
+}
+
+#[test]
+fn v1_machine_output_matches_in_memory_for_every_algorithm() {
+    for (family, inst) in &hostile_traces() {
+        for name in default_registry().names() {
+            let spec_str = format!("{name}?seed=5");
+            let (expected_events, expected_report) = reference(inst, &spec_str);
+            for batch in [None, Some(1), Some(7)] {
+                let ctx = format!("{family}/{spec_str}/v1 batch {batch:?}");
+                let out = drive(&v1_script(inst, &spec_str, batch));
+                let (events, report) = decode_v1_output(&out, &ctx);
+                assert_eq!(events, expected_events, "{ctx}: event stream diverges");
+                assert_eq!(report, expected_report, "{ctx}: report diverges");
+            }
+        }
+    }
+}
+
+#[test]
+fn v2_events_mode_matches_in_memory_for_every_algorithm() {
+    for (family, inst) in &hostile_traces() {
+        for name in default_registry().names() {
+            let spec_str = format!("{name}?seed=5");
+            let (expected_events, expected_report) = reference(inst, &spec_str);
+            for batch in [None, Some(1), Some(7)] {
+                let ctx = format!("{family}/{spec_str}/v2 events batch {batch:?}");
+                let out = drive(&v2_script(inst, &spec_str, batch, true));
+                let (events, summaries, report) = decode_v2_output(&out, &ctx);
+                assert!(summaries.is_empty(), "{ctx}: summary in events mode");
+                assert_eq!(events, expected_events, "{ctx}: event stream diverges");
+                assert_eq!(report, expected_report, "{ctx}: report diverges");
+            }
+        }
+    }
+}
+
+#[test]
+fn v2_summary_mode_matches_in_memory_for_every_algorithm() {
+    for (family, inst) in &hostile_traces() {
+        for name in default_registry().names() {
+            let spec_str = format!("{name}?seed=5");
+            let (expected_events, expected_report) = reference(inst, &spec_str);
+            for batch_n in [1usize, 7] {
+                let ctx = format!("{family}/{spec_str}/v2 summary batch {batch_n}");
+                let out = drive(&v2_script(inst, &spec_str, Some(batch_n), false));
+                let (events, summaries, report) = decode_v2_output(&out, &ctx);
+                // Single REQ frames still stream an EVENT each even in
+                // summary mode, but BATCH frames acknowledge with one
+                // summary — this script is all BATCH frames.
+                assert!(events.is_empty(), "{ctx}: events in summary mode");
+                let expected_summaries: Vec<BatchSummary> = expected_events
+                    .chunks(batch_n)
+                    .map(summarize_events)
+                    .collect();
+                assert_eq!(summaries, expected_summaries, "{ctx}: summaries diverge");
+                assert_eq!(report, expected_report, "{ctx}: report diverges");
+            }
+        }
+    }
+}
+
+#[test]
+fn machine_output_is_identical_to_the_loopback_wire() {
+    // The reactor is a byte pump: a served session's reply bytes are
+    // the machine's reply bytes, so the loopback differential suites
+    // transitively pin the machine too. Spot-check that equivalence
+    // directly: one v1 session over a real socket, captured raw, must
+    // equal the machine's output for the same input bytes.
+    use acmr_serve::{serve, ServeConfig};
+    use std::io::{Read, Write};
+
+    let inst = repeated_hot_edge(4, 3, 12);
+    let script = v1_script(&inst, "greedy?seed=5", Some(5));
+    let expected = drive(&script);
+
+    let handle = serve(
+        default_registry(),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    let mut sock = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+    sock.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    sock.write_all(&script).unwrap();
+    sock.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut wire = Vec::new();
+    sock.read_to_end(&mut wire).unwrap();
+    // Session ids come from one server-wide allocator (connection
+    // tracking draws from it too), so the id in the `OK` line is the
+    // one legitimately driver-dependent byte sequence — normalize it.
+    let normalize = |bytes: &[u8]| -> String {
+        let text = std::str::from_utf8(bytes).unwrap().to_string();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let ok = &lines[1];
+        assert!(ok.starts_with("OK "), "expected OK line, got {ok:?}");
+        let spec = ok.splitn(3, ' ').nth(2).unwrap().to_string();
+        lines[1] = format!("OK <id> {spec}");
+        lines.join("\n")
+    };
+    assert_eq!(
+        normalize(&wire),
+        normalize(&expected),
+        "wire bytes diverge from the machine's output"
+    );
+    handle.shutdown();
+}

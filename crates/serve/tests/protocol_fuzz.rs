@@ -319,6 +319,89 @@ fn idle_timeout_disconnects_a_silent_peer_with_a_typed_error() {
 }
 
 #[test]
+fn slow_loris_peers_neither_starve_others_nor_dodge_the_idle_timeout() {
+    // The slow-loris shape: many connections each dripping valid
+    // bytes one per write, then going silent mid-handshake. Two
+    // reactor properties under test at once: (1) while the drips are
+    // in flight, *other* connections run complete sessions promptly —
+    // a dripping peer occupies a poller slot, not a thread; (2) once
+    // a dripper goes silent, the idle timeout still fires and cuts it
+    // loose with the typed `ERR io`, even with the whole crowd
+    // connected.
+    const LORIS: usize = 6;
+    let handle = serve(
+        default_registry(),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            idle_timeout: Some(Duration::from_millis(400)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback server");
+    let addr = handle.local_addr();
+    let drippers: Vec<_> = (0..LORIS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+                let mut write_half = stream.try_clone().expect("clone");
+                // One byte at a time, well inside the idle timeout, so
+                // the server sees a live-but-glacial peer; stop
+                // mid-handshake and go silent.
+                for b in &VALID_SCRIPT.as_bytes()[..10] {
+                    if write_half.write_all(std::slice::from_ref(b)).is_err() {
+                        break;
+                    }
+                    let _ = write_half.flush();
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                // Drain replies until the server ends the connection.
+                let mut reader = BufReader::new(stream);
+                let mut replies = Vec::new();
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) => break,
+                        Ok(_) => replies.push(line.trim().to_string()),
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            panic!("slow-loris connection wedged: no close within {READ_TIMEOUT:?}")
+                        }
+                        Err(_) => break,
+                    }
+                }
+                replies
+            })
+        })
+        .collect();
+    // While every dripper is still mid-drip: full sessions on the
+    // same server must complete promptly (each run is a handshake, 12
+    // arrivals, and a report — far quicker than one drip interval if
+    // the reactor is actually multiplexing).
+    for _ in 0..3 {
+        assert_server_alive(&handle);
+    }
+    // Every dripper is eventually cut loose with the typed idle reply
+    // (or, at the very least, a close — the timeout may race the
+    // reply onto a socket the peer already abandoned).
+    for dripper in drippers {
+        let replies = dripper.join().expect("dripper panicked");
+        assert_eq!(replies.first().map(String::as_str), Some(GREETING));
+        if let Some(last) = replies.last() {
+            if last != GREETING {
+                assert!(last.starts_with("ERR io"), "{replies:?}");
+            }
+        }
+    }
+    wait_for_drained(&handle);
+    assert_server_alive(&handle);
+    handle.shutdown();
+}
+
+#[test]
 fn over_capacity_connections_get_a_readable_busy_reply() {
     let handle = serve(
         default_registry(),
@@ -335,11 +418,12 @@ fn over_capacity_connections_get_a_readable_busy_reply() {
         ServeClient::connect(handle.local_addr(), "greedy", None, &inst.capacities).unwrap();
     occupant.push(&inst.requests[0]).unwrap();
     // The second connection must receive the typed busy reply — not a
-    // TCP reset that swallows it.
+    // TCP reset that swallows it. The reactor's accept-queue policy
+    // types it `busy` (transient, retry later), distinct from `io`.
     let replies = raw_exchange(&handle, b"OPEN greedy\nedges 1\ncaps 1\n");
     assert_eq!(replies.first().map(String::as_str), Some(GREETING));
     let last = replies.last().expect("busy reply");
-    assert!(last.starts_with("ERR io"), "{replies:?}");
+    assert!(last.starts_with("ERR busy"), "{replies:?}");
     assert!(last.contains("capacity"), "{replies:?}");
     // Finishing the occupant frees the slot.
     occupant.finish().unwrap();

@@ -186,9 +186,28 @@ pub fn write_request_line<W: Write>(sink: &mut W, r: &Request) -> io::Result<()>
 /// it — one scanner, so a carving fix can never land on one side only.
 pub struct LineScanner<R: Read> {
     inner: R,
+    core: LineBuffer,
+}
+
+/// The pure, push-fed core of [`LineScanner`]: bytes go in via
+/// [`LineBuffer::feed`] (or the zero-copy [`LineBuffer::fill_buf`] /
+/// [`LineBuffer::truncate_fill`] pair), trimmed numbered lines come
+/// out of [`LineBuffer::next_line`] — no reader, no I/O, no blocking.
+///
+/// This is the sans-I/O seam: [`LineScanner`] drives it from a
+/// [`Read`] (files, blocking sockets), while `acmr-serve`'s reactor
+/// drives it from nonblocking socket reads — one byte-level line
+/// carver for every consumer of the trace grammar, so a carving fix
+/// can never land on one side only. Semantics are exactly the
+/// historical scanner's: `\n`-terminated lines, trimmed, 1-based
+/// numbering, UTF-8 validation per line, the [`MAX_LINE_BYTES`]-style
+/// cap enforced on any newline-free run, and a final unterminated
+/// line yielded once EOF is signalled via [`LineBuffer::set_eof`].
+pub struct LineBuffer {
     buf: Vec<u8>,
-    /// Consumed prefix of `buf` — compacted only right before a refill,
-    /// so carving lines out of a chunk is O(line), not O(chunk).
+    /// Consumed prefix of `buf` — compacted only right before more
+    /// input lands, so carving lines out of a chunk is O(line), not
+    /// O(chunk).
     start: usize,
     /// How far `buf` has already been searched for a newline, so a line
     /// spanning many refills is scanned once, not once per refill.
@@ -200,16 +219,10 @@ pub struct LineScanner<R: Read> {
     max_line_bytes: usize,
 }
 
-impl<R: Read> LineScanner<R> {
-    /// Scan `inner` with the default [`MAX_LINE_BYTES`] cap.
-    pub fn new(inner: R) -> Self {
-        Self::with_max_line(inner, MAX_LINE_BYTES)
-    }
-
-    /// Scan `inner`, rejecting lines longer than `max_line_bytes`.
-    pub fn with_max_line(inner: R, max_line_bytes: usize) -> Self {
-        LineScanner {
-            inner,
+impl LineBuffer {
+    /// An empty buffer rejecting lines longer than `max_line_bytes`.
+    pub fn new(max_line_bytes: usize) -> Self {
+        LineBuffer {
             buf: Vec::new(),
             start: 0,
             scanned: 0,
@@ -224,68 +237,115 @@ impl<R: Read> LineScanner<R> {
         self.line
     }
 
-    /// Dismantle the scanner into the bytes it has buffered but not
-    /// yet yielded plus the inner reader — the protocol-upgrade hook:
-    /// when a peer negotiates a binary framing mid-stream (the
-    /// `ACMR-SERVE v2` `OPEN … proto=v2` handshake), any bytes the
-    /// scanner read ahead of the last line belong to the *binary*
-    /// stream and must be replayed in front of the raw reader, or a
-    /// pipelining peer would lose its first frames.
-    pub fn into_parts(mut self) -> (Vec<u8>, R) {
-        let rest = self.buf.split_off(self.start);
-        (rest, self.inner)
+    /// Append input bytes (compacting the consumed prefix first).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Signal end of input: the next [`LineBuffer::next_line`] calls
+    /// yield any final unterminated line, then `None` — which, with
+    /// `is_eof()` true, means *exhausted* rather than *feed me more*.
+    pub fn set_eof(&mut self) {
+        self.eof = true;
+    }
+
+    /// Whether end of input was signalled.
+    pub fn is_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// Zero-copy refill, step 1: compact, grow the buffer by `chunk`
+    /// bytes, and return the writable tail for the caller to read
+    /// into. Pair with [`LineBuffer::truncate_fill`].
+    pub fn fill_buf(&mut self, chunk: usize) -> &mut [u8] {
+        self.compact();
+        let old_len = self.buf.len();
+        self.buf.resize(old_len + chunk, 0);
+        &mut self.buf[old_len..]
+    }
+
+    /// Zero-copy refill, step 2: drop the `unwritten` tail bytes the
+    /// reader did not fill.
+    pub fn truncate_fill(&mut self, unwritten: usize) {
+        let new_len = self.buf.len() - unwritten;
+        self.buf.truncate(new_len);
+        self.scanned = self.scanned.min(new_len);
+    }
+
+    /// Whether [`LineBuffer::next_line`] can make progress without
+    /// more input: a complete line is buffered, or EOF was signalled
+    /// (final partial line / exhaustion). `Err` on an over-long
+    /// newline-free run — the same typed cap error `next_line` raises.
+    pub fn poll(&mut self) -> Result<bool, AcmrError> {
+        debug_assert!(self.scanned >= self.start);
+        if self.buf[self.scanned..].contains(&b'\n') {
+            return Ok(true);
+        }
+        self.scanned = self.buf.len();
+        if self.eof {
+            return Ok(true);
+        }
+        if self.buf.len() - self.start > self.max_line_bytes {
+            return Err(err(
+                self.line + 1,
+                format!("line exceeds {} bytes", self.max_line_bytes),
+            ));
+        }
+        Ok(false)
     }
 
     /// The next line as `(1-based number, trimmed content)`, or `None`
-    /// at end of input. The returned string borrows from the scanner's
-    /// buffer — no allocation per line. A source that ends mid-line
-    /// yields the partial line once EOF is observed.
+    /// when no complete line is buffered (feed more input — unless
+    /// [`LineBuffer::is_eof`], in which case the input is exhausted).
+    /// The returned string borrows from the internal buffer — no
+    /// allocation per line. Input that ends mid-line yields the
+    /// partial line once EOF is signalled.
     pub fn next_line(&mut self) -> Result<Option<(usize, &str)>, AcmrError> {
-        loop {
-            debug_assert!(self.scanned >= self.start);
-            if let Some(off) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
-                let (line_start, line_end) = (self.start, self.scanned + off);
-                self.start = line_end + 1;
-                self.scanned = self.start;
-                return self.take_line(line_start, line_end);
+        debug_assert!(self.scanned >= self.start);
+        if let Some(off) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+            let (line_start, line_end) = (self.start, self.scanned + off);
+            self.start = line_end + 1;
+            self.scanned = self.start;
+            return self.take_line(line_start, line_end);
+        }
+        self.scanned = self.buf.len();
+        if self.eof {
+            if self.start >= self.buf.len() {
+                return Ok(None);
             }
-            self.scanned = self.buf.len();
-            if self.eof {
-                if self.start >= self.buf.len() {
-                    return Ok(None);
-                }
-                // Final line without a trailing newline.
-                let (line_start, line_end) = (self.start, self.buf.len());
-                self.start = line_end;
-                return self.take_line(line_start, line_end);
-            }
-            if self.buf.len() - self.start > self.max_line_bytes {
-                return Err(err(
-                    self.line + 1,
-                    format!("line exceeds {} bytes", self.max_line_bytes),
-                ));
-            }
-            // Refill: first drop everything already consumed, then pull
-            // the next chunk.
+            // Final line without a trailing newline.
+            let (line_start, line_end) = (self.start, self.buf.len());
+            self.start = line_end;
+            return self.take_line(line_start, line_end);
+        }
+        if self.buf.len() - self.start > self.max_line_bytes {
+            return Err(err(
+                self.line + 1,
+                format!("line exceeds {} bytes", self.max_line_bytes),
+            ));
+        }
+        Ok(None)
+    }
+
+    /// Take the buffered-but-unconsumed tail bytes, leaving the buffer
+    /// empty — the line→binary protocol-upgrade hook (see
+    /// [`LineScanner::into_parts`]).
+    pub fn take_rest(&mut self) -> Vec<u8> {
+        let rest = self.buf.split_off(self.start);
+        self.buf.clear();
+        self.start = 0;
+        self.scanned = 0;
+        rest
+    }
+
+    /// Drop everything already consumed so the buffer holds only the
+    /// pending tail.
+    fn compact(&mut self) {
+        if self.start > 0 {
             self.buf.drain(..self.start);
             self.scanned -= self.start;
             self.start = 0;
-            let old_len = self.buf.len();
-            self.buf.resize(old_len + CHUNK_SIZE, 0);
-            let n = loop {
-                match self.inner.read(&mut self.buf[old_len..]) {
-                    Ok(n) => break n,
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                    Err(e) => {
-                        self.buf.truncate(old_len);
-                        return Err(e.into());
-                    }
-                }
-            };
-            self.buf.truncate(old_len + n);
-            if n == 0 {
-                self.eof = true;
-            }
         }
     }
 
@@ -294,6 +354,70 @@ impl<R: Read> LineScanner<R> {
         let raw = std::str::from_utf8(&self.buf[start..end])
             .map_err(|_| err(self.line, "line is not valid UTF-8".to_string()))?;
         Ok(Some((self.line, raw.trim())))
+    }
+}
+
+impl<R: Read> LineScanner<R> {
+    /// Scan `inner` with the default [`MAX_LINE_BYTES`] cap.
+    pub fn new(inner: R) -> Self {
+        Self::with_max_line(inner, MAX_LINE_BYTES)
+    }
+
+    /// Scan `inner`, rejecting lines longer than `max_line_bytes`.
+    pub fn with_max_line(inner: R, max_line_bytes: usize) -> Self {
+        LineScanner {
+            inner,
+            core: LineBuffer::new(max_line_bytes),
+        }
+    }
+
+    /// Lines yielded so far (the next line is `line_number() + 1`).
+    pub fn line_number(&self) -> usize {
+        self.core.line_number()
+    }
+
+    /// Dismantle the scanner into the bytes it has buffered but not
+    /// yet yielded plus the inner reader — the protocol-upgrade hook:
+    /// when a peer negotiates a binary framing mid-stream (the
+    /// `ACMR-SERVE v2` `OPEN … proto=v2` handshake), any bytes the
+    /// scanner read ahead of the last line belong to the *binary*
+    /// stream and must be replayed in front of the raw reader, or a
+    /// pipelining peer would lose its first frames.
+    pub fn into_parts(mut self) -> (Vec<u8>, R) {
+        (self.core.take_rest(), self.inner)
+    }
+
+    /// The next line as `(1-based number, trimmed content)`, or `None`
+    /// at end of input. The returned string borrows from the scanner's
+    /// buffer — no allocation per line. A source that ends mid-line
+    /// yields the partial line once EOF is observed.
+    pub fn next_line(&mut self) -> Result<Option<(usize, &str)>, AcmrError> {
+        // The pull loop over the pure core: refill until the core can
+        // carve a line (or report exhaustion) without more input.
+        fn read_retrying<R: Read>(inner: &mut R, space: &mut [u8]) -> io::Result<usize> {
+            loop {
+                match inner.read(space) {
+                    Ok(n) => return Ok(n),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        while !self.core.poll()? {
+            match read_retrying(&mut self.inner, self.core.fill_buf(CHUNK_SIZE)) {
+                Ok(n) => {
+                    self.core.truncate_fill(CHUNK_SIZE - n);
+                    if n == 0 {
+                        self.core.set_eof();
+                    }
+                }
+                Err(e) => {
+                    self.core.truncate_fill(CHUNK_SIZE);
+                    return Err(e.into());
+                }
+            }
+        }
+        self.core.next_line()
     }
 }
 

@@ -280,6 +280,66 @@ pub fn cmd_stats(trace: &[u8]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `acmr stats --addr HOST:PORT` — probe a live serving endpoint for
+/// its counters (the sessionless `STATS` exchange: connect, greeting,
+/// one `STATS` line, one reply). The same numbers are reachable
+/// mid-session via `acmr client --stats`; the wire exchange is
+/// specified in docs/SERVING.md.
+pub fn cmd_stats_remote(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(args)?;
+    for key in flags.keys() {
+        if !matches!(key.as_str(), "addr" | "format") {
+            return Err(err(format!(
+                "unknown stats flag --{key} (--addr, --format)"
+            )));
+        }
+    }
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    let report = crate::serve::fetch_stats(addr.as_str()).map_err(|e| err(e.to_string()))?;
+    render_stats_report(&report, &flags)
+}
+
+/// Render a serving [`crate::serve::StatsReport`] in the trace-stats
+/// column style (or as JSON with `--format json`).
+fn render_stats_report(
+    report: &crate::serve::StatsReport,
+    flags: &HashMap<String, String>,
+) -> Result<String, CliError> {
+    match flags.get("format").map(String::as_str) {
+        None | Some("text") => {
+            let s = &report.server;
+            let c = &report.connection;
+            Ok(format!(
+                "uptime ms       : {}\nconns opened    : {}\nconns active    : {}\nbusy rejections : {}\nsessions opened : {}\nsessions active : {}\narrivals        : {}\nbatches         : {}\nbytes in        : {}\nbytes out       : {}\nerrors          : {}\nthis connection : sessions={} arrivals={} batches={} bytes_in={} bytes_out={} errors={}\n",
+                s.uptime_ms,
+                s.connections_opened,
+                s.connections_active,
+                s.busy_rejections,
+                s.sessions_opened,
+                s.sessions_active,
+                s.arrivals,
+                s.batches,
+                s.bytes_in,
+                s.bytes_out,
+                s.errors,
+                c.sessions,
+                c.arrivals,
+                c.batches,
+                c.bytes_in,
+                c.bytes_out,
+                c.errors,
+            ))
+        }
+        Some("json") => serde_json::to_string_pretty(report)
+            .map(|j| j + "\n")
+            .map_err(|e| err(e.to_string())),
+        Some(other) => Err(err(format!("unknown --format {other:?} (text or json)"))),
+    }
+}
+
 /// `acmr convert <in> <out> [--to text|binary]` — rewrite a trace in
 /// the other format (or the one `--to` names; converting to the same
 /// format canonicalizes it). Streaming both ways, so traces larger
@@ -587,10 +647,10 @@ pub fn serve_options(args: &[String]) -> Result<ServeConfig, CliError> {
     for key in flags.keys() {
         if !matches!(
             key.as_str(),
-            "addr" | "max-conns" | "idle-timeout" | "proto"
+            "addr" | "max-conns" | "idle-timeout" | "proto" | "reactor-threads"
         ) {
             return Err(err(format!(
-                "unknown serve flag --{key} (--addr, --max-conns, --idle-timeout, --proto)"
+                "unknown serve flag --{key} (--addr, --max-conns, --idle-timeout, --proto, --reactor-threads)"
             )));
         }
     }
@@ -617,11 +677,15 @@ pub fn serve_options(args: &[String]) -> Result<ServeConfig, CliError> {
     // --proto v1 caps the server at the line protocol: v2 negotiation
     // attempts get the typed `ERR parse` reply instead of an upgrade.
     let max_proto = proto_flag(&flags)?;
+    // --reactor-threads N sets the event-loop shard count; 0 (the
+    // default) sizes to the host's available parallelism.
+    let reactor_threads: usize = get(&flags, "reactor-threads", 0)?;
     Ok(ServeConfig {
         addr,
         max_connections,
         idle_timeout,
         max_proto,
+        reactor_threads,
     })
 }
 
@@ -661,6 +725,17 @@ pub fn cmd_client(
     events_out: &mut dyn std::io::Write,
 ) -> Result<String, CliError> {
     let flags = parse_flags(args)?;
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    // `--stats` probes the server's counters instead of replaying a
+    // trace — no stdin, no session (`acmr stats --addr` is the
+    // standalone spelling of the same exchange).
+    if flags.contains_key("stats") {
+        let report = crate::serve::fetch_stats(addr.as_str()).map_err(|e| err(e.to_string()))?;
+        return render_stats_report(&report, &flags);
+    }
     let target = match flags.get("stream").map(String::as_str) {
         Some("true") | None => {
             return Err(err(
@@ -669,10 +744,6 @@ pub fn cmd_client(
         }
         Some(target) => target.to_string(),
     };
-    let addr = flags
-        .get("addr")
-        .cloned()
-        .unwrap_or_else(|| DEFAULT_ADDR.to_string());
     let alg_spec = flags
         .get("alg")
         .map(String::as_str)
@@ -765,7 +836,15 @@ pub fn dispatch_io(argv: &[String], stdin: &mut dyn Read) -> Result<String, CliE
     };
     match argv.first().map(String::as_str) {
         Some("gen") => cmd_gen(&argv[1..]),
-        Some("stats") => cmd_stats(&slurp_bytes(stdin)?),
+        // `stats --addr` probes a live server and must not block on
+        // stdin; plain `stats` summarizes a trace piped in.
+        Some("stats") => {
+            if parse_flags(&argv[1..])?.contains_key("addr") {
+                cmd_stats_remote(&argv[1..])
+            } else {
+                cmd_stats(&slurp_bytes(stdin)?)
+            }
+        }
         Some("convert") => cmd_convert(&argv[1..]),
         Some("opt") => cmd_opt(&slurp(stdin)?),
         Some("algs") => cmd_algs(),
@@ -820,6 +899,10 @@ USAGE:
             accepts both formats (the leading magic picks the parser),
             reports which one it saw, and refuses unknown magics with
             a typed error instead of mis-parsing
+  acmr stats --addr HOST:PORT [--format text|json]     # probe a server
+            asks a live `acmr serve` endpoint for its counters
+            (connections, sessions, arrivals, bytes, errors, busy
+            rejections, uptime) over the sessionless STATS exchange
   acmr convert IN OUT [--to text|binary]               # rewrite a trace
             losslessly converts between the text and binary formats,
             streaming (traces larger than memory convert fine); --to
@@ -843,7 +926,7 @@ USAGE:
             adopts pre-started serving endpoints instead. Worker
             failures retry on survivors, bounded, with typed errors
   acmr serve  [--addr HOST:PORT] [--max-conns N]       # live front end
-            [--idle-timeout SECS] [--proto v1|v2]
+            [--idle-timeout SECS] [--proto v1|v2] [--reactor-threads N]
             serves the ACMR-SERVE socket protocol: one admission
             session per connection, one audited decision event per
             arrival (default addr 127.0.0.1:4790; --addr HOST:0 picks
@@ -851,7 +934,11 @@ USAGE:
             parseable `LISTENING HOST:PORT`; --idle-timeout bounds
             how long a silent peer may hold a connection slot;
             --proto v1 caps sessions at the line protocol — by default
-            clients may negotiate the v2 binary-frame dialect)
+            clients may negotiate the v2 binary-frame dialect).
+            Connections are multiplexed across --reactor-threads
+            event-loop shards (0, the default, sizes to the host);
+            past --max-conns a connection gets one typed `ERR busy`
+            reply and a polite close — see docs/OPERATIONS.md
   acmr client --stream FILE|- [--addr HOST:PORT] [--alg SPEC]
             [--seed S] [--batch N] [--format text|json] [--events]
             [--proto v1|v2]
@@ -862,6 +949,9 @@ USAGE:
             --proto defaults to v2 (binary frames, batch-summary acks;
             arrival frames are exactly ACMR-TRACE v2 record bytes);
             force v1 against servers that predate the v2 dialect
+  acmr client --stats [--addr HOST:PORT] [--format text|json]
+            probes the endpoint's STATS counters without replaying
+            anything — shorthand for `acmr stats --addr HOST:PORT`
 
 Traces come in two interconvertible dialects, both specified in
 docs/TRACE_FORMAT.md: the plain-text `ACMR-TRACE v1` grammar `acmr gen`

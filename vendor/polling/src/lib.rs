@@ -1,0 +1,741 @@
+//! Workspace-local stand-in for `polling`.
+//!
+//! The build has no network access, so the reactor in `acmr-serve`
+//! links against this thin readiness shim instead of the real crate.
+//! It keeps the API shape of the subset the workspace uses — a
+//! [`Poller`] that registers sources with level-triggered interest
+//! [`Event`]s, blocks in [`Poller::wait`], and can be woken from any
+//! thread with [`Poller::notify`] — so swapping to the real `polling`
+//! is a Cargo.toml-plus-call-site-only change. (One deliberate
+//! deviation: [`Poller::delete`] also takes the registration key, so
+//! the fd-less fallback backend can unregister.)
+//!
+//! Three backends, chosen at compile time:
+//!
+//! * **Linux**: `epoll(7)` in level-triggered mode, with a
+//!   nonblocking self-pipe for `notify` — the production backend the
+//!   connection-scale bench exercises.
+//! * **Other Unix**: `poll(2)` over the registered set each `wait`,
+//!   same self-pipe wake-up. O(n) per call, fine for the fleet sizes
+//!   a dev box serves.
+//! * **Elsewhere**: a timed sweep — `wait` sleeps briefly (bounded by
+//!   the caller's timeout, at most 5 ms) and reports every registered
+//!   source ready for its full interest set. Spurious readiness is
+//!   safe by construction because the reactor's reads and writes are
+//!   nonblocking and tolerate `WouldBlock`; the cost is latency, not
+//!   correctness.
+//!
+//! Like the `memmap2` shim, the unsafe surface is a handful of
+//! direct `extern "C"` declarations (std already links libc on every
+//! Unix target), each call wrapped immediately in an errno check.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io;
+use std::time::Duration;
+
+/// Raw OS handle of a pollable source.
+#[cfg(unix)]
+pub type RawFd = std::os::unix::io::RawFd;
+/// Raw OS handle of a pollable source (unused by the sweep backend).
+#[cfg(not(unix))]
+pub type RawFd = i32;
+
+/// Anything the poller can watch. On Unix this is blanket-implemented
+/// for every `AsRawFd` type (sockets, listeners, pipes); on the sweep
+/// backend the handle is never consulted, so everything qualifies.
+pub trait AsSource {
+    /// The raw OS handle to register.
+    fn source_fd(&self) -> RawFd;
+}
+
+#[cfg(unix)]
+impl<T: std::os::unix::io::AsRawFd> AsSource for T {
+    fn source_fd(&self) -> RawFd {
+        self.as_raw_fd()
+    }
+}
+
+#[cfg(not(unix))]
+impl<T> AsSource for T {
+    fn source_fd(&self) -> RawFd {
+        -1
+    }
+}
+
+/// Level-triggered interest in (or readiness of) one source,
+/// identified by the caller-chosen `key`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier echoed back by [`Poller::wait`].
+    pub key: usize,
+    /// Interested in / ready for reading.
+    pub readable: bool,
+    /// Interested in / ready for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Read interest only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Read and write interest.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest (keeps the registration alive for a later
+    /// [`Poller::modify`]).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// The key [`Poller::notify`] wake-ups use internally; never reported
+/// to callers, so user keys may span the full `usize` range below it.
+const NOTIFY_KEY: usize = usize::MAX;
+
+/// A readiness poller over a set of registered sources.
+pub struct Poller {
+    backend: backend::Backend,
+}
+
+impl Poller {
+    /// A poller with no registered sources.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            backend: backend::Backend::new()?,
+        })
+    }
+
+    /// Register `source` with the given interest. The key
+    /// `usize::MAX` is reserved for [`Poller::notify`].
+    pub fn add(&self, source: &impl AsSource, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key usize::MAX is reserved for notify",
+            ));
+        }
+        self.backend.add(source.source_fd(), interest)
+    }
+
+    /// Change a registered source's interest (its key may change too).
+    pub fn modify(&self, source: &impl AsSource, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key usize::MAX is reserved for notify",
+            ));
+        }
+        self.backend.modify(source.source_fd(), interest)
+    }
+
+    /// Unregister a source. `key` must be the key it was last
+    /// registered under (the sweep backend has no fd to look it up by).
+    pub fn delete(&self, source: &impl AsSource, key: usize) -> io::Result<()> {
+        self.backend.delete(source.source_fd(), key)
+    }
+
+    /// Block until at least one registered source is ready, the
+    /// timeout elapses (`None` blocks indefinitely), or another
+    /// thread calls [`Poller::notify`]. Ready events are appended to
+    /// `events` (cleared first); returns how many. A wake-up via
+    /// `notify` or timeout yields `Ok(0)`.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        self.backend.wait(events, timeout)?;
+        Ok(events.len())
+    }
+
+    /// Wake a concurrent [`Poller::wait`] from any thread. Coalesces:
+    /// many notifies before the next `wait` produce one wake-up.
+    pub fn notify(&self) -> io::Result<()> {
+        self.backend.notify()
+    }
+}
+
+/// Convert a `wait` timeout to whole milliseconds for the C APIs:
+/// `None` → block forever (-1), sub-millisecond → 1 (never busy-spin
+/// a 0 ms poll loop out of a 100 µs request), capped at `i32::MAX`.
+#[cfg(unix)]
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            if ms == 0 && !d.is_zero() {
+                1
+            } else {
+                ms.min(i32::MAX as u128) as i32
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod pipe {
+    //! The self-pipe both Unix backends share: `notify` writes one
+    //! byte, the waiting thread sees the read end readable and drains
+    //! it. Nonblocking on both ends so a flood of notifies can never
+    //! block a notifier or wedge the drain.
+
+    use std::io;
+    use std::os::raw::c_int;
+
+    const F_SETFL: c_int = 4;
+    const O_NONBLOCK: c_int = 0o4000;
+
+    extern "C" {
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+        pub(crate) fn close(fd: c_int) -> c_int;
+    }
+
+    pub(crate) struct SelfPipe {
+        pub(crate) reader: c_int,
+        writer: c_int,
+    }
+
+    impl SelfPipe {
+        pub(crate) fn new() -> io::Result<SelfPipe> {
+            let mut fds = [0 as c_int; 2];
+            // SAFETY: `fds` is a valid 2-element buffer; pipe() fills
+            // it or returns -1.
+            if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                // SAFETY: fd is a pipe end we just created.
+                if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } != 0 {
+                    let err = io::Error::last_os_error();
+                    // SAFETY: closing our own fds exactly once.
+                    unsafe {
+                        close(fds[0]);
+                        close(fds[1]);
+                    }
+                    return Err(err);
+                }
+            }
+            Ok(SelfPipe {
+                reader: fds[0],
+                writer: fds[1],
+            })
+        }
+
+        /// Queue a wake-up byte. A full pipe means a wake-up is
+        /// already pending — coalescing, not an error.
+        pub(crate) fn notify(&self) -> io::Result<()> {
+            let byte = 1u8;
+            // SAFETY: writing one byte from a valid buffer to our own
+            // nonblocking fd.
+            let n = unsafe { write(self.writer, &byte, 1) };
+            if n == 1 {
+                return Ok(());
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::WouldBlock {
+                return Ok(());
+            }
+            Err(err)
+        }
+
+        /// Swallow every pending wake-up byte.
+        pub(crate) fn drain(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                // SAFETY: reading into a valid buffer from our own
+                // nonblocking fd.
+                let n = unsafe { read(self.reader, buf.as_mut_ptr(), buf.len()) };
+                if n <= 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    impl Drop for SelfPipe {
+        fn drop(&mut self) {
+            // SAFETY: closing our own fds exactly once.
+            unsafe {
+                close(self.reader);
+                close(self.writer);
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod backend {
+    //! `epoll(7)`, level-triggered.
+
+    use super::{pipe::SelfPipe, timeout_ms, Event, NOTIFY_KEY};
+    use std::io;
+    use std::os::raw::c_int;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Mirrors the kernel's `struct epoll_event`, which x86-64 defines
+    /// packed (the 32-bit event mask is followed immediately by the
+    /// 64-bit data word).
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+    }
+
+    pub(crate) struct Backend {
+        epfd: c_int,
+        pipe: SelfPipe,
+    }
+
+    // SAFETY: the epoll fd and pipe fds are plain ints the kernel
+    // synchronizes access to; epoll_ctl/epoll_wait/write are all
+    // documented thread-safe.
+    unsafe impl Send for Backend {}
+    unsafe impl Sync for Backend {}
+
+    fn interest_mask(interest: Event) -> u32 {
+        let mut mask = EPOLLRDHUP;
+        if interest.readable {
+            mask |= EPOLLIN;
+        }
+        if interest.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    fn ctl(epfd: c_int, op: c_int, fd: c_int, mask: u32, key: usize) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: mask,
+            data: key as u64,
+        };
+        // SAFETY: `ev` is a valid epoll_event for the duration of the
+        // call; fds are caller-supplied live descriptors.
+        if unsafe { epoll_ctl(epfd, op, fd, &mut ev) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    impl Backend {
+        pub(crate) fn new() -> io::Result<Backend> {
+            // SAFETY: plain syscall; -1 on failure.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let pipe = SelfPipe::new().inspect_err(|_| {
+                // SAFETY: closing the epoll fd we just created.
+                unsafe {
+                    super::pipe::close(epfd);
+                }
+            })?;
+            ctl(epfd, EPOLL_CTL_ADD, pipe.reader, EPOLLIN, NOTIFY_KEY).inspect_err(|_| {
+                // SAFETY: closing the epoll fd we just created (the
+                // pipe closes itself on drop).
+                unsafe {
+                    super::pipe::close(epfd);
+                }
+            })?;
+            Ok(Backend { epfd, pipe })
+        }
+
+        pub(crate) fn add(&self, fd: super::RawFd, interest: Event) -> io::Result<()> {
+            ctl(
+                self.epfd,
+                EPOLL_CTL_ADD,
+                fd,
+                interest_mask(interest),
+                interest.key,
+            )
+        }
+
+        pub(crate) fn modify(&self, fd: super::RawFd, interest: Event) -> io::Result<()> {
+            ctl(
+                self.epfd,
+                EPOLL_CTL_MOD,
+                fd,
+                interest_mask(interest),
+                interest.key,
+            )
+        }
+
+        pub(crate) fn delete(&self, fd: super::RawFd, _key: usize) -> io::Result<()> {
+            ctl(self.epfd, EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub(crate) fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 1024];
+            // SAFETY: `buf` is a valid array of `maxevents` entries the
+            // kernel fills; `n` bounds how many were written.
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    buf.as_mut_ptr(),
+                    buf.len() as c_int,
+                    timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(()); // signal: report an empty wake-up
+                }
+                return Err(err);
+            }
+            for ev in &buf[..n as usize] {
+                let (mask, data) = (ev.events, ev.data);
+                if data as usize == NOTIFY_KEY {
+                    self.pipe.drain();
+                    continue;
+                }
+                events.push(Event {
+                    key: data as usize,
+                    // Hangup/error count as both: the caller's next
+                    // nonblocking read/write surfaces the real story.
+                    readable: mask & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: mask & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+
+        pub(crate) fn notify(&self) -> io::Result<()> {
+            self.pipe.notify()
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            // SAFETY: closing our own epoll fd exactly once.
+            unsafe {
+                super::pipe::close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+#[allow(unsafe_code)]
+mod backend {
+    //! `poll(2)` over the registered set — O(n) per wait, no kernel
+    //! registration to keep in sync.
+
+    use super::{pipe::SelfPipe, timeout_ms, Event, NOTIFY_KEY};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::raw::{c_int, c_short, c_ulong};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+
+    pub(crate) struct Backend {
+        registered: Mutex<HashMap<super::RawFd, Event>>,
+        pipe: SelfPipe,
+    }
+
+    impl Backend {
+        pub(crate) fn new() -> io::Result<Backend> {
+            Ok(Backend {
+                registered: Mutex::new(HashMap::new()),
+                pipe: SelfPipe::new()?,
+            })
+        }
+
+        pub(crate) fn add(&self, fd: super::RawFd, interest: Event) -> io::Result<()> {
+            self.registered.lock().unwrap().insert(fd, interest);
+            Ok(())
+        }
+
+        pub(crate) fn modify(&self, fd: super::RawFd, interest: Event) -> io::Result<()> {
+            self.registered.lock().unwrap().insert(fd, interest);
+            Ok(())
+        }
+
+        pub(crate) fn delete(&self, fd: super::RawFd, _key: usize) -> io::Result<()> {
+            self.registered.lock().unwrap().remove(&fd);
+            Ok(())
+        }
+
+        pub(crate) fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut fds = vec![PollFd {
+                fd: self.pipe.reader,
+                events: POLLIN,
+                revents: 0,
+            }];
+            let mut keys = vec![Event::none(NOTIFY_KEY)];
+            for (&fd, &interest) in self.registered.lock().unwrap().iter() {
+                let mut mask = 0;
+                if interest.readable {
+                    mask |= POLLIN;
+                }
+                if interest.writable {
+                    mask |= POLLOUT;
+                }
+                fds.push(PollFd {
+                    fd,
+                    events: mask,
+                    revents: 0,
+                });
+                keys.push(interest);
+            }
+            // SAFETY: `fds` is a valid array for the duration of the
+            // call; the kernel only writes `revents`.
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms(timeout)) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for (slot, interest) in fds.iter().zip(&keys) {
+                if slot.revents == 0 {
+                    continue;
+                }
+                if interest.key == NOTIFY_KEY {
+                    self.pipe.drain();
+                    continue;
+                }
+                events.push(Event {
+                    key: interest.key,
+                    readable: slot.revents & POLLOUT == 0 || slot.revents & POLLIN != 0,
+                    writable: slot.revents & POLLOUT != 0,
+                });
+            }
+            Ok(())
+        }
+
+        pub(crate) fn notify(&self) -> io::Result<()> {
+            self.pipe.notify()
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod backend {
+    //! The timed sweep: no OS readiness facility, so every registered
+    //! source is reported ready (for its full interest) after a short
+    //! bounded sleep. Correct against nonblocking sources — spurious
+    //! readiness costs a `WouldBlock`, never a wedge.
+
+    use super::{Event, NOTIFY_KEY};
+    use std::collections::HashMap;
+    use std::io;
+    use std::sync::{Condvar, Mutex};
+    use std::time::Duration;
+
+    /// Longest a sweep sleeps between spurious-ready rounds.
+    const SWEEP: Duration = Duration::from_millis(5);
+
+    pub(crate) struct Backend {
+        registered: Mutex<HashMap<usize, Event>>,
+        notified: Mutex<bool>,
+        wake: Condvar,
+    }
+
+    impl Backend {
+        pub(crate) fn new() -> io::Result<Backend> {
+            Ok(Backend {
+                registered: Mutex::new(HashMap::new()),
+                notified: Mutex::new(false),
+                wake: Condvar::new(),
+            })
+        }
+
+        pub(crate) fn add(&self, _fd: super::RawFd, interest: Event) -> io::Result<()> {
+            self.registered
+                .lock()
+                .unwrap()
+                .insert(interest.key, interest);
+            Ok(())
+        }
+
+        pub(crate) fn modify(&self, _fd: super::RawFd, interest: Event) -> io::Result<()> {
+            self.registered
+                .lock()
+                .unwrap()
+                .insert(interest.key, interest);
+            Ok(())
+        }
+
+        pub(crate) fn delete(&self, _fd: super::RawFd, key: usize) -> io::Result<()> {
+            self.registered.lock().unwrap().remove(&key);
+            Ok(())
+        }
+
+        pub(crate) fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let nap = timeout.map_or(SWEEP, |t| t.min(SWEEP));
+            let mut notified = self.notified.lock().unwrap();
+            if !*notified {
+                let (guard, _) = self.wake.wait_timeout(notified, nap).unwrap();
+                notified = guard;
+            }
+            *notified = false;
+            drop(notified);
+            for (&key, &interest) in self.registered.lock().unwrap().iter() {
+                if key == NOTIFY_KEY || (!interest.readable && !interest.writable) {
+                    continue;
+                }
+                events.push(interest);
+            }
+            Ok(())
+        }
+
+        pub(crate) fn notify(&self) -> io::Result<()> {
+            let mut notified = self.notified.lock().unwrap();
+            *notified = true;
+            self.wake.notify_all();
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(unix)]
+    #[test]
+    fn readiness_tracks_interest_on_a_loopback_pair() {
+        use std::io::{Read, Write};
+        use std::net::{TcpListener, TcpStream};
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(&server, Event::readable(7)).unwrap();
+
+        // Nothing to read yet: the wait times out empty.
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        #[cfg(any(target_os = "linux", all(unix, not(target_os = "linux"))))]
+        assert_eq!(n, 0);
+
+        // Peer bytes make the source readable, and level-triggered
+        // readiness persists until they are consumed.
+        (&client).write_all(b"ping").unwrap();
+        for _ in 0..2 {
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert!(n >= 1);
+            assert!(events.iter().any(|e| e.key == 7 && e.readable));
+        }
+        let mut buf = [0u8; 8];
+        let _ = (&server).read(&mut buf).unwrap();
+
+        // Write interest on an idle socket reports writable.
+        poller.modify(&server, Event::all(7)).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(n >= 1);
+        assert!(events.iter().any(|e| e.key == 7 && e.writable));
+
+        poller.delete(&server, 7).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        #[cfg(any(target_os = "linux", all(unix, not(target_os = "linux"))))]
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        use std::sync::Arc;
+
+        let poller = Arc::new(Poller::new().unwrap());
+        let waker = Arc::clone(&poller);
+        let start = std::time::Instant::now();
+        let waiter = std::thread::spawn(move || {
+            let mut events = Vec::new();
+            // Blocks until notify; the generous timeout only bounds a
+            // failing test.
+            poller
+                .wait(&mut events, Some(Duration::from_secs(30)))
+                .unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        waker.notify().unwrap();
+        let n = waiter.join().unwrap();
+        assert_eq!(n, 0); // notify is a wake-up, not an event
+        assert!(start.elapsed() < Duration::from_secs(30));
+        // Coalescing: a second notify with no waiter must not error.
+        waker.notify().unwrap();
+        waker.notify().unwrap();
+    }
+}
