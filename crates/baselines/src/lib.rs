@@ -26,6 +26,15 @@
 //!   (BKK's `O(√m)` flavour: spreading charges over edges).
 //! * [`RandomPreempt`] — preempt uniformly random victims; the control
 //!   baseline.
+//!
+//! Beyond the worst-case baselines, [`stochastic`] holds the
+//! production-shaped policies benchmarked in E18: [`LpResolve`]
+//! (periodic fluid re-solve against buffered allocations via
+//! `acmr-lp`) and [`LcbGreedy`] (lower-confidence-bound demand guard).
+//! They trade the adversarial guarantee for a better rejection rate on
+//! stochastic traffic.
+//!
+//! Also here:
 //! * [`setcover::NaiveOnlineCover`] — buy the cheapest uncovered set
 //!   per arrival (the trivial online set-cover baseline).
 //! * [`setcover::offline_greedy_multicover`] — offline greedy
@@ -37,7 +46,9 @@
 pub mod admission;
 pub mod registry;
 pub mod setcover;
+pub mod stochastic;
 
 pub use admission::{CreditSqrtM, GreedyNonPreemptive, PreemptCheapest, RandomPreempt};
 pub use registry::register_baselines;
 pub use setcover::NaiveOnlineCover;
+pub use stochastic::{LcbGreedy, LpResolve};

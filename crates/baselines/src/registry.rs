@@ -1,15 +1,20 @@
 //! Registry registration for the baseline algorithms.
 
 use crate::admission::{CreditSqrtM, GreedyNonPreemptive, PreemptCheapest, RandomPreempt};
+use crate::stochastic::{LcbGreedy, LpResolve};
 use acmr_core::registry::Registry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Register every baseline admission algorithm:
-/// `greedy`, `preempt-cheapest`, `credit-sqrt-m`, `random-preempt`.
+/// Register every baseline admission algorithm — the worst-case
+/// baselines `greedy`, `preempt-cheapest`, `credit-sqrt-m`,
+/// `random-preempt`, and the stochastic policies `lp-resolve`
+/// (`?period=`, `?buffer=`) and `lcb-greedy` (`?delta=`).
 ///
-/// None of them take tuning parameters; only the shared `seed` key is
-/// accepted (and only `random-preempt` consumes randomness).
+/// The worst-case baselines take no tuning parameters; only the shared
+/// `seed` key is accepted (and only `random-preempt` consumes
+/// randomness). The stochastic policies are deterministic but tunable:
+/// `lp-resolve?period=1024&buffer=0.05`, `lcb-greedy?delta=0.05`.
 pub fn register_baselines(reg: &mut Registry) {
     reg.register(
         "greedy",
@@ -47,6 +52,46 @@ pub fn register_baselines(reg: &mut Registry) {
             )))
         }),
     );
+    reg.register(
+        "lp-resolve",
+        "periodic fluid LP re-solve; plan-enforcing preemptive admission",
+        Box::new(|spec, ctx| {
+            spec.reject_unknown_params(&["seed", "period", "buffer"])?;
+            let period = spec.get::<u32>("period")?.unwrap_or(128);
+            let buffer = spec.get::<f64>("buffer")?.unwrap_or(0.05);
+            if period == 0 {
+                return Err(acmr_core::AcmrError::BadParam {
+                    key: "period".into(),
+                    value: "0".into(),
+                    reason: "must be >= 1".into(),
+                });
+            }
+            if !(0.0..1.0).contains(&buffer) {
+                return Err(acmr_core::AcmrError::BadParam {
+                    key: "buffer".into(),
+                    value: buffer.to_string(),
+                    reason: "must be in [0,1)".into(),
+                });
+            }
+            Ok(Box::new(LpResolve::new(ctx.capacities, period, buffer)))
+        }),
+    );
+    reg.register(
+        "lcb-greedy",
+        "greedy with a lower-confidence-bound demand guard on contested edges",
+        Box::new(|spec, ctx| {
+            spec.reject_unknown_params(&["seed", "delta"])?;
+            let delta = spec.get::<f64>("delta")?.unwrap_or(0.05);
+            if !(0.0..1.0).contains(&delta) {
+                return Err(acmr_core::AcmrError::BadParam {
+                    key: "delta".into(),
+                    value: delta.to_string(),
+                    reason: "must be in [0,1)".into(),
+                });
+            }
+            Ok(Box::new(LcbGreedy::new(ctx.capacities, delta)))
+        }),
+    );
 }
 
 #[cfg(test)]
@@ -65,6 +110,8 @@ mod tests {
             vec![
                 "credit-sqrt-m",
                 "greedy",
+                "lcb-greedy",
+                "lp-resolve",
                 "preempt-cheapest",
                 "random-preempt"
             ]
@@ -105,5 +152,23 @@ mod tests {
         assert!(reg
             .build("greedy?threshold=2", &BuildCtx::new(&caps))
             .is_err());
+    }
+
+    #[test]
+    fn stochastic_policy_params_parse_and_validate() {
+        let mut reg = Registry::new();
+        register_baselines(&mut reg);
+        let caps = vec![2u32, 2];
+        let ctx = BuildCtx::new(&caps);
+        assert!(reg
+            .build("lp-resolve?period=1024&buffer=0.05", &ctx)
+            .is_ok());
+        assert!(reg.build("lcb-greedy?delta=0.05", &ctx).is_ok());
+        // Out-of-range values are typed errors, not silent clamps.
+        assert!(reg.build("lp-resolve?period=0", &ctx).is_err());
+        assert!(reg.build("lp-resolve?buffer=1.5", &ctx).is_err());
+        assert!(reg.build("lcb-greedy?delta=2", &ctx).is_err());
+        // Unknown keys rejected like everywhere else.
+        assert!(reg.build("lp-resolve?horizon=9", &ctx).is_err());
     }
 }

@@ -10,7 +10,8 @@ use acmr_baselines::register_baselines;
 use acmr_core::{register_core, Registry};
 
 /// Registry containing every algorithm in the workspace: the paper's
-/// `aag-*` pair plus the four baselines.
+/// `aag-*` pair, the four worst-case baselines, and the stochastic
+/// policies `lp-resolve` / `lcb-greedy`.
 pub fn default_registry() -> Registry {
     let mut reg = Registry::new();
     register_core(&mut reg);
@@ -23,7 +24,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_registry_has_all_six_algorithms() {
+    fn default_registry_has_all_eight_algorithms() {
         let reg = default_registry();
         assert_eq!(
             reg.names(),
@@ -32,6 +33,8 @@ mod tests {
                 "aag-weighted",
                 "credit-sqrt-m",
                 "greedy",
+                "lcb-greedy",
+                "lp-resolve",
                 "preempt-cheapest",
                 "random-preempt"
             ]

@@ -29,6 +29,7 @@ pub mod binfmt;
 pub mod cost;
 pub mod lower_bound;
 pub mod setcover;
+pub mod stochastic;
 pub mod trace;
 
 pub use admission::{random_path_workload, PathWorkloadSpec, Topology};
@@ -43,3 +44,4 @@ pub use lower_bound::{adaptive_least_covered_schedule, dyadic_admission_instance
 pub use setcover::{
     random_arrivals, random_set_system, structured_partition_system, ArrivalPattern, SetSystemSpec,
 };
+pub use stochastic::{stochastic_workload, Phase, StochasticSpec, StochasticSummary, TrafficModel};

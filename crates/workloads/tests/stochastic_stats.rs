@@ -1,0 +1,279 @@
+//! Statistical test layer for the stochastic generators.
+//!
+//! Generators that are "probably right" rot silently; these tests pin
+//! the distributions themselves. Seeds are fixed, so every assertion is
+//! deterministic — tolerances cover sampling noise at the chosen sizes,
+//! not flakiness.
+
+use acmr_workloads::stochastic::{
+    poisson, stochastic_workload, Phase, StochasticSpec, StochasticSummary, TrafficModel,
+};
+use acmr_workloads::trace::{read_trace, write_trace};
+use acmr_workloads::{read_bin_trace, write_bin_trace, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn gen(spec: &StochasticSpec, seed: u64) -> (acmr_core::AdmissionInstance, StochasticSummary) {
+    let (_, inst, summary) = stochastic_workload(spec, &mut StdRng::seed_from_u64(seed));
+    (inst, summary)
+}
+
+fn all_models() -> Vec<(&'static str, TrafficModel)> {
+    vec![
+        ("iid", TrafficModel::Iid),
+        ("mmpp", TrafficModel::mmpp_default()),
+        (
+            "diurnal",
+            TrafficModel::Diurnal {
+                period: 64,
+                amplitude: 0.8,
+            },
+        ),
+        (
+            "flash",
+            TrafficModel::Flash {
+                period: 64,
+                width: 8,
+                boost: 6.0,
+            },
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------
+// Seeded determinism: same seed → byte-identical trace, text AND
+// binary, for every model.
+// ---------------------------------------------------------------
+
+#[test]
+fn same_seed_is_byte_identical_text_and_binary() {
+    for (name, model) in all_models() {
+        let spec = StochasticSpec {
+            duration: 64,
+            ..StochasticSpec::line_default(24, 3, model)
+        };
+        let (a, _) = gen(&spec, 42);
+        let (b, _) = gen(&spec, 42);
+        assert_eq!(
+            write_trace(&a),
+            write_trace(&b),
+            "{name}: text dialect must be byte-identical for one seed"
+        );
+        assert_eq!(
+            write_bin_trace(&a),
+            write_bin_trace(&b),
+            "{name}: binary dialect must be byte-identical for one seed"
+        );
+        // And both dialects round-trip the same instance.
+        assert_eq!(read_trace(&write_trace(&a)).unwrap().requests, a.requests);
+        assert_eq!(
+            read_bin_trace(&write_bin_trace(&a)).unwrap().requests,
+            a.requests
+        );
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let spec = StochasticSpec::line_default(24, 3, TrafficModel::Iid);
+    let (a, _) = gen(&spec, 1);
+    let (b, _) = gen(&spec, 2);
+    assert_ne!(write_trace(&a), write_trace(&b));
+}
+
+// ---------------------------------------------------------------
+// Empirical arrival rate within tolerance of the configured rate.
+// ---------------------------------------------------------------
+
+#[test]
+fn empirical_arrival_rate_matches_configuration() {
+    // λ = 5 over 4000 slots → sd of the mean ≈ √(5/4000) ≈ 0.035;
+    // a 5% relative tolerance is ~7 sd under iid. The modulated models
+    // have larger variance, so they get 10%.
+    for (name, model) in all_models() {
+        let tolerance = if matches!(model, TrafficModel::Iid) {
+            0.05
+        } else {
+            0.10
+        };
+        let spec = StochasticSpec {
+            arrival_rate: 5.0,
+            duration: 4000,
+            ..StochasticSpec::line_default(16, 2, model)
+        };
+        let (_, summary) = gen(&spec, 1234);
+        let mean = summary.mean_rate();
+        let rel = (mean - 5.0).abs() / 5.0;
+        assert!(
+            rel < tolerance,
+            "{name}: empirical rate {mean:.3} vs configured 5.0 (rel err {rel:.3})"
+        );
+    }
+}
+
+// ---------------------------------------------------------------
+// MMPP phase occupancy matches the closed-form stationary
+// distribution of the cyclic chain.
+// ---------------------------------------------------------------
+
+#[test]
+fn mmpp_occupancy_matches_stationary_distribution() {
+    let model = TrafficModel::Mmpp {
+        phases: vec![
+            Phase {
+                rate: 0.5,
+                stay: 0.95,
+            },
+            Phase {
+                rate: 2.0,
+                stay: 0.80,
+            },
+        ],
+    };
+    // Sojourns 20 and 5 → π = (0.8, 0.2).
+    let pi = model.stationary().unwrap();
+    assert!((pi[0] - 0.8).abs() < 1e-12 && (pi[1] - 0.2).abs() < 1e-12);
+    let spec = StochasticSpec {
+        duration: 6000,
+        ..StochasticSpec::line_default(16, 2, model)
+    };
+    let (_, summary) = gen(&spec, 77);
+    let occ = summary.phase_occupancy(2);
+    for (i, (&got, &want)) in occ.iter().zip(&pi).enumerate() {
+        assert!(
+            (got - want).abs() < 0.05,
+            "phase {i}: occupancy {got:.3} vs stationary {want:.3}"
+        );
+    }
+}
+
+#[test]
+fn mmpp_three_phase_occupancy() {
+    let model = TrafficModel::mmpp_default();
+    let pi = model.stationary().unwrap();
+    let spec = StochasticSpec {
+        duration: 8000,
+        ..StochasticSpec::line_default(16, 2, model)
+    };
+    let (_, summary) = gen(&spec, 99);
+    let occ = summary.phase_occupancy(3);
+    for (i, (&got, &want)) in occ.iter().zip(&pi).enumerate() {
+        assert!(
+            (got - want).abs() < 0.05,
+            "phase {i}: occupancy {got:.3} vs stationary {want:.3}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------
+// Flash crowds: the peak/off-peak rate ratio is pinned to the
+// configured boost.
+// ---------------------------------------------------------------
+
+#[test]
+fn flash_peak_to_offpeak_ratio_is_pinned() {
+    let model = TrafficModel::Flash {
+        period: 50,
+        width: 5,
+        boost: 6.0,
+    };
+    let spec = StochasticSpec {
+        arrival_rate: 4.0,
+        duration: 5000,
+        ..StochasticSpec::line_default(16, 2, model.clone())
+    };
+    let (_, summary) = gen(&spec, 2024);
+    let peak = summary.mean_rate_where(|t| model.is_peak(t));
+    let off = summary.mean_rate_where(|t| !model.is_peak(t));
+    let ratio = peak / off;
+    assert!(
+        (ratio - 6.0).abs() < 0.6,
+        "peak {peak:.2} / off-peak {off:.2} = {ratio:.2}, configured boost 6"
+    );
+    // Normalization holds: the blended mean still matches arrival_rate.
+    let rel = (summary.mean_rate() - 4.0).abs() / 4.0;
+    assert!(rel < 0.1, "blended rate off by {rel:.3}");
+}
+
+#[test]
+fn diurnal_peak_beats_trough() {
+    let model = TrafficModel::Diurnal {
+        period: 100,
+        amplitude: 0.8,
+    };
+    let spec = StochasticSpec {
+        arrival_rate: 6.0,
+        duration: 5000,
+        ..StochasticSpec::line_default(16, 2, model)
+    };
+    let (_, summary) = gen(&spec, 5150);
+    // sin > 0 on the first half-period, < 0 on the second.
+    let day = summary.mean_rate_where(|t| t % 100 < 50);
+    let night = summary.mean_rate_where(|t| t % 100 >= 50);
+    assert!(
+        day > 1.5 * night,
+        "diurnal cycle should be visible: day {day:.2} vs night {night:.2}"
+    );
+}
+
+// ---------------------------------------------------------------
+// Heavy-tailed sessions + Poisson sanity at the integration level.
+// ---------------------------------------------------------------
+
+#[test]
+fn poisson_variance_matches_mean() {
+    // For Poisson, mean = variance. 20k draws at λ=4: sd of the
+    // variance estimate ≈ 0.08, so ±0.4 is ~5 sd.
+    let mut rng = StdRng::seed_from_u64(8);
+    let draws: Vec<f64> = (0..20_000).map(|_| poisson(4.0, &mut rng) as f64).collect();
+    let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+    let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / draws.len() as f64;
+    assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    assert!((var - 4.0).abs() < 0.4, "variance {var}");
+}
+
+#[test]
+fn heavy_tailed_sessions_inflate_requests_per_session() {
+    let single = StochasticSpec {
+        session_max: 1,
+        duration: 1000,
+        ..StochasticSpec::line_default(16, 2, TrafficModel::Iid)
+    };
+    let tailed = StochasticSpec {
+        session_alpha: 1.5,
+        session_max: 16,
+        ..single.clone()
+    };
+    let (_, s1) = gen(&single, 3);
+    let (_, s2) = gen(&tailed, 3);
+    let sessions1: u64 = s1.sessions_per_slot.iter().map(|&x| x as u64).sum();
+    let sessions2: u64 = s2.sessions_per_slot.iter().map(|&x| x as u64).sum();
+    let rps1 = s1.requests as f64 / sessions1 as f64;
+    let rps2 = s2.requests as f64 / sessions2 as f64;
+    assert!((rps1 - 1.0).abs() < 1e-12, "session_max=1 → 1 req/session");
+    assert!(
+        rps2 > 1.3,
+        "heavy tail should lift requests/session ({rps2:.2})"
+    );
+}
+
+#[test]
+fn generation_works_on_nonline_topologies() {
+    for topo in [
+        Topology::Tree { levels: 4 },
+        Topology::Grid { rows: 4, cols: 4 },
+        Topology::Gnp { n: 24, p: 0.2 },
+    ] {
+        let spec = StochasticSpec {
+            topology: topo,
+            duration: 64,
+            ..StochasticSpec::line_default(16, 2, TrafficModel::mmpp_default())
+        };
+        let (inst, summary) = gen(&spec, 12);
+        assert!(!inst.requests.is_empty());
+        assert_eq!(summary.requests, inst.requests.len());
+        // Both writers accept the instance.
+        assert!(!write_trace(&inst).is_empty());
+        assert!(!write_bin_trace(&inst).is_empty());
+    }
+}

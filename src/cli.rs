@@ -37,8 +37,9 @@ use crate::serve::{
 use crate::workloads::trace::{read_trace, write_trace, TraceReader, TraceWriter};
 use crate::workloads::{
     dyadic_admission_instance, nested_intervals, open_trace, random_path_workload, read_bin_trace,
-    repeated_hot_edge, sniff_bytes, two_phase_squeeze, write_bin_trace, BinTraceWriter, CostModel,
-    PathWorkloadSpec, Topology, TraceFormat,
+    repeated_hot_edge, sniff_bytes, stochastic_workload, two_phase_squeeze, write_bin_trace,
+    BinTraceWriter, CostModel, PathWorkloadSpec, StochasticSpec, Topology, TraceFormat,
+    TrafficModel,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -162,6 +163,88 @@ fn gen_lower_bound(
     Ok(dyadic_admission_instance(levels, cap, rounds))
 }
 
+/// Seeded stochastic traffic over a line network, addressed by
+/// `--model` (`acmr_workloads::stochastic`). All model parameters are
+/// validated here so bad flags surface as typed errors, not panics.
+fn gen_stochastic(
+    flags: &HashMap<String, String>,
+    m: u32,
+    cap: u32,
+    max_hops: u32,
+    weighted: bool,
+    seed: u64,
+) -> Result<AdmissionInstance, CliError> {
+    if m < 2 {
+        return Err(err("--topology stochastic needs --m at least 2"));
+    }
+    let model = match flags.get("model").map(String::as_str) {
+        None | Some("iid") => TrafficModel::Iid,
+        Some("mmpp") => TrafficModel::mmpp_default(),
+        Some("diurnal") => {
+            let period: u32 = get(flags, "period", 64)?;
+            if period < 2 {
+                return Err(err("--period must be at least 2"));
+            }
+            let amplitude: f64 = get(flags, "amplitude", 0.8)?;
+            if !(0.0..1.0).contains(&amplitude) {
+                return Err(err("--amplitude must be in [0,1)"));
+            }
+            TrafficModel::Diurnal { period, amplitude }
+        }
+        Some("flash") => {
+            let period: u32 = get(flags, "period", 64)?;
+            let width: u32 = get(flags, "width", 8.min(period.saturating_sub(1).max(1)))?;
+            if width == 0 || width >= period {
+                return Err(err(format!(
+                    "--width must be in 1..{period} (inside the flash --period)"
+                )));
+            }
+            let boost: f64 = get(flags, "boost", 6.0)?;
+            if boost <= 1.0 {
+                return Err(err("--boost must exceed 1"));
+            }
+            TrafficModel::Flash {
+                period,
+                width,
+                boost,
+            }
+        }
+        Some(other) => {
+            return Err(err(format!(
+                "unknown stochastic model {other:?} (iid, mmpp, diurnal, flash); see `acmr help`"
+            )))
+        }
+    };
+    let arrival_rate: f64 = get(flags, "arrival-rate", 4.0)?;
+    if !arrival_rate.is_finite() || arrival_rate <= 0.0 {
+        return Err(err("--arrival-rate must be a positive number"));
+    }
+    let duration: u32 = get(flags, "duration", 128)?;
+    if duration == 0 {
+        return Err(err("--duration must be at least 1"));
+    }
+    let spec = StochasticSpec {
+        topology: Topology::Line { m },
+        capacity: cap,
+        model,
+        arrival_rate,
+        duration,
+        costs: if weighted {
+            CostModel::Zipf {
+                n_values: 64,
+                s: 1.1,
+            }
+        } else {
+            CostModel::Unit
+        },
+        max_hops,
+        session_alpha: 2.5,
+        session_max: 8,
+        width_alpha: 1.3,
+    };
+    Ok(stochastic_workload(&spec, &mut StdRng::seed_from_u64(seed)).1)
+}
+
 /// Serialize a generated instance per `--format text|binary` and
 /// `--out FILE`. Text defaults to stdout (the returned string); binary
 /// is raw bytes, so it requires `--out` — stdout stays text.
@@ -209,14 +292,23 @@ pub fn cmd_gen(args: &[String]) -> Result<String, CliError> {
     let topology_name = flags.get("topology").map(String::as_str);
     if flags.contains_key("family") && topology_name != Some("adversarial") {
         return Err(err(
-            "--family only applies to --topology adversarial (nested, hot-edge, squeeze)",
+            "--family only applies to --topology adversarial (nested, hot-edge, squeeze); \
+             see `acmr help`",
         ));
     }
-    // The hostile families are deterministic constructions, not random
-    // path workloads; they branch off before the spec is built.
+    if flags.contains_key("model") && topology_name != Some("stochastic") {
+        return Err(err(
+            "--model only applies to --topology stochastic (iid, mmpp, diurnal, flash); \
+             see `acmr help`",
+        ));
+    }
+    // The hostile families and the stochastic simulator are their own
+    // constructions, not random path workloads; they branch off before
+    // the spec is built.
     let inst = match topology_name {
         Some("adversarial") => gen_adversarial(&flags, m, cap)?,
         Some("lower-bound") => gen_lower_bound(&flags, m, cap)?,
+        Some("stochastic") => gen_stochastic(&flags, m, cap, max_hops, weighted, seed)?,
         _ => {
             let topology = match topology_name {
                 None | Some("line") => Topology::Line { m },
@@ -885,13 +977,20 @@ pub const USAGE: &str =
     "acmr — admission control to minimize rejections (Alon–Azar–Gutner, SPAA 2005)
 
 USAGE:
-  acmr gen  [--topology line|grid|tree|adversarial|lower-bound] [--m N]
-            [--cap C] [--overload F] [--seed S] [--weighted]
+  acmr gen  [--topology line|grid|tree|adversarial|lower-bound|stochastic]
+            [--m N] [--cap C] [--overload F] [--seed S] [--weighted]
             [--max-hops H]                             # trace to stdout
             [--format text|binary] [--out FILE]
             adversarial: [--family nested|hot-edge|squeeze] [--rounds R]
             [--shrink K] [--total T] [--width W] [--hits H]
             lower-bound: [--levels L] [--rounds R]     (dyadic intervals)
+            stochastic: [--model iid|mmpp|diurnal|flash]
+            [--arrival-rate F] [--duration T] [--period P]
+            [--amplitude A] [--width W] [--boost B]
+            seeded traffic simulator over a line network: Poisson
+            sessions with heavy-tailed sizes and path widths under
+            the chosen arrival process (constant, Markov-modulated,
+            sinusoidal, flash crowds)
             --format binary emits the mmap-able ACMR-TRACE v2 records
             (raw bytes, so it requires --out FILE; text defaults to
             stdout, or to --out when given)
@@ -1184,10 +1283,77 @@ mod tests {
         // --cap 0 is rejected up front for every topology (the trace
         // format forbids zero capacities, and the deterministic
         // generators would otherwise assert).
-        for topo in ["line", "grid", "tree", "adversarial", "lower-bound"] {
+        for topo in [
+            "line",
+            "grid",
+            "tree",
+            "adversarial",
+            "lower-bound",
+            "stochastic",
+        ] {
             let e = cmd_gen(&argv(&["--topology", topo, "--cap", "0"])).unwrap_err();
             assert!(e.to_string().contains("--cap"), "{topo}: {e}");
         }
+    }
+
+    #[test]
+    fn stochastic_gen_generates_and_validates_flags() {
+        // Every model produces a parseable trace, deterministically.
+        for model in ["iid", "mmpp", "diurnal", "flash"] {
+            let args = argv(&[
+                "--topology",
+                "stochastic",
+                "--model",
+                model,
+                "--m",
+                "24",
+                "--cap",
+                "3",
+                "--duration",
+                "48",
+                "--seed",
+                "9",
+            ]);
+            let trace = cmd_gen(&args).unwrap();
+            assert!(
+                cmd_stats(trace.as_bytes())
+                    .unwrap()
+                    .contains("edges           : 24"),
+                "{model}: stats reject the generated trace"
+            );
+            assert_eq!(trace, cmd_gen(&args).unwrap(), "{model}: not deterministic");
+        }
+        // Unknown model and misplaced --model are typed errors pointing
+        // at the help text.
+        let e = cmd_gen(&argv(&["--topology", "stochastic", "--model", "fractal"])).unwrap_err();
+        assert!(e.to_string().contains("unknown stochastic model"), "{e}");
+        assert!(e.to_string().contains("acmr help"), "{e}");
+        for topo in &[
+            &["--model", "iid"][..],
+            &["--topology", "line", "--model", "iid"][..],
+        ] {
+            let e = cmd_gen(&argv(topo)).unwrap_err();
+            assert!(e.to_string().contains("--model only applies"), "{e}");
+            assert!(e.to_string().contains("acmr help"), "{e}");
+        }
+        // --family errors point at the help text too.
+        let e = cmd_gen(&argv(&["--family", "nested"])).unwrap_err();
+        assert!(e.to_string().contains("acmr help"), "{e}");
+        // Model-parameter validation surfaces as typed errors, not
+        // generator panics.
+        let stoch = |rest: &[&str]| {
+            let mut a = vec!["--topology".to_string(), "stochastic".to_string()];
+            a.extend(rest.iter().map(|s| s.to_string()));
+            cmd_gen(&a)
+        };
+        assert!(stoch(&["--arrival-rate", "0"]).is_err());
+        assert!(stoch(&["--arrival-rate", "nan"]).is_err());
+        assert!(stoch(&["--duration", "0"]).is_err());
+        assert!(stoch(&["--model", "diurnal", "--amplitude", "1.5"]).is_err());
+        assert!(stoch(&["--model", "diurnal", "--period", "1"]).is_err());
+        assert!(stoch(&["--model", "flash", "--width", "64"]).is_err());
+        assert!(stoch(&["--model", "flash", "--boost", "1.0"]).is_err());
+        assert!(stoch(&["--m", "1"]).is_err());
     }
 
     #[test]

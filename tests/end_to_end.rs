@@ -305,3 +305,63 @@ fn streaming_session_agrees_with_batch_runner() {
     let back: acmr::core::RunReport = serde_json::from_str(&json).unwrap();
     assert_eq!(back, streamed);
 }
+
+/// The stochastic simulator end to end: `acmr gen --topology
+/// stochastic` emits a trace every registered algorithm replays, and
+/// the CLI's flag validation refuses misplaced or unknown `--model` /
+/// `--family` values with typed errors pointing at `acmr help`.
+#[test]
+fn stochastic_gen_pipeline_and_flag_validation() {
+    use acmr::cli::{cmd_gen, cmd_run};
+
+    let args: Vec<String> = [
+        "--topology",
+        "stochastic",
+        "--model",
+        "flash",
+        "--m",
+        "32",
+        "--cap",
+        "3",
+        "--duration",
+        "64",
+        "--weighted",
+        "--seed",
+        "3",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let trace = cmd_gen(&args).unwrap();
+    assert_eq!(trace, cmd_gen(&args).unwrap(), "gen must be deterministic");
+
+    let registry = acmr::harness::default_registry();
+    for name in registry.names() {
+        let run_args = vec!["--alg".to_string(), format!("{name}?seed=2")];
+        let out = cmd_run(&run_args, &trace)
+            .unwrap_or_else(|e| panic!("{name} on stochastic trace: {e}"));
+        assert!(out.contains(name), "{name}: report lacks algorithm name");
+    }
+
+    // Misplaced and unknown flags: typed errors, help pointer included.
+    let gen_err = |rest: &[&str]| {
+        cmd_gen(&rest.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+            .unwrap_err()
+            .to_string()
+    };
+    let e = gen_err(&["--topology", "line", "--model", "iid"]);
+    assert!(
+        e.contains("--model only applies") && e.contains("acmr help"),
+        "{e}"
+    );
+    let e = gen_err(&["--topology", "stochastic", "--model", "bursty"]);
+    assert!(
+        e.contains("unknown stochastic model") && e.contains("acmr help"),
+        "{e}"
+    );
+    let e = gen_err(&["--topology", "stochastic", "--family", "nested"]);
+    assert!(
+        e.contains("--family only applies") && e.contains("acmr help"),
+        "{e}"
+    );
+}

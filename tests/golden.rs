@@ -1,7 +1,8 @@
 //! Golden-trace regression corpus.
 //!
-//! Eight committed traces (`tests/golden/<name>.trace`) spanning the
-//! random topologies and every hostile family, each with the expected
+//! Ten committed traces (`tests/golden/<name>.trace`) spanning the
+//! random topologies, every hostile family, and two pinned stochastic
+//! arrival models (iid, diurnal), each with the expected
 //! [`SweepReport`] of all registered algorithms pinned as
 //! `tests/golden/<name>.expected.json`. The sweep runs through the
 //! `ShardedDriver` batch path with fixed `threads`/`batch`/seed, so
@@ -23,7 +24,8 @@ use acmr::harness::{cross_jobs, default_registry, BoundBudget, ShardedDriver, Sw
 use acmr::workloads::trace::{read_trace, write_trace};
 use acmr::workloads::{
     dyadic_admission_instance, nested_intervals, random_path_workload, repeated_hot_edge,
-    two_phase_squeeze, CostModel, PathWorkloadSpec, Topology,
+    stochastic_workload, two_phase_squeeze, CostModel, PathWorkloadSpec, StochasticSpec, Topology,
+    TrafficModel,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -59,6 +61,25 @@ fn path_workload(
 /// The corpus: one representative per regime. Keep instances small
 /// enough that the exact/LP OPT bounds stay fast — this is a tier-1
 /// test.
+fn stochastic_trace(model: TrafficModel, seed: u64) -> AdmissionInstance {
+    let spec = StochasticSpec {
+        topology: Topology::Line { m: 12 },
+        capacity: 2,
+        model,
+        arrival_rate: 1.5,
+        duration: 48,
+        costs: CostModel::Zipf {
+            n_values: 64,
+            s: 1.1,
+        },
+        max_hops: 6,
+        session_alpha: 2.5,
+        session_max: 6,
+        width_alpha: 1.3,
+    };
+    stochastic_workload(&spec, &mut StdRng::seed_from_u64(seed)).1
+}
+
 fn corpus() -> Vec<(&'static str, AdmissionInstance)> {
     vec![
         (
@@ -94,6 +115,17 @@ fn corpus() -> Vec<(&'static str, AdmissionInstance)> {
         ("adv-hot-edge", repeated_hot_edge(4, 3, 12)),
         ("adv-squeeze", two_phase_squeeze(12, 3, 4, 3)),
         ("lower-bound-dyadic", dyadic_admission_instance(3, 2, 2)),
+        ("stoch-iid", stochastic_trace(TrafficModel::Iid, 5)),
+        (
+            "stoch-diurnal",
+            stochastic_trace(
+                TrafficModel::Diurnal {
+                    period: 16,
+                    amplitude: 0.8,
+                },
+                6,
+            ),
+        ),
     ]
 }
 
@@ -235,7 +267,7 @@ fn golden_corpus_covers_every_regime_and_algorithm() {
     // unweighted traces, at least one preemption-forcing trace, and the
     // pinned sweep exercises every registered algorithm.
     let corpus = corpus();
-    assert_eq!(corpus.len(), 8);
+    assert_eq!(corpus.len(), 10);
     assert!(corpus.iter().any(|(_, i)| i.is_unweighted()));
     assert!(corpus.iter().any(|(_, i)| !i.is_unweighted()));
     assert!(corpus.iter().all(|(_, i)| !i.requests.is_empty()));
