@@ -127,6 +127,131 @@ impl OnlineAdmission for PreemptCheapest {
     }
 }
 
+/// Cancellation-cost ("buyback") admission: preempt only when the
+/// newcomer's cost beats the victims' by the theorem's margin.
+///
+/// Models admission with *paid* cancellation after Ashwinkumar's
+/// buyback problem: revoking an admitted request of cost `c` charges
+/// an extra `f × c` on top of the lost value. The deterministic rule
+/// that is optimally competitive there admits with cancellation iff
+///
+/// ```text
+///     cost(newcomer) > (1 + δ) × Σ cost(victims),
+///     δ = f + √(f(1 + f)),
+/// ```
+///
+/// which yields the competitive ratio `1 + 2f + 2√(f(1+f))` (at
+/// `f = 0` this degenerates to `preempt-cheapest`'s strict-improvement
+/// rule with ratio 1 on a single edge's value game). Victim selection
+/// is cheapest-first per saturated edge, exactly as in
+/// [`PreemptCheapest`]; only the admission threshold differs. The
+/// algorithm advertises its factor through
+/// [`OnlineAdmission::buyback_factor`], so every [`acmr_core::Session`]
+/// driving it bills the charges into `RunReport::buyback_paid`
+/// automatically.
+pub struct Buyback {
+    load: LoadTracker,
+    accepted: Vec<Option<(EdgeSet, f64)>>, // footprint + cost while accepted
+    factor: f64,
+    delta: f64,
+}
+
+impl Buyback {
+    /// Buyback admission over the given capacities with cancellation
+    /// factor `f ≥ 0` (finite; the caller validates).
+    pub fn new(capacities: &[u32], factor: f64) -> Self {
+        Buyback {
+            load: LoadTracker::from_capacities(capacities.to_vec()),
+            accepted: Vec::new(),
+            factor,
+            delta: factor + (factor * (1.0 + factor)).sqrt(),
+        }
+    }
+
+    /// The preemption margin `δ = f + √(f(1+f))` in effect.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The theorem's competitive-ratio guarantee for factor `f`:
+    /// `1 + 2f + 2√(f(1+f))`.
+    pub fn guarantee(factor: f64) -> f64 {
+        1.0 + 2.0 * factor + 2.0 * (factor * (1.0 + factor)).sqrt()
+    }
+}
+
+impl OnlineAdmission for Buyback {
+    fn name(&self) -> &'static str {
+        "buyback"
+    }
+
+    fn buyback_factor(&self) -> f64 {
+        self.factor
+    }
+
+    fn on_request(&mut self, id: RequestId, request: &Request) -> Outcome {
+        debug_assert_eq!(id.index(), self.accepted.len());
+        self.accepted.push(None);
+        if self.load.fits(&request.footprint) {
+            self.load.admit(&request.footprint);
+            self.accepted[id.index()] = Some((request.footprint.clone(), request.cost));
+            return Outcome::accept();
+        }
+        // Victim selection: cheapest-first per saturated edge, as in
+        // PreemptCheapest.
+        let mut victims: Vec<RequestId> = Vec::new();
+        let mut victim_cost = 0.0;
+        let mut planned: Vec<bool> = vec![false; self.accepted.len()];
+        for e in request.footprint.iter() {
+            let mut needed = (self.load.load(e) + 1).saturating_sub(self.load.capacity(e)) as i64;
+            for (i, p) in planned.iter().enumerate() {
+                if *p {
+                    if let Some((fp, _)) = &self.accepted[i] {
+                        if fp.contains(e) {
+                            needed -= 1;
+                        }
+                    }
+                }
+            }
+            if needed <= 0 {
+                continue;
+            }
+            let mut on_edge: Vec<(usize, f64)> = self
+                .accepted
+                .iter()
+                .enumerate()
+                .filter_map(|(i, slot)| {
+                    slot.as_ref().and_then(|(fp, cost)| {
+                        (!planned[i] && fp.contains(e)).then_some((i, *cost))
+                    })
+                })
+                .collect();
+            on_edge.sort_by(|a, b| a.1.total_cmp(&b.1));
+            for (i, cost) in on_edge.into_iter().take(needed as usize) {
+                planned[i] = true;
+                victims.push(RequestId(i as u32));
+                victim_cost += cost;
+            }
+        }
+        // The buyback margin: an upgrade must beat the victims by a
+        // (1 + δ) factor to amortize the cancellation charges.
+        if !victims.is_empty() && request.cost > (1.0 + self.delta) * victim_cost {
+            for v in &victims {
+                let (fp, _) = self.accepted[v.index()].take().expect("victim accepted");
+                self.load.release(&fp);
+            }
+            self.load.admit(&request.footprint);
+            self.accepted[id.index()] = Some((request.footprint.clone(), request.cost));
+            Outcome {
+                accepted: true,
+                preempted: victims,
+            }
+        } else {
+            Outcome::reject()
+        }
+    }
+}
+
 /// Credit-based rejection in the spirit of BKK's `O(√m)` algorithm.
 ///
 /// Non-preemptive. Every time a newcomer is rejected for lack of room,
@@ -328,6 +453,63 @@ mod tests {
         let (accepted, cost) = drive(&mut alg, &caps, &arrivals);
         assert!(accepted[0] && !accepted[1]);
         assert_eq!(cost, 1.0);
+    }
+
+    #[test]
+    fn buyback_upgrades_only_past_the_margin() {
+        // f = 0.5 → δ = 0.5 + √0.75 ≈ 1.366, threshold ≈ 2.366 × victim.
+        let caps = [1u32];
+        let mut alg = Buyback::new(&caps, 0.5);
+        let delta = alg.delta();
+        assert!((delta - (0.5 + 0.75_f64.sqrt())).abs() < 1e-12);
+        // 2× is below the margin: keep the squatter.
+        let arrivals: Vec<(&[u32], f64)> = vec![(&[0], 1.0), (&[0], 2.0)];
+        let (accepted, _) = drive(&mut alg, &caps, &arrivals);
+        assert!(accepted[0] && !accepted[1]);
+        // 3× clears it: upgrade.
+        let mut alg = Buyback::new(&caps, 0.5);
+        let arrivals: Vec<(&[u32], f64)> = vec![(&[0], 1.0), (&[0], 3.0)];
+        let (accepted, cost) = drive(&mut alg, &caps, &arrivals);
+        assert!(!accepted[0] && accepted[1]);
+        assert_eq!(cost, 1.0);
+    }
+
+    #[test]
+    fn buyback_factor_zero_matches_preempt_cheapest_threshold() {
+        // δ(0) = 0: any strict improvement upgrades, like
+        // preempt-cheapest.
+        let caps = [1u32];
+        let arrivals: Vec<(&[u32], f64)> = vec![(&[0], 1.0), (&[0], 1.5)];
+        let mut alg = Buyback::new(&caps, 0.0);
+        assert_eq!(alg.delta(), 0.0);
+        let (accepted, _) = drive(&mut alg, &caps, &arrivals);
+        assert!(!accepted[0] && accepted[1]);
+        assert_eq!(Buyback::guarantee(0.0), 1.0);
+    }
+
+    #[test]
+    fn buyback_guarantee_formula() {
+        // 1 + 2f + 2√(f(1+f)) at f = 1: 3 + 2√2.
+        let g = Buyback::guarantee(1.0);
+        assert!((g - (3.0 + 2.0 * 2.0_f64.sqrt())).abs() < 1e-12);
+        assert!(Buyback::new(&[1], 1.0).buyback_factor() == 1.0);
+    }
+
+    #[test]
+    fn buyback_multi_edge_conflict_counts_all_victims() {
+        let caps = [1u32, 1];
+        // Newcomer spans both saturated edges; victim cost is 5, so it
+        // needs > (1+δ)·5 ≈ 11.83 at f = 0.5 — 100 clears easily.
+        let arrivals: Vec<(&[u32], f64)> = vec![(&[0], 2.0), (&[1], 3.0), (&[0, 1], 100.0)];
+        let mut alg = Buyback::new(&caps, 0.5);
+        let (accepted, cost) = drive(&mut alg, &caps, &arrivals);
+        assert!(accepted[2]);
+        assert_eq!(cost, 5.0);
+        // At 10 < 11.83 it must hold back.
+        let arrivals: Vec<(&[u32], f64)> = vec![(&[0], 2.0), (&[1], 3.0), (&[0, 1], 10.0)];
+        let mut alg = Buyback::new(&caps, 0.5);
+        let (accepted, _) = drive(&mut alg, &caps, &arrivals);
+        assert!(accepted[0] && accepted[1] && !accepted[2]);
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //!   (BKK's `O(√m)` flavour: spreading charges over edges).
 //! * [`RandomPreempt`] — preempt uniformly random victims; the control
 //!   baseline.
+//! * [`Buyback`] — cancellation-cost admission after Ashwinkumar's
+//!   buyback problem: preempting an admitted request of cost `c` pays
+//!   an extra `f × c`, so an upgrade must beat its victims by a
+//!   `(1 + δ)` margin, `δ = f + √(f(1+f))`; the deterministic rule is
+//!   `1 + 2f + 2√(f(1+f))`-competitive on the single-resource value
+//!   game, and the session bills its charges into
+//!   `RunReport::buyback_paid`.
 //!
 //! Beyond the worst-case baselines, [`stochastic`] holds the
 //! production-shaped policies benchmarked in E18: [`LpResolve`]
@@ -48,7 +55,7 @@ pub mod registry;
 pub mod setcover;
 pub mod stochastic;
 
-pub use admission::{CreditSqrtM, GreedyNonPreemptive, PreemptCheapest, RandomPreempt};
+pub use admission::{Buyback, CreditSqrtM, GreedyNonPreemptive, PreemptCheapest, RandomPreempt};
 pub use registry::register_baselines;
 pub use setcover::NaiveOnlineCover;
 pub use stochastic::{LcbGreedy, LpResolve};

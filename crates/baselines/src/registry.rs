@@ -1,6 +1,6 @@
 //! Registry registration for the baseline algorithms.
 
-use crate::admission::{CreditSqrtM, GreedyNonPreemptive, PreemptCheapest, RandomPreempt};
+use crate::admission::{Buyback, CreditSqrtM, GreedyNonPreemptive, PreemptCheapest, RandomPreempt};
 use crate::stochastic::{LcbGreedy, LpResolve};
 use acmr_core::registry::Registry;
 use rand::rngs::StdRng;
@@ -8,13 +8,15 @@ use rand::SeedableRng;
 
 /// Register every baseline admission algorithm — the worst-case
 /// baselines `greedy`, `preempt-cheapest`, `credit-sqrt-m`,
-/// `random-preempt`, and the stochastic policies `lp-resolve`
+/// `random-preempt`, the cancellation-cost policy `buyback`
+/// (`?factor=`), and the stochastic policies `lp-resolve`
 /// (`?period=`, `?buffer=`) and `lcb-greedy` (`?delta=`).
 ///
 /// The worst-case baselines take no tuning parameters; only the shared
 /// `seed` key is accepted (and only `random-preempt` consumes
-/// randomness). The stochastic policies are deterministic but tunable:
-/// `lp-resolve?period=1024&buffer=0.05`, `lcb-greedy?delta=0.05`.
+/// randomness). The tunable policies are deterministic:
+/// `buyback?factor=0.5`, `lp-resolve?period=1024&buffer=0.05`,
+/// `lcb-greedy?delta=0.05`.
 pub fn register_baselines(reg: &mut Registry) {
     reg.register(
         "greedy",
@@ -50,6 +52,22 @@ pub fn register_baselines(reg: &mut Registry) {
                 ctx.capacities,
                 StdRng::seed_from_u64(seed),
             )))
+        }),
+    );
+    reg.register(
+        "buyback",
+        "cancellation-cost admission: upgrade past the (1+delta) margin, pay factor*cost per preemption",
+        Box::new(|spec, ctx| {
+            spec.reject_unknown_params(&["seed", "factor"])?;
+            let factor = spec.get::<f64>("factor")?.unwrap_or(0.5);
+            if !factor.is_finite() || factor < 0.0 {
+                return Err(acmr_core::AcmrError::BadParam {
+                    key: "factor".into(),
+                    value: factor.to_string(),
+                    reason: "must be finite and >= 0".into(),
+                });
+            }
+            Ok(Box::new(Buyback::new(ctx.capacities, factor)))
         }),
     );
     reg.register(
@@ -108,6 +126,7 @@ mod tests {
         assert_eq!(
             reg.names(),
             vec![
+                "buyback",
                 "credit-sqrt-m",
                 "greedy",
                 "lcb-greedy",
@@ -170,5 +189,32 @@ mod tests {
         assert!(reg.build("lcb-greedy?delta=2", &ctx).is_err());
         // Unknown keys rejected like everywhere else.
         assert!(reg.build("lp-resolve?horizon=9", &ctx).is_err());
+    }
+
+    #[test]
+    fn buyback_factor_parses_and_validates() {
+        let mut reg = Registry::new();
+        register_baselines(&mut reg);
+        let caps = vec![2u32, 2];
+        let ctx = BuildCtx::new(&caps);
+        // Valid factors, including 0 (free preemption).
+        for spec in ["buyback", "buyback?factor=0", "buyback?factor=1.5"] {
+            assert!(reg.build(spec, &ctx).is_ok(), "{spec}");
+        }
+        // The built algorithm advertises its factor to the session.
+        let alg = reg.build("buyback?factor=0.25", &ctx).unwrap();
+        assert_eq!(alg.buyback_factor(), 0.25);
+        let alg = reg.build("buyback", &ctx).unwrap();
+        assert_eq!(alg.buyback_factor(), 0.5, "default factor");
+        // Bad factors are typed errors, not silent clamps.
+        for spec in [
+            "buyback?factor=-1",
+            "buyback?factor=nan",
+            "buyback?factor=inf",
+        ] {
+            assert!(reg.build(spec, &ctx).is_err(), "{spec}");
+        }
+        // Unknown keys rejected like everywhere else.
+        assert!(reg.build("buyback?margin=2", &ctx).is_err());
     }
 }

@@ -48,6 +48,16 @@ pub trait OnlineAdmission {
 
     /// Process one arrival and decide.
     fn on_request(&mut self, id: RequestId, request: &Request) -> Outcome;
+
+    /// Cancellation-cost factor `f` this algorithm expects to be
+    /// charged: every preemption of an admitted request of cost `c`
+    /// costs an extra `f × c` ("buyback"). The [`crate::Session`]
+    /// adopts this at construction so the charge shows up in
+    /// [`crate::RunReport::buyback_paid`] on every execution path.
+    /// The paper's free-preemption algorithms keep the default `0.0`.
+    fn buyback_factor(&self) -> f64 {
+        0.0
+    }
 }
 
 impl<A: OnlineAdmission + ?Sized> OnlineAdmission for Box<A> {
@@ -58,6 +68,10 @@ impl<A: OnlineAdmission + ?Sized> OnlineAdmission for Box<A> {
     fn on_request(&mut self, id: RequestId, request: &Request) -> Outcome {
         (**self).on_request(id, request)
     }
+
+    fn buyback_factor(&self) -> f64 {
+        (**self).buyback_factor()
+    }
 }
 
 impl<A: OnlineAdmission + ?Sized> OnlineAdmission for &mut A {
@@ -67,6 +81,10 @@ impl<A: OnlineAdmission + ?Sized> OnlineAdmission for &mut A {
 
     fn on_request(&mut self, id: RequestId, request: &Request) -> Outcome {
         (**self).on_request(id, request)
+    }
+
+    fn buyback_factor(&self) -> f64 {
+        (**self).buyback_factor()
     }
 }
 

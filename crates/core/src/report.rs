@@ -50,6 +50,13 @@ pub struct RunReport {
     pub rejected_cost: f64,
     /// Preemptions performed.
     pub preemptions: usize,
+    /// Cancellation charges paid: the session's buyback factor `f`
+    /// times the summed cost of every preempted request (0 when the
+    /// factor is 0 or nothing was preempted).
+    pub buyback_paid: f64,
+    /// The run's full bill: `rejected_cost + buyback_paid`. Equals
+    /// `rejected_cost` (the paper's objective) when preemption is free.
+    pub net_objective: f64,
     /// Total cost of all arrivals.
     pub offered_cost: f64,
     /// Offline-optimum context, when the harness computed one.
@@ -75,6 +82,10 @@ impl RunReport {
         out.push_str(&format!("rejected cost  : {:.2}\n", self.rejected_cost));
         out.push_str(&format!("rejected count : {}\n", self.rejected_count));
         out.push_str(&format!("preemptions    : {}\n", self.preemptions));
+        if self.buyback_paid != 0.0 {
+            out.push_str(&format!("buyback paid   : {:.2}\n", self.buyback_paid));
+            out.push_str(&format!("net objective  : {:.2}\n", self.net_objective));
+        }
         if let Some(opt) = &self.opt {
             out.push_str(&format!(
                 "opt bound      : {:.2} ({})\n",
@@ -105,6 +116,8 @@ mod tests {
             rejected_count: 10,
             rejected_cost: 12.5,
             preemptions: 3,
+            buyback_paid: 1.5,
+            net_objective: 14.0,
             offered_cost: 250.0,
             opt: Some(OptSummary {
                 value: 6.25,
@@ -132,13 +145,19 @@ mod tests {
         assert!(text.contains("seed           : 7"));
         assert!(text.contains("ratio          : 2.000"));
         assert!(text.contains("opt bound      : 6.25 (exact)"));
+        assert!(text.contains("buyback paid   : 1.50"));
+        assert!(text.contains("net objective  : 14.00"));
 
         let mut no_opt = sample();
         no_opt.opt = None;
         no_opt.seed = None;
+        no_opt.buyback_paid = 0.0;
         let text = no_opt.to_text();
         assert!(!text.contains("seed           :"));
         assert!(!text.contains("ratio          :"));
+        // Free preemption keeps the classic report shape.
+        assert!(!text.contains("buyback paid"));
+        assert!(!text.contains("net objective"));
     }
 
     #[test]

@@ -88,6 +88,9 @@ pub struct RunStats {
     pub rejected_cost: f64,
     /// Preemptions so far (every preemption is also a rejection).
     pub preemptions: usize,
+    /// Cancellation charges so far: the session's buyback factor times
+    /// the summed cost of every preempted request.
+    pub buyback_paid: f64,
     /// Total cost of all arrivals seen.
     pub offered_cost: f64,
 }
@@ -104,6 +107,13 @@ pub struct Session<A: OnlineAdmission = Box<dyn OnlineAdmission>> {
     ever_rejected: Vec<bool>,
     stats: RunStats,
     poisoned: bool,
+    /// Cancellation-cost factor `f`: every preemption of an admitted
+    /// request of cost `c` is charged an extra `f × c` into
+    /// `stats.buyback_paid`. Adopted from the algorithm's
+    /// [`OnlineAdmission::buyback_factor`] at construction; scenario
+    /// runs (E19) may override it to bill free-preemption algorithms
+    /// under the same cost model.
+    buyback_factor: f64,
     /// Spec string the algorithm was built from, when registry-built.
     spec: Option<String>,
     /// Seed the algorithm was built with, when registry-built.
@@ -133,6 +143,7 @@ impl<A: OnlineAdmission> Session<A> {
     /// Open a session driving `alg` over edges with the given
     /// capacities.
     pub fn new(alg: A, capacities: &[u32]) -> Self {
+        let buyback_factor = alg.buyback_factor();
         Session {
             alg,
             audit: LoadTracker::from_capacities(capacities.to_vec()),
@@ -140,9 +151,33 @@ impl<A: OnlineAdmission> Session<A> {
             ever_rejected: Vec::new(),
             stats: RunStats::default(),
             poisoned: false,
+            buyback_factor,
             spec: None,
             seed: None,
         }
+    }
+
+    /// Override the cancellation-cost factor this session charges per
+    /// preemption (default: the algorithm's own
+    /// [`OnlineAdmission::buyback_factor`], `0.0` for the paper's
+    /// free-preemption algorithms). Must be finite and non-negative,
+    /// and can only be set before the first arrival — the charge
+    /// stream would otherwise be retroactively inconsistent.
+    pub fn with_buyback_factor(mut self, factor: f64) -> Result<Self, AcmrError> {
+        if !factor.is_finite() || factor < 0.0 {
+            return Err(AcmrError::InvalidRequest {
+                reason: format!("buyback factor must be finite and >= 0, got {factor}"),
+            });
+        }
+        self.check_fresh("with_buyback_factor")?;
+        self.buyback_factor = factor;
+        Ok(self)
+    }
+
+    /// The cancellation-cost factor this session charges per
+    /// preemption.
+    pub fn buyback_factor(&self) -> f64 {
+        self.buyback_factor
     }
 
     /// The driven algorithm's stable name.
@@ -252,6 +287,7 @@ impl<A: OnlineAdmission> Session<A> {
             self.stats.rejected_count += 1;
             self.stats.rejected_cost += victim.cost;
             self.stats.preemptions += 1;
+            self.stats.buyback_paid += self.buyback_factor * victim.cost;
             rejected_cost_delta += victim.cost;
         }
 
@@ -531,6 +567,8 @@ impl<A: OnlineAdmission> Session<A> {
             rejected_count: self.stats.rejected_count,
             rejected_cost: self.stats.rejected_cost,
             preemptions: self.stats.preemptions,
+            buyback_paid: self.stats.buyback_paid,
+            net_objective: self.stats.rejected_cost + self.stats.buyback_paid,
             offered_cost: self.stats.offered_cost,
             opt: None,
         }
@@ -602,6 +640,103 @@ mod tests {
         assert_eq!(report.algorithm, "aag-weighted?seed=4");
         assert_eq!(report.seed, Some(4));
         assert_eq!(report.requests, 5);
+    }
+
+    /// Always upgrades: preempts whatever it holds, accepts the
+    /// newcomer. Advertises a buyback factor so the session bills it.
+    struct UpgradeAlways {
+        held: Option<RequestId>,
+        factor: f64,
+    }
+    impl OnlineAdmission for UpgradeAlways {
+        fn name(&self) -> &'static str {
+            "upgrade-always"
+        }
+        fn on_request(&mut self, id: RequestId, _r: &Request) -> Outcome {
+            let preempted = self.held.take().into_iter().collect();
+            self.held = Some(id);
+            Outcome {
+                accepted: true,
+                preempted,
+            }
+        }
+        fn buyback_factor(&self) -> f64 {
+            self.factor
+        }
+    }
+
+    #[test]
+    fn buyback_factor_is_adopted_and_charged_per_preemption() {
+        let caps = vec![1u32];
+        let alg = UpgradeAlways {
+            held: None,
+            factor: 0.5,
+        };
+        let mut session = Session::new(alg, &caps);
+        assert_eq!(session.buyback_factor(), 0.5);
+        let costs = [1.0, 2.0, 4.0];
+        for &c in &costs {
+            session.push(&Request::new(fp(&[0]), c)).unwrap();
+        }
+        // Arrivals 1 and 2 each preempted the previous holder, so the
+        // charge is 0.5 × (1.0 + 2.0).
+        let report = session.report();
+        assert_eq!(report.preemptions, 2);
+        assert_eq!(report.buyback_paid, 1.5);
+        assert_eq!(report.rejected_cost, 3.0);
+        assert_eq!(report.net_objective, 4.5);
+        assert_eq!(session.stats().buyback_paid, 1.5);
+    }
+
+    #[test]
+    fn buyback_factor_override_bills_free_preemption_algorithms() {
+        let caps = vec![1u32];
+        let alg = UpgradeAlways {
+            held: None,
+            factor: 0.0,
+        };
+        let mut session = Session::new(alg, &caps).with_buyback_factor(2.0).unwrap();
+        assert_eq!(session.buyback_factor(), 2.0);
+        session.push(&Request::new(fp(&[0]), 1.0)).unwrap();
+        session.push(&Request::new(fp(&[0]), 3.0)).unwrap();
+        let report = session.report();
+        assert_eq!(report.buyback_paid, 2.0);
+        assert_eq!(report.net_objective, 1.0 + 2.0);
+
+        // Bad factors are typed errors; so is setting one mid-stream.
+        let alg = UpgradeAlways {
+            held: None,
+            factor: 0.0,
+        };
+        assert!(Session::new(alg, &caps).with_buyback_factor(-1.0).is_err());
+        let alg = UpgradeAlways {
+            held: None,
+            factor: 0.0,
+        };
+        assert!(Session::new(alg, &caps)
+            .with_buyback_factor(f64::NAN)
+            .is_err());
+        let alg = UpgradeAlways {
+            held: None,
+            factor: 0.0,
+        };
+        let mut started = Session::new(alg, &caps);
+        started.push(&Request::new(fp(&[0]), 1.0)).unwrap();
+        assert!(started.with_buyback_factor(1.0).is_err());
+    }
+
+    #[test]
+    fn free_preemption_reports_zero_buyback() {
+        let mut reg = Registry::new();
+        register_core(&mut reg);
+        let spec = AlgorithmSpec::parse("aag-weighted?seed=4").unwrap();
+        let mut session = Session::from_registry(&reg, &spec, &[1], 0).unwrap();
+        for _ in 0..6 {
+            session.push(&Request::new(fp(&[0]), 2.0)).unwrap();
+        }
+        let report = session.report();
+        assert_eq!(report.buyback_paid, 0.0);
+        assert_eq!(report.net_objective, report.rejected_cost);
     }
 
     #[test]

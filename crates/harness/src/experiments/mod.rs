@@ -19,9 +19,11 @@
 //! | E8 | constant ablations | [`e8_ablations`] |
 //! | E9 | Lemma 6 — potential audit | [`e9_potential`] |
 //! | E18 | arrival models × policy classes | [`e18_policies`] |
+//! | E19 | buyback factor grid × algorithms | [`e19_buyback`] |
 
 pub mod e11_frontier;
 pub mod e18_policies;
+pub mod e19_buyback;
 pub mod e1_fractional;
 pub mod e2_augmentations;
 pub mod e3_randomized_weighted;

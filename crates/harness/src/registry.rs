@@ -10,8 +10,9 @@ use acmr_baselines::register_baselines;
 use acmr_core::{register_core, Registry};
 
 /// Registry containing every algorithm in the workspace: the paper's
-/// `aag-*` pair, the four worst-case baselines, and the stochastic
-/// policies `lp-resolve` / `lcb-greedy`.
+/// `aag-*` pair, the four worst-case baselines, the cancellation-cost
+/// policy `buyback`, and the stochastic policies `lp-resolve` /
+/// `lcb-greedy`.
 pub fn default_registry() -> Registry {
     let mut reg = Registry::new();
     register_core(&mut reg);
@@ -24,13 +25,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_registry_has_all_eight_algorithms() {
+    fn default_registry_has_all_nine_algorithms() {
         let reg = default_registry();
         assert_eq!(
             reg.names(),
             vec![
                 "aag-unweighted",
                 "aag-weighted",
+                "buyback",
                 "credit-sqrt-m",
                 "greedy",
                 "lcb-greedy",

@@ -18,18 +18,16 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Summarize a sample. Returns a zeroed summary for empty input.
-    pub fn of(values: &[f64]) -> Summary {
+    /// Summarize a non-empty sample; `None` for an empty one.
+    ///
+    /// NaN values are ordered with [`f64::total_cmp`] (they sort above
+    /// every finite value) instead of panicking, so a sample polluted
+    /// by a degenerate trial still yields a summary whose NaNs are
+    /// visible in the moments rather than aborting the whole table.
+    pub fn from_values(values: &[f64]) -> Option<Summary> {
         let n = values.len();
         if n == 0 {
-            return Summary {
-                n: 0,
-                mean: 0.0,
-                std: 0.0,
-                min: 0.0,
-                median: 0.0,
-                max: 0.0,
-            };
+            return None;
         }
         let mean = values.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
@@ -38,20 +36,34 @@ impl Summary {
             0.0
         };
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let median = if n % 2 == 1 {
             sorted[n / 2]
         } else {
             0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
         };
-        Summary {
+        Some(Summary {
             n,
             mean,
             std: var.sqrt(),
             min: sorted[0],
             median,
             max: sorted[n - 1],
-        }
+        })
+    }
+
+    /// Summarize a sample. Returns a zeroed summary for empty input;
+    /// use [`Summary::from_values`] when "no data" must stay
+    /// distinguishable from "all zeros".
+    pub fn of(values: &[f64]) -> Summary {
+        Summary::from_values(values).unwrap_or(Summary {
+            n: 0,
+            mean: 0.0,
+            std: 0.0,
+            min: 0.0,
+            median: 0.0,
+            max: 0.0,
+        })
     }
 
     /// `mean ± std` rendered compactly.
@@ -89,6 +101,25 @@ mod tests {
         assert_eq!(s.mean, 7.0);
         let e = Summary::of(&[]);
         assert_eq!(e.n, 0);
+        assert_eq!(Summary::from_values(&[]), None);
+    }
+
+    #[test]
+    fn nan_values_do_not_panic() {
+        // Regression: sort_by(partial_cmp().unwrap()) panicked here.
+        let s = Summary::of(&[2.0, f64::NAN, 1.0]);
+        assert_eq!(s.n, 3);
+        // total_cmp puts positive NaN above every finite value.
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.0);
+        assert!(s.max.is_nan());
+        assert!(s.mean.is_nan());
+        // All-NaN input still summarizes.
+        let s = Summary::of(&[f64::NAN, f64::NAN]);
+        assert!(s.min.is_nan() && s.median.is_nan() && s.max.is_nan());
+        // And the typed form agrees with the lenient one on data.
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(Summary::from_values(&v), Some(Summary::of(&v)));
     }
 
     #[test]

@@ -70,6 +70,44 @@ pub fn two_phase_squeeze(m: u32, cap: u32, width: u32, hits: u32) -> AdmissionIn
     inst
 }
 
+/// Geometric cost-escalation waves that punish non-preempting
+/// algorithms — the buyback (cancellation-cost) stress instance.
+///
+/// Wave `w ∈ [0, waves)` issues `cap` single-edge requests of cost
+/// `growth^w` on **every** edge of an `m`-edge network, so each wave
+/// re-saturates the whole network at `growth×` the previous wave's
+/// prices. A preemptor whose upgrade margin is below `growth` swaps
+/// its incumbents out each wave (paying `f × cost` per cancellation
+/// under a buyback factor `f`) and ends the trace holding the final,
+/// most expensive wave; a non-preempting algorithm keeps wave 0's
+/// cheap squatters and rejects *every* later wave, paying roughly
+/// `growth×` what OPT rejects. `growth` must exceed the buyback rule's
+/// `1 + δ = 1 + f + √(f(1+f))` margin for the factor under test, or
+/// even the buyback policy sits tight (e.g. `growth = 4` covers every
+/// `f ≤ 1`).
+///
+/// All footprints are singletons, so OPT is exact and per-edge: keep
+/// the `cap` most expensive requests on each edge (the final wave),
+/// reject the rest.
+pub fn buyback_hostile(m: u32, cap: u32, waves: u32, growth: f64) -> AdmissionInstance {
+    assert!(m >= 1 && cap >= 1 && waves >= 2);
+    assert!(
+        growth.is_finite() && growth > 1.0,
+        "growth must be finite and > 1"
+    );
+    let mut inst = AdmissionInstance::from_capacities(vec![cap; m as usize]);
+    let mut cost = 1.0;
+    for _ in 0..waves {
+        for e in 0..m {
+            for _ in 0..cap {
+                inst.push(Request::new(EdgeSet::singleton(EdgeId(e)), cost));
+            }
+        }
+        cost *= growth;
+    }
+    inst
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +165,29 @@ mod tests {
     #[should_panic(expected = "cannot exceed")]
     fn squeeze_rejects_too_many_hits() {
         two_phase_squeeze(6, 2, 3, 5);
+    }
+
+    #[test]
+    fn buyback_hostile_escalates_geometrically() {
+        let inst = buyback_hostile(3, 2, 4, 4.0);
+        // waves × m × cap requests, all singletons.
+        assert_eq!(inst.requests.len(), 4 * 3 * 2);
+        assert!(inst.requests.iter().all(|r| r.footprint.len() == 1));
+        // Wave w costs growth^w.
+        assert_eq!(inst.requests[0].cost, 1.0);
+        assert_eq!(inst.requests[6].cost, 4.0);
+        assert_eq!(inst.requests[23].cost, 64.0);
+        // Every wave saturates every edge exactly to capacity.
+        let mut per_edge = vec![0u32; 3];
+        for r in inst.requests.iter().take(6) {
+            per_edge[r.footprint.iter().next().unwrap().index()] += 1;
+        }
+        assert_eq!(per_edge, vec![2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and > 1")]
+    fn buyback_hostile_rejects_flat_growth() {
+        buyback_hostile(2, 1, 2, 1.0);
     }
 }

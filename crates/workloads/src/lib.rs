@@ -33,7 +33,7 @@ pub mod stochastic;
 pub mod trace;
 
 pub use admission::{random_path_workload, PathWorkloadSpec, Topology};
-pub use adversarial::{nested_intervals, repeated_hot_edge, two_phase_squeeze};
+pub use adversarial::{buyback_hostile, nested_intervals, repeated_hot_edge, two_phase_squeeze};
 pub use binfmt::{
     decode_record, encode_record_into, open_trace, read_bin_trace, sniff_bytes, sniff_path,
     write_bin_trace, AnyTraceReader, BinMapReader, BinTraceMap, BinTraceReader, BinTraceWriter,

@@ -36,10 +36,10 @@ use crate::serve::{
 };
 use crate::workloads::trace::{read_trace, write_trace, TraceReader, TraceWriter};
 use crate::workloads::{
-    dyadic_admission_instance, nested_intervals, open_trace, random_path_workload, read_bin_trace,
-    repeated_hot_edge, sniff_bytes, stochastic_workload, two_phase_squeeze, write_bin_trace,
-    BinTraceWriter, CostModel, PathWorkloadSpec, StochasticSpec, Topology, TraceFormat,
-    TrafficModel,
+    buyback_hostile, dyadic_admission_instance, nested_intervals, open_trace, random_path_workload,
+    read_bin_trace, repeated_hot_edge, sniff_bytes, stochastic_workload, two_phase_squeeze,
+    write_bin_trace, BinTraceWriter, CostModel, PathWorkloadSpec, StochasticSpec, Topology,
+    TraceFormat, TrafficModel,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -92,6 +92,26 @@ fn get<T: std::str::FromStr>(
             .parse()
             .map_err(|_| err(format!("--{key}: cannot parse {v:?}"))),
     }
+}
+
+/// [`get`] for f64 flags with a uniform validity check: every float
+/// flag funnels through here so bad values (NaN included — a bare
+/// comparison would silently wave NaN through) surface as the same
+/// typed error shape, pointing at `acmr help`.
+fn get_f64_valid(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: f64,
+    requirement: &str,
+    ok: impl Fn(f64) -> bool,
+) -> Result<f64, CliError> {
+    let value: f64 = get(flags, key, default)?;
+    if !ok(value) {
+        return Err(err(format!(
+            "--{key} must be {requirement} (got {value}); see `acmr help`"
+        )));
+    }
+    Ok(value)
 }
 
 /// The deterministic adversarial families of
@@ -185,10 +205,9 @@ fn gen_stochastic(
             if period < 2 {
                 return Err(err("--period must be at least 2"));
             }
-            let amplitude: f64 = get(flags, "amplitude", 0.8)?;
-            if !(0.0..1.0).contains(&amplitude) {
-                return Err(err("--amplitude must be in [0,1)"));
-            }
+            let amplitude = get_f64_valid(flags, "amplitude", 0.8, "in [0,1)", |a| {
+                (0.0..1.0).contains(&a)
+            })?;
             TrafficModel::Diurnal { period, amplitude }
         }
         Some("flash") => {
@@ -199,10 +218,10 @@ fn gen_stochastic(
                     "--width must be in 1..{period} (inside the flash --period)"
                 )));
             }
-            let boost: f64 = get(flags, "boost", 6.0)?;
-            if boost <= 1.0 {
-                return Err(err("--boost must exceed 1"));
-            }
+            let boost =
+                get_f64_valid(flags, "boost", 6.0, "a finite number greater than 1", |b| {
+                    b.is_finite() && b > 1.0
+                })?;
             TrafficModel::Flash {
                 period,
                 width,
@@ -215,10 +234,9 @@ fn gen_stochastic(
             )))
         }
     };
-    let arrival_rate: f64 = get(flags, "arrival-rate", 4.0)?;
-    if !arrival_rate.is_finite() || arrival_rate <= 0.0 {
-        return Err(err("--arrival-rate must be a positive number"));
-    }
+    let arrival_rate = get_f64_valid(flags, "arrival-rate", 4.0, "a positive number", |r| {
+        r.is_finite() && r > 0.0
+    })?;
     let duration: u32 = get(flags, "duration", 128)?;
     if duration == 0 {
         return Err(err("--duration must be at least 1"));
@@ -243,6 +261,32 @@ fn gen_stochastic(
         width_alpha: 1.3,
     };
     Ok(stochastic_workload(&spec, &mut StdRng::seed_from_u64(seed)).1)
+}
+
+/// The buyback (cancellation-cost) stress instance
+/// `acmr_workloads::buyback_hostile`: geometric cost-escalation waves
+/// that punish non-preempting algorithms — each wave re-saturates the
+/// network at `--growth ×` the previous wave's prices.
+fn gen_buyback_hostile(
+    flags: &HashMap<String, String>,
+    m: u32,
+    cap: u32,
+) -> Result<AdmissionInstance, CliError> {
+    if m == 0 {
+        return Err(err("--topology buyback-hostile needs --m at least 1"));
+    }
+    let waves: u32 = get(flags, "waves", 6)?;
+    if waves < 2 {
+        return Err(err("--waves must be at least 2"));
+    }
+    let growth = get_f64_valid(
+        flags,
+        "growth",
+        4.0,
+        "a finite number greater than 1",
+        |g| g.is_finite() && g > 1.0,
+    )?;
+    Ok(buyback_hostile(m, cap, waves, growth))
 }
 
 /// Serialize a generated instance per `--format text|binary` and
@@ -285,7 +329,9 @@ pub fn cmd_gen(args: &[String]) -> Result<String, CliError> {
     if cap == 0 {
         return Err(err("--cap must be at least 1"));
     }
-    let overload: f64 = get(&flags, "overload", 2.0)?;
+    let overload = get_f64_valid(&flags, "overload", 2.0, "a positive number", |o| {
+        o.is_finite() && o > 0.0
+    })?;
     let seed: u64 = get(&flags, "seed", 0)?;
     let max_hops: u32 = get(&flags, "max-hops", 8)?;
     let weighted = flags.contains_key("weighted");
@@ -302,6 +348,13 @@ pub fn cmd_gen(args: &[String]) -> Result<String, CliError> {
              see `acmr help`",
         ));
     }
+    for key in ["waves", "growth"] {
+        if flags.contains_key(key) && topology_name != Some("buyback-hostile") {
+            return Err(err(format!(
+                "--{key} only applies to --topology buyback-hostile; see `acmr help`"
+            )));
+        }
+    }
     // The hostile families and the stochastic simulator are their own
     // constructions, not random path workloads; they branch off before
     // the spec is built.
@@ -309,6 +362,7 @@ pub fn cmd_gen(args: &[String]) -> Result<String, CliError> {
         Some("adversarial") => gen_adversarial(&flags, m, cap)?,
         Some("lower-bound") => gen_lower_bound(&flags, m, cap)?,
         Some("stochastic") => gen_stochastic(&flags, m, cap, max_hops, weighted, seed)?,
+        Some("buyback-hostile") => gen_buyback_hostile(&flags, m, cap)?,
         _ => {
             let topology = match topology_name {
                 None | Some("line") => Topology::Line { m },
@@ -977,7 +1031,8 @@ pub const USAGE: &str =
     "acmr — admission control to minimize rejections (Alon–Azar–Gutner, SPAA 2005)
 
 USAGE:
-  acmr gen  [--topology line|grid|tree|adversarial|lower-bound|stochastic]
+  acmr gen  [--topology line|grid|tree|adversarial|lower-bound|stochastic
+            |buyback-hostile]
             [--m N] [--cap C] [--overload F] [--seed S] [--weighted]
             [--max-hops H]                             # trace to stdout
             [--format text|binary] [--out FILE]
@@ -991,6 +1046,10 @@ USAGE:
             sessions with heavy-tailed sizes and path widths under
             the chosen arrival process (constant, Markov-modulated,
             sinusoidal, flash crowds)
+            buyback-hostile: [--waves W] [--growth G]
+            geometric cost-escalation waves that punish non-preempting
+            algorithms (pair with the `buyback?factor=F` policy, which
+            pays factor*cost per cancellation — see `acmr algs`)
             --format binary emits the mmap-able ACMR-TRACE v2 records
             (raw bytes, so it requires --out FILE; text defaults to
             stdout, or to --out when given)
@@ -1213,6 +1272,18 @@ mod tests {
                 "--rounds",
                 "3",
             ]),
+            argv(&[
+                "--topology",
+                "buyback-hostile",
+                "--m",
+                "4",
+                "--cap",
+                "2",
+                "--waves",
+                "3",
+                "--growth",
+                "4",
+            ]),
         ] {
             let trace = cmd_gen(&gen_args).unwrap();
             let stats = cmd_stats(trace.as_bytes()).unwrap();
@@ -1290,9 +1361,47 @@ mod tests {
             "adversarial",
             "lower-bound",
             "stochastic",
+            "buyback-hostile",
         ] {
             let e = cmd_gen(&argv(&["--topology", topo, "--cap", "0"])).unwrap_err();
             assert!(e.to_string().contains("--cap"), "{topo}: {e}");
+        }
+    }
+
+    #[test]
+    fn buyback_hostile_gen_generates_and_validates_flags() {
+        let bb = |rest: &[&str]| {
+            let mut a = vec!["--topology".to_string(), "buyback-hostile".to_string()];
+            a.extend(rest.iter().map(|s| s.to_string()));
+            cmd_gen(&a)
+        };
+        // waves × m × cap singleton requests, deterministically.
+        let args = ["--m", "4", "--cap", "2", "--waves", "3"];
+        let trace = bb(&args).unwrap();
+        let stats = cmd_stats(trace.as_bytes()).unwrap();
+        assert!(stats.contains("edges           : 4"), "{stats}");
+        assert!(stats.contains("requests        : 24"), "{stats}");
+        assert_eq!(trace, bb(&args).unwrap(), "gen must be deterministic");
+        // Flag validation: typed errors pointing at the help text, NaN
+        // included.
+        for bad in [
+            &["--waves", "1"][..],
+            &["--growth", "1.0"][..],
+            &["--growth", "nan"][..],
+            &["--growth", "inf"][..],
+            &["--m", "0"][..],
+        ] {
+            assert!(bb(bad).is_err(), "{bad:?}");
+        }
+        let e = bb(&["--growth", "0.5"]).unwrap_err();
+        assert!(e.to_string().contains("--growth"), "{e}");
+        assert!(e.to_string().contains("acmr help"), "{e}");
+        // --waves/--growth without the topology are usage errors, like
+        // --family and --model.
+        for misplaced in [&["--waves", "3"][..], &["--growth", "3"][..]] {
+            let e = cmd_gen(&argv(misplaced)).unwrap_err();
+            assert!(e.to_string().contains("only applies"), "{e}");
+            assert!(e.to_string().contains("acmr help"), "{e}");
         }
     }
 
@@ -1354,6 +1463,15 @@ mod tests {
         assert!(stoch(&["--model", "flash", "--width", "64"]).is_err());
         assert!(stoch(&["--model", "flash", "--boost", "1.0"]).is_err());
         assert!(stoch(&["--m", "1"]).is_err());
+        // NaN is rejected by every float flag, not just --arrival-rate
+        // (regression: --boost and --overload accepted it silently).
+        assert!(stoch(&["--model", "diurnal", "--amplitude", "nan"]).is_err());
+        assert!(stoch(&["--model", "flash", "--boost", "nan"]).is_err());
+        for bad in ["nan", "inf", "0", "-2"] {
+            let e = cmd_gen(&argv(&["--overload", bad])).unwrap_err();
+            assert!(e.to_string().contains("--overload"), "{bad}: {e}");
+            assert!(e.to_string().contains("acmr help"), "{bad}: {e}");
+        }
     }
 
     #[test]

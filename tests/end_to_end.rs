@@ -365,3 +365,96 @@ fn stochastic_gen_pipeline_and_flag_validation() {
         "{e}"
     );
 }
+
+/// The buyback axis end to end: `acmr gen --topology buyback-hostile`
+/// emits an escalation trace, every registered algorithm replays it,
+/// and the `buyback` policy nets less than the non-preempting greedy
+/// baseline on its home topology. Also pins the uniform f64 flag
+/// validation: NaN, infinity, and out-of-range values for
+/// `--overload`, `--amplitude`, `--boost`, and `--growth` are typed
+/// errors naming the flag and pointing at `acmr help` — never a panic
+/// or a silently accepted NaN.
+#[test]
+fn buyback_gen_pipeline_and_float_flag_validation() {
+    use acmr::cli::{cmd_gen, cmd_run};
+
+    let args: Vec<String> = [
+        "--topology",
+        "buyback-hostile",
+        "--m",
+        "6",
+        "--cap",
+        "2",
+        "--waves",
+        "4",
+        "--growth",
+        "8",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let trace = cmd_gen(&args).unwrap();
+    assert_eq!(trace, cmd_gen(&args).unwrap(), "gen must be deterministic");
+
+    let registry = acmr::harness::default_registry();
+    let mut rejected = std::collections::HashMap::new();
+    for name in registry.names() {
+        let run_args = vec!["--alg".to_string(), format!("{name}?seed=2")];
+        let out = cmd_run(&run_args, &trace)
+            .unwrap_or_else(|e| panic!("{name} on buyback-hostile trace: {e}"));
+        assert!(out.contains(name), "{name}: report lacks algorithm name");
+        let cost: f64 = out
+            .lines()
+            .find_map(|l| l.strip_prefix("rejected cost  : "))
+            .unwrap_or_else(|| panic!("{name}: no rejected cost line"))
+            .trim()
+            .parse()
+            .unwrap();
+        rejected.insert(name, cost);
+    }
+    assert!(
+        rejected["buyback"] < rejected["greedy"],
+        "buyback ({}) must beat greedy ({}) on its home topology",
+        rejected["buyback"],
+        rejected["greedy"]
+    );
+
+    // Uniform f64 flag validation: typed error, flag named, help
+    // pointer included — for every malformed shape including NaN.
+    let gen_err = |rest: &[&str]| {
+        cmd_gen(&rest.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+            .unwrap_err()
+            .to_string()
+    };
+    let stochastic: &[&str] = &["--topology", "stochastic"];
+    let diurnal: &[&str] = &["--topology", "stochastic", "--model", "diurnal"];
+    let flash: &[&str] = &["--topology", "stochastic", "--model", "flash"];
+    let hostile: &[&str] = &["--topology", "buyback-hostile"];
+    for (base, flag, bad) in [
+        (stochastic, "--overload", "nan"),
+        (stochastic, "--overload", "inf"),
+        (stochastic, "--overload", "0"),
+        (stochastic, "--overload", "-2"),
+        (diurnal, "--amplitude", "nan"),
+        (diurnal, "--amplitude", "1.5"),
+        (flash, "--boost", "nan"),
+        (flash, "--boost", "1"),
+        (hostile, "--growth", "nan"),
+        (hostile, "--growth", "1"),
+    ] {
+        let mut argv: Vec<&str> = base.to_vec();
+        argv.extend([flag, bad]);
+        let e = gen_err(&argv);
+        assert!(
+            e.contains(flag) && e.contains("acmr help"),
+            "{flag}={bad}: {e}"
+        );
+    }
+
+    // Scenario flags outside their topology are refused, not ignored.
+    let e = gen_err(&["--topology", "line", "--growth", "4"]);
+    assert!(
+        e.contains("--growth only applies") && e.contains("acmr help"),
+        "{e}"
+    );
+}

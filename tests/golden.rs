@@ -1,8 +1,9 @@
 //! Golden-trace regression corpus.
 //!
-//! Ten committed traces (`tests/golden/<name>.trace`) spanning the
-//! random topologies, every hostile family, and two pinned stochastic
-//! arrival models (iid, diurnal), each with the expected
+//! Eleven committed traces (`tests/golden/<name>.trace`) spanning the
+//! random topologies, every hostile family (including the buyback
+//! cost-escalation topology), and two pinned stochastic arrival
+//! models (iid, diurnal), each with the expected
 //! [`SweepReport`] of all registered algorithms pinned as
 //! `tests/golden/<name>.expected.json`. The sweep runs through the
 //! `ShardedDriver` batch path with fixed `threads`/`batch`/seed, so
@@ -23,9 +24,9 @@ use acmr::core::AdmissionInstance;
 use acmr::harness::{cross_jobs, default_registry, BoundBudget, ShardedDriver, SweepReport};
 use acmr::workloads::trace::{read_trace, write_trace};
 use acmr::workloads::{
-    dyadic_admission_instance, nested_intervals, random_path_workload, repeated_hot_edge,
-    stochastic_workload, two_phase_squeeze, CostModel, PathWorkloadSpec, StochasticSpec, Topology,
-    TrafficModel,
+    buyback_hostile, dyadic_admission_instance, nested_intervals, random_path_workload,
+    repeated_hot_edge, stochastic_workload, two_phase_squeeze, CostModel, PathWorkloadSpec,
+    StochasticSpec, Topology, TrafficModel,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -115,6 +116,7 @@ fn corpus() -> Vec<(&'static str, AdmissionInstance)> {
         ("adv-hot-edge", repeated_hot_edge(4, 3, 12)),
         ("adv-squeeze", two_phase_squeeze(12, 3, 4, 3)),
         ("lower-bound-dyadic", dyadic_admission_instance(3, 2, 2)),
+        ("buyback-hostile", buyback_hostile(6, 2, 4, 8.0)),
         ("stoch-iid", stochastic_trace(TrafficModel::Iid, 5)),
         (
             "stoch-diurnal",
@@ -267,7 +269,7 @@ fn golden_corpus_covers_every_regime_and_algorithm() {
     // unweighted traces, at least one preemption-forcing trace, and the
     // pinned sweep exercises every registered algorithm.
     let corpus = corpus();
-    assert_eq!(corpus.len(), 10);
+    assert_eq!(corpus.len(), 11);
     assert!(corpus.iter().any(|(_, i)| i.is_unweighted()));
     assert!(corpus.iter().any(|(_, i)| !i.is_unweighted()));
     assert!(corpus.iter().all(|(_, i)| !i.requests.is_empty()));
